@@ -1,0 +1,75 @@
+// Command retypd-eval regenerates the paper's evaluation tables and
+// figures (§6) on the synthetic corpus.
+//
+// Usage:
+//
+//	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|all] [-scale N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"retypd/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, fig12, const, all")
+	scale := flag.Int("scale", 0, "override corpus scale divisor (default from config)")
+	quick := flag.Bool("quick", false, "use the small smoke-test configuration")
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	if *quick {
+		cfg = eval.QuickConfig()
+	}
+	if *scale > 0 {
+		cfg.Suite.Scale = *scale
+	}
+
+	needSuite := func(e string) bool {
+		switch e {
+		case "fig8", "fig9", "fig10", "const", "all":
+			return true
+		}
+		return false
+	}
+	var suite *eval.SuiteScores
+	if needSuite(*exp) {
+		fmt.Fprintln(os.Stderr, "generating corpus and running all systems…")
+		suite = eval.RunSuite(cfg)
+	}
+	var scaling []eval.ScalingPoint
+	if *exp == "fig11" || *exp == "fig12" || *exp == "all" {
+		fmt.Fprintln(os.Stderr, "running scaling sweep…")
+		scaling = eval.RunScaling(cfg)
+	}
+
+	show := func(e string) {
+		switch e {
+		case "fig7":
+			fmt.Println(eval.Figure7(cfg))
+		case "fig8":
+			fmt.Println(eval.Figure8(suite))
+		case "fig9":
+			fmt.Println(eval.Figure9(suite))
+		case "fig10":
+			fmt.Println(eval.Figure10(suite))
+		case "fig11":
+			fmt.Println(eval.Figure11(scaling))
+		case "fig12":
+			fmt.Println(eval.Figure12(scaling))
+		case "const":
+			fmt.Println(eval.ConstReport(suite))
+		}
+	}
+	if *exp == "all" {
+		for _, e := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "const"} {
+			show(e)
+			fmt.Println()
+		}
+		return
+	}
+	show(*exp)
+}

@@ -1,0 +1,53 @@
+// Command retypd infers types for a program in the substrate assembly
+// format and prints the recovered polymorphic type schemes, C
+// signatures and struct typedefs.
+//
+// Usage:
+//
+//	retypd [-schemes] [-sketches] file.sasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"retypd"
+)
+
+func main() {
+	schemes := flag.Bool("schemes", true, "print inferred type schemes")
+	sketches := flag.Bool("sketches", false, "print solved sketches")
+	mono := flag.Bool("mono", false, "disable polymorphic callsite instantiation (baseline mode)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: retypd [flags] file.sasm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retypd:", err)
+		os.Exit(1)
+	}
+	prog, err := retypd.ParseAsm(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retypd:", err)
+		os.Exit(1)
+	}
+	res := retypd.Infer(prog, &retypd.Config{Monomorphic: *mono})
+	for _, name := range res.ProcNames() {
+		fmt.Println(res.Signature(name))
+		if *schemes {
+			fmt.Printf("  scheme: %s\n", res.Scheme(name))
+		}
+		if *sketches {
+			fmt.Printf("  sketch:\n%s", res.ProcSketch(name))
+		}
+	}
+	if ts := res.Typedefs(); len(ts) > 0 {
+		fmt.Println("\n/* recovered typedefs */")
+		for _, t := range ts {
+			fmt.Printf("typedef %s;\n", t)
+		}
+	}
+}

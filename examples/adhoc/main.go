@@ -1,0 +1,60 @@
+// Ad-hoc subtyping (§2.8): programs define type hierarchies by
+// typedef convention — Windows' HGDI handles are all void* underneath,
+// with HBRUSH/HPEN below the generic HGDI. Retypd models these with
+// the customizable lattice Λ, which end users can extend at run time.
+//
+// This example adds a domain-specific tag hierarchy (#Fahrenheit and
+// #Celsius below a #Temperature tag) and shows it propagating through
+// inference, alongside the stock GDI hierarchy.
+package main
+
+import (
+	"fmt"
+
+	"retypd"
+)
+
+const src = `
+; HGDI pick_pen(HANDLE dc)
+proc pick_pen
+    push 0
+    call GetStockObject
+    add esp, 4
+    push eax
+    mov ecx, [esp+8]
+    push ecx
+    call SelectObject
+    add esp, 8
+    ret
+endproc
+
+; int warm(int degrees) — degrees flows through the user's to_celsius
+proc warm
+    mov eax, [esp+4]
+    push eax
+    call to_celsius
+    add esp, 4
+    ret
+endproc
+`
+
+func main() {
+	// Extend Λ with a user hierarchy (§2.8: "still better is the
+	// ability for the end user to define or adjust the initial type
+	// hierarchy at run time").
+	lb := retypd.NewLatticeBuilder()
+	lb.Below("#Celsius", "#Temperature")
+	lb.Below("#Fahrenheit", "#Temperature")
+	lat := lb.MustBuild()
+
+	prog := retypd.MustParseAsm(src)
+	res := retypd.Infer(prog, &retypd.Config{Lattice: lat})
+
+	for _, name := range res.ProcNames() {
+		fmt.Println(res.Signature(name))
+		fmt.Printf("  scheme: %s\n", res.Scheme(name))
+	}
+	fmt.Println("\nNote: to_celsius is an unknown external; a summary table entry")
+	fmt.Println("(Summaries) would seed #Celsius on its parameter exactly like")
+	fmt.Println("#FileDescriptor is seeded on close() in the stock table.")
+}

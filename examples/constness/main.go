@@ -1,0 +1,57 @@
+// Const recovery (§6.4, Example 4.1): because Retypd models the read
+// capability (.load) and write capability (.store) of a pointer
+// separately, a parameter that is only ever loaded through is
+// annotated const — the paper reports 98% recall of source const
+// annotations, a first for machine-code type inference.
+package main
+
+import (
+	"fmt"
+
+	"retypd"
+)
+
+const src = `
+; int sum(const struct pair { int a; int b; } *p)
+proc sum
+    mov ecx, [esp+4]
+    mov eax, [ecx]
+    mov edx, [ecx+4]
+    add eax, edx
+    ret
+endproc
+
+; void scale(struct pair *p, int k) — writes through p: NOT const
+proc scale
+    mov ecx, [esp+4]
+    mov edx, [esp+8]
+    mov eax, [ecx]
+    imul eax, edx
+    mov [ecx], eax
+    mov eax, [ecx+4]
+    imul eax, edx
+    mov [ecx+4], eax
+    ret
+endproc
+
+; size_t measure(const char *s) — const via strlen's summary
+proc measure
+    mov ecx, [esp+4]
+    push ecx
+    call strlen
+    add esp, 4
+    ret
+endproc
+`
+
+func main() {
+	prog := retypd.MustParseAsm(src)
+	res := retypd.Infer(prog, nil)
+
+	for _, name := range res.ProcNames() {
+		fmt.Println(res.Signature(name))
+		for i := 0; i < res.NumParams(name); i++ {
+			fmt.Printf("  param %d const: %v\n", i, res.IsConstParam(name, i))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Recursive-type recovery (§2.3): Retypd infers recursive structure
+// types natively, with no points-to oracle — the capability the Phoenix
+// authors identified as the missing piece in earlier systems.
+//
+// This example builds a list-length function and a binary-tree-sum
+// function and shows that both recover their recursive structs.
+package main
+
+import (
+	"fmt"
+
+	"retypd"
+)
+
+const src = `
+; size_t length(const struct node { struct node *next; ... } *l)
+proc length
+    mov edx, [esp+4]
+    xor eax, eax
+loop:
+    test edx, edx
+    jz done
+    mov edx, [edx]          ; l = l->next
+    add eax, 1
+    jmp loop
+done:
+    ret
+endproc
+
+; int tree_sum(const struct tree { tree *left; tree *right; int val; } *t)
+proc tree_sum
+    mov ecx, [esp+4]
+    test ecx, ecx
+    jnz walk
+    xor eax, eax
+    ret
+walk:
+    mov eax, [ecx]          ; t->left
+    push eax
+    call tree_sum
+    add esp, 4
+    mov ebx, eax
+    mov ecx, [esp+4]
+    mov eax, [ecx+4]        ; t->right
+    push eax
+    call tree_sum
+    add esp, 4
+    add eax, ebx
+    mov ecx, [esp+4]
+    mov edx, [ecx+8]        ; t->val
+    add eax, edx
+    push eax
+    call abs
+    add esp, 4
+    ret
+endproc
+`
+
+func main() {
+	prog := retypd.MustParseAsm(src)
+	res := retypd.Infer(prog, nil)
+
+	for _, name := range res.ProcNames() {
+		fmt.Println(res.Signature(name))
+		fmt.Printf("  scheme: %s\n\n", res.Scheme(name))
+	}
+	fmt.Println("/* recovered recursive typedefs */")
+	for _, t := range res.Typedefs() {
+		fmt.Printf("typedef %s;\n", t)
+	}
+}

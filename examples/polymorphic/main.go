@@ -1,0 +1,84 @@
+// Polymorphism (§2.2, §3.4): user-defined allocator wrappers are
+// effectively polymorphic — each callsite instantiates the wrapper's
+// type scheme with fresh variables, so incompatible uses never bleed
+// into each other; and passing a struct with MORE fields than a callee
+// needs typechecks via scheme specialization, not subtyping.
+package main
+
+import (
+	"fmt"
+
+	"retypd"
+)
+
+const src = `
+; void *xalloc(size_t n) { return malloc(n); }   — ∀τ. size_t → τ*
+proc xalloc
+    mov eax, [esp+4]
+    push eax
+    call malloc
+    add esp, 4
+    ret
+endproc
+
+; struct point { int x; int y; } *mk_point(void)
+proc mk_point
+    push 8
+    call xalloc
+    add esp, 4
+    mov esi, eax
+    call rand
+    mov [esi], eax
+    call rand
+    mov [esi+4], eax
+    mov eax, esi
+    ret
+endproc
+
+; struct span { char *s; size_t n; } *mk_span(const char *s)
+proc mk_span
+    push 8
+    call xalloc
+    add esp, 4
+    mov esi, eax
+    mov ecx, [esp+4]
+    mov [esi], ecx
+    push ecx
+    call strlen
+    add esp, 4
+    mov [esi+4], eax
+    mov eax, esi
+    ret
+endproc
+
+; int first_field(const struct { int a; } *p) — callers may pass richer
+; structs; instantiation forgets the extra fields (§3.4).
+proc first_field
+    mov ecx, [esp+4]
+    mov eax, [ecx]
+    ret
+endproc
+
+proc use_point
+    call mk_point
+    push eax
+    call first_field
+    add esp, 4
+    ret
+endproc
+`
+
+func main() {
+	prog := retypd.MustParseAsm(src)
+	res := retypd.Infer(prog, nil)
+
+	for _, name := range res.ProcNames() {
+		fmt.Println(res.Signature(name))
+	}
+	fmt.Println()
+	fmt.Println("xalloc stays polymorphic:", res.Scheme("xalloc"))
+	fmt.Println()
+	fmt.Println("mk_point and mk_span instantiate it incompatibly — and correctly:")
+	fmt.Println("  mk_point:", res.Signature("mk_point").Ret)
+	fmt.Println("  mk_span: ", res.Signature("mk_span").Ret)
+}

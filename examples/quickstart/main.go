@@ -1,0 +1,59 @@
+// Quickstart: infer types for the paper's headline example (Figure 2).
+//
+// close_last walks a linked list and closes the file descriptor stored
+// in its last node. From the optimized machine code alone, Retypd
+// recovers the recursive struct, the const pointer parameter, the
+// #FileDescriptor tag on the handle field and the #SuccessZ tag on the
+// return value:
+//
+//	typedef struct { Struct_0 *field_0; int field_4; } Struct_0;
+//	int close_last(const Struct_0 *);
+package main
+
+import (
+	"fmt"
+
+	"retypd"
+)
+
+const src = `
+; Figure 2 of Noonan et al., PLDI 2016 (gcc 4.5.4 -m32 -O2).
+proc close_last
+    push ebp
+    mov ebp, esp
+    sub esp, 8
+    mov edx, [ebp+8]        ; list
+    jmp L2
+L1:
+    mov edx, eax            ; list = list->next
+L2:
+    mov eax, [edx]          ; list->next
+    test eax, eax
+    jnz L1
+    mov eax, [edx+4]        ; list->handle
+    mov [ebp+8], eax        ; reuse the argument slot (§2.1!)
+    leave
+    jmp close               ; tail call through the thunk
+endproc
+`
+
+func main() {
+	prog := retypd.MustParseAsm(src)
+	res := retypd.Infer(prog, nil)
+
+	fmt.Println("== recovered C signature ==")
+	fmt.Println(res.Signature("close_last"))
+
+	fmt.Println("\n== recovered typedefs ==")
+	for _, t := range res.Typedefs() {
+		fmt.Printf("typedef %s;\n", t)
+	}
+
+	fmt.Println("\n== polymorphic type scheme (Definition 3.4) ==")
+	fmt.Println(res.Scheme("close_last"))
+
+	fmt.Println("\n== solved sketch (§3.5) ==")
+	fmt.Print(res.ProcSketch("close_last"))
+
+	fmt.Println("\nconst parameter recovered:", res.IsConstParam("close_last", 0))
+}

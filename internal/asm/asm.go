@@ -1,0 +1,472 @@
+// Package asm implements the machine-code substrate of the
+// reproduction: a 32-bit x86-like assembly language with a textual
+// format, standing in for the binaries that the paper's CodeSurfer
+// front end disassembles (§4.1).
+//
+// The instruction set covers the idioms catalogued in §2 of the paper:
+// register and memory moves with 8/16/32-bit widths, stack
+// manipulation, arithmetic with the flag-only and constant-encoding
+// special cases of Appendix A.5.2, direct and conditional jumps, calls,
+// and tail-call jumps to other procedures.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reg is a 32-bit general-purpose register.
+type Reg uint8
+
+// Register names.
+const (
+	EAX Reg = iota
+	EBX
+	ECX
+	EDX
+	ESI
+	EDI
+	EBP
+	ESP
+	NumRegs
+	NoReg Reg = 0xff
+)
+
+var regNames = [...]string{"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp"}
+
+// String renders the register name.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// ParseReg parses a register name.
+func ParseReg(s string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == s {
+			return Reg(i), true
+		}
+	}
+	return NoReg, false
+}
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+const (
+	// OpNone marks an absent operand.
+	OpNone OperandKind = iota
+	// OpReg is a register operand.
+	OpReg
+	// OpImm is an immediate constant.
+	OpImm
+	// OpMem is a memory operand [base+disp].
+	OpMem
+)
+
+// Operand is an instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg   // OpReg, or the base register of OpMem
+	Imm  int32 // OpImm value, or OpMem displacement
+}
+
+// R makes a register operand.
+func R(r Reg) Operand { return Operand{Kind: OpReg, Reg: r} }
+
+// Imm makes an immediate operand.
+func Imm(v int32) Operand { return Operand{Kind: OpImm, Imm: v} }
+
+// Mem makes a memory operand [base+disp].
+func Mem(base Reg, disp int32) Operand { return Operand{Kind: OpMem, Reg: base, Imm: disp} }
+
+// String renders the operand in assembly syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpReg:
+		return o.Reg.String()
+	case OpImm:
+		return strconv.Itoa(int(o.Imm))
+	case OpMem:
+		switch {
+		case o.Imm > 0:
+			return fmt.Sprintf("[%s+%d]", o.Reg, o.Imm)
+		case o.Imm < 0:
+			return fmt.Sprintf("[%s-%d]", o.Reg, -o.Imm)
+		default:
+			return fmt.Sprintf("[%s]", o.Reg)
+		}
+	default:
+		return "<none>"
+	}
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	NOP  Op = iota
+	MOV     // mov dst, src (32-bit)
+	MOVB    // 8-bit move
+	MOVW    // 16-bit move
+	LEA     // lea dst, [base+disp]
+	PUSH
+	POP
+	ADD
+	SUB
+	IMUL
+	XOR
+	AND
+	OR
+	SHL
+	SHR
+	TEST
+	CMP
+	JMP // unconditional jump to label, or tail call to procedure
+	JCC // any conditional jump (jz, jnz, jl, …)
+	CALL
+	RET
+	LEAVE
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", MOV: "mov", MOVB: "movb", MOVW: "movw", LEA: "lea",
+	PUSH: "push", POP: "pop", ADD: "add", SUB: "sub", IMUL: "imul",
+	XOR: "xor", AND: "and", OR: "or", SHL: "shl", SHR: "shr",
+	TEST: "test", CMP: "cmp", JMP: "jmp", JCC: "jcc", CALL: "call",
+	RET: "ret", LEAVE: "leave",
+}
+
+// Bits reports the access width of a move opcode (32 for everything
+// else).
+func (op Op) Bits() int {
+	switch op {
+	case MOVB:
+		return 8
+	case MOVW:
+		return 16
+	default:
+		return 32
+	}
+}
+
+// Inst is one instruction. Control-flow targets are symbolic: Target
+// names a label (JMP/JCC within the procedure) or a procedure
+// (CALL/tail JMP).
+type Inst struct {
+	Op       Op
+	Dst, Src Operand
+	Target   string
+	// Cond records the original mnemonic of a JCC ("jz", "jnz", …) for
+	// display; all conditionals have the same CFG semantics here.
+	Cond string
+}
+
+// String renders the instruction.
+func (in Inst) String() string {
+	name := opNames[in.Op]
+	if in.Op == JCC {
+		name = in.Cond
+	}
+	switch in.Op {
+	case NOP, RET, LEAVE:
+		return name
+	case PUSH:
+		return name + " " + in.Src.String()
+	case POP:
+		return name + " " + in.Dst.String()
+	case JMP, JCC, CALL:
+		return name + " " + in.Target
+	case TEST, CMP:
+		return fmt.Sprintf("%s %s, %s", name, in.Dst, in.Src)
+	default:
+		return fmt.Sprintf("%s %s, %s", name, in.Dst, in.Src)
+	}
+}
+
+// Proc is a procedure: a named instruction sequence with resolved
+// labels.
+type Proc struct {
+	Name   string
+	Insts  []Inst
+	Labels map[string]int // label → instruction index
+}
+
+// Program is a parsed assembly module.
+type Program struct {
+	Procs     []*Proc
+	ProcIndex map[string]*Proc
+}
+
+// Proc returns the procedure named name, if present.
+func (p *Program) Proc(name string) (*Proc, bool) {
+	pr, ok := p.ProcIndex[name]
+	return pr, ok
+}
+
+// NumInsts reports the total instruction count of the program (the
+// size measure N used by the scaling experiments, Figure 11).
+func (p *Program) NumInsts() int {
+	n := 0
+	for _, pr := range p.Procs {
+		n += len(pr.Insts)
+	}
+	return n
+}
+
+// conditional mnemonics accepted by the parser.
+var condNames = map[string]bool{
+	"jz": true, "jnz": true, "je": true, "jne": true, "jl": true,
+	"jle": true, "jg": true, "jge": true, "ja": true, "jae": true,
+	"jb": true, "jbe": true, "js": true, "jns": true,
+}
+
+// Parse parses the textual assembly format:
+//
+//	; comment
+//	proc name
+//	loop:
+//	    mov eax, [ebp+8]
+//	    jnz loop
+//	    call helper
+//	    ret
+//	endproc
+//
+// Labels end with ':'. Numbers may be decimal or 0x-prefixed hex.
+func Parse(src string) (*Program, error) {
+	prog := &Program{ProcIndex: map[string]*Proc{}}
+	var cur *Proc
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "proc":
+			if cur != nil {
+				return nil, fmt.Errorf("asm:%d: nested proc", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("asm:%d: proc needs a name", lineNo)
+			}
+			cur = &Proc{Name: fields[1], Labels: map[string]int{}}
+			continue
+		case "endproc":
+			if cur == nil {
+				return nil, fmt.Errorf("asm:%d: endproc outside proc", lineNo)
+			}
+			if prog.ProcIndex[cur.Name] != nil {
+				return nil, fmt.Errorf("asm:%d: duplicate proc %q", lineNo, cur.Name)
+			}
+			prog.Procs = append(prog.Procs, cur)
+			prog.ProcIndex[cur.Name] = cur
+			cur = nil
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("asm:%d: instruction outside proc: %q", lineNo, line)
+		}
+		if strings.HasSuffix(fields[0], ":") && len(fields) == 1 {
+			cur.Labels[strings.TrimSuffix(fields[0], ":")] = len(cur.Insts)
+			continue
+		}
+		inst, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("asm:%d: %v", lineNo, err)
+		}
+		cur.Insts = append(cur.Insts, inst)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("asm: missing endproc for %q", cur.Name)
+	}
+	// Validate label targets.
+	for _, pr := range prog.Procs {
+		for i, in := range pr.Insts {
+			if in.Op == JCC {
+				if _, ok := pr.Labels[in.Target]; !ok {
+					return nil, fmt.Errorf("asm: %s:%d: unknown label %q", pr.Name, i, in.Target)
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// MustParse panics on error; for statically known sources.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInst(line string) (Inst, error) {
+	sp := strings.IndexAny(line, " \t")
+	mnemonic := line
+	rest := ""
+	if sp >= 0 {
+		mnemonic = line[:sp]
+		rest = strings.TrimSpace(line[sp:])
+	}
+	args := splitArgs(rest)
+
+	if condNames[mnemonic] {
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("%s needs a label", mnemonic)
+		}
+		return Inst{Op: JCC, Target: args[0], Cond: mnemonic}, nil
+	}
+	switch mnemonic {
+	case "nop":
+		return Inst{Op: NOP}, nil
+	case "ret":
+		return Inst{Op: RET}, nil
+	case "leave":
+		return Inst{Op: LEAVE}, nil
+	case "jmp":
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("jmp needs a target")
+		}
+		return Inst{Op: JMP, Target: args[0]}, nil
+	case "call":
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("call needs a target")
+		}
+		return Inst{Op: CALL, Target: args[0]}, nil
+	case "push":
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("push needs an operand")
+		}
+		op, err := parseOperand(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: PUSH, Src: op}, nil
+	case "pop":
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("pop needs a register")
+		}
+		op, err := parseOperand(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		if op.Kind != OpReg {
+			return Inst{}, fmt.Errorf("pop needs a register")
+		}
+		return Inst{Op: POP, Dst: op}, nil
+	}
+
+	var op Op
+	switch mnemonic {
+	case "mov":
+		op = MOV
+	case "movb":
+		op = MOVB
+	case "movw":
+		op = MOVW
+	case "lea":
+		op = LEA
+	case "add":
+		op = ADD
+	case "sub":
+		op = SUB
+	case "imul":
+		op = IMUL
+	case "xor":
+		op = XOR
+	case "and":
+		op = AND
+	case "or":
+		op = OR
+	case "shl":
+		op = SHL
+	case "shr":
+		op = SHR
+	case "test":
+		op = TEST
+	case "cmp":
+		op = CMP
+	default:
+		return Inst{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	if len(args) != 2 {
+		return Inst{}, fmt.Errorf("%s needs 2 operands", mnemonic)
+	}
+	dst, err := parseOperand(args[0])
+	if err != nil {
+		return Inst{}, err
+	}
+	src, err := parseOperand(args[1])
+	if err != nil {
+		return Inst{}, err
+	}
+	if op == LEA && src.Kind != OpMem {
+		return Inst{}, fmt.Errorf("lea needs a memory source")
+	}
+	if dst.Kind == OpMem && src.Kind == OpMem {
+		return Inst{}, fmt.Errorf("%s: memory-to-memory not allowed", mnemonic)
+	}
+	return Inst{Op: op, Dst: dst, Src: src}, nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseOperand(s string) (Operand, error) {
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		body := s[1 : len(s)-1]
+		body = strings.ReplaceAll(body, " ", "")
+		sign := int32(1)
+		var regPart, numPart string
+		if i := strings.IndexByte(body, '+'); i >= 0 {
+			regPart, numPart = body[:i], body[i+1:]
+		} else if i := strings.IndexByte(body, '-'); i >= 0 {
+			regPart, numPart = body[:i], body[i+1:]
+			sign = -1
+		} else {
+			regPart = body
+		}
+		r, ok := ParseReg(regPart)
+		if !ok {
+			return Operand{}, fmt.Errorf("bad base register %q", regPart)
+		}
+		var disp int64
+		if numPart != "" {
+			var err error
+			disp, err = strconv.ParseInt(numPart, 0, 32)
+			if err != nil {
+				return Operand{}, fmt.Errorf("bad displacement %q", numPart)
+			}
+		}
+		return Mem(r, int32(disp)*sign), nil
+	}
+	if r, ok := ParseReg(s); ok {
+		return R(r), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return Imm(int32(v)), nil
+}

@@ -1,0 +1,741 @@
+// Package cfg recovers the program representation Retypd consumes from
+// the assembly substrate: per-procedure control-flow graphs, an affine
+// stack-pointer analysis (the "affine relations between the stack and
+// frame pointers" of §6.1 — the only points-to-adjacent analysis the
+// paper requires), reaching definitions for registers and stack slots
+// (Appendix A.1's flow-sensitive parameterization of constraint
+// generation), liveness-based register-parameter detection (§2.5), and
+// the call graph with its strongly connected components (§4.2).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"retypd/internal/asm"
+)
+
+// Loc is an abstract storage location: a register or a stack slot
+// identified by its byte offset from the value of esp at procedure
+// entry (offset 0 holds the return address, +4 the first stack
+// argument, negative offsets the locals).
+type Loc struct {
+	IsSlot bool
+	Reg    asm.Reg
+	Slot   int32
+}
+
+// RegLoc makes a register location.
+func RegLoc(r asm.Reg) Loc { return Loc{Reg: r} }
+
+// SlotLoc makes a stack-slot location.
+func SlotLoc(off int32) Loc { return Loc{IsSlot: true, Slot: off} }
+
+// String renders the location ("eax" or "slot(+4)").
+func (l Loc) String() string {
+	if !l.IsSlot {
+		return l.Reg.String()
+	}
+	if l.Slot >= 0 {
+		return fmt.Sprintf("slot(+%d)", l.Slot)
+	}
+	return fmt.Sprintf("slot(%d)", l.Slot)
+}
+
+// ParamName renders the formal-in location name used in type variables
+// ("stack0", "stack4" for slots +4, +8; register name for register
+// parameters), matching the paper's instack0 notation.
+func (l Loc) ParamName() string {
+	if l.IsSlot {
+		return fmt.Sprintf("stack%d", l.Slot-4)
+	}
+	return l.Reg.String()
+}
+
+// SPVal is an affine stack-pointer value: entrySP + Delta, or unknown.
+type SPVal struct {
+	Known bool
+	Delta int32
+}
+
+// DefID identifies a definition: a non-negative instruction index, or a
+// negative id for the synthetic entry definition of a formal location.
+type DefID int32
+
+// IsEntry reports whether d is a synthetic entry definition.
+func (d DefID) IsEntry() bool { return d < 0 }
+
+// Block is a basic block: instructions [Start, End).
+type Block struct {
+	Start, End int
+	Succs      []int
+}
+
+// ProcInfo is the analysis result for one procedure.
+type ProcInfo struct {
+	Proc    *asm.Proc
+	Prog    *asm.Program
+	Blocks  []Block
+	BlockOf []int // instruction → block index
+
+	// ESPIn and EBPIn give the pre-state of each instruction.
+	ESPIn []SPVal
+	EBPIn []SPVal
+
+	// FormalIns lists the formal-in locations in canonical order
+	// (stack slots ascending, then registers).
+	FormalIns []Loc
+	// HasOut reports whether the procedure produces a value in eax
+	// (possibly via tail call; completed by AnalyzeProgram's fixpoint).
+	HasOut bool
+	// TailCalls lists instruction indices of tail-call jumps.
+	TailCalls []int
+
+	// entryDefs maps formal locations to their synthetic DefIDs.
+	entryDefs map[Loc]DefID
+	entryLocs []Loc // indexed by -(id)-1
+
+	// reachIn[b] maps locations to the definitions reaching block b's
+	// entry.
+	reachIn []map[Loc][]DefID
+}
+
+// EntryLoc returns the formal location of a synthetic entry definition.
+func (pi *ProcInfo) EntryLoc(d DefID) Loc { return pi.entryLocs[-int(d)-1] }
+
+// SlotOf resolves a memory operand at instruction idx to a stack slot,
+// if the base register is frame-resolvable there.
+func (pi *ProcInfo) SlotOf(idx int, m asm.Operand) (int32, bool) {
+	if m.Kind != asm.OpMem {
+		return 0, false
+	}
+	switch m.Reg {
+	case asm.ESP:
+		if sp := pi.ESPIn[idx]; sp.Known {
+			return sp.Delta + m.Imm, true
+		}
+	case asm.EBP:
+		if bp := pi.EBPIn[idx]; bp.Known {
+			return bp.Delta + m.Imm, true
+		}
+	}
+	return 0, false
+}
+
+// Analyze computes the per-procedure analyses. Program-level facts
+// (tail-call out propagation) are refined by AnalyzeProgram.
+func Analyze(prog *asm.Program, proc *asm.Proc) *ProcInfo {
+	pi := &ProcInfo{Proc: proc, Prog: prog, entryDefs: map[Loc]DefID{}}
+	pi.buildBlocks()
+	pi.stackAnalysis()
+	pi.findFormals()
+	pi.reachingDefs()
+	pi.findHasOut()
+	return pi
+}
+
+// buildBlocks splits the instruction list into basic blocks and wires
+// successor edges.
+func (pi *ProcInfo) buildBlocks() {
+	insts := pi.Proc.Insts
+	n := len(insts)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for _, idx := range pi.Proc.Labels {
+		if idx <= n {
+			leader[idx] = true
+		}
+	}
+	for i, in := range insts {
+		switch in.Op {
+		case asm.JMP, asm.JCC, asm.RET:
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		}
+	}
+	pi.BlockOf = make([]int, n)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		b := len(pi.Blocks)
+		pi.Blocks = append(pi.Blocks, Block{Start: i, End: j})
+		for k := i; k < j; k++ {
+			pi.BlockOf[k] = b
+		}
+		i = j
+	}
+	for b := range pi.Blocks {
+		blk := &pi.Blocks[b]
+		last := insts[blk.End-1]
+		addSucc := func(idx int) {
+			if idx < n {
+				blk.Succs = append(blk.Succs, pi.BlockOf[idx])
+			}
+		}
+		switch last.Op {
+		case asm.RET:
+		case asm.JMP:
+			if tgt, ok := pi.Proc.Labels[last.Target]; ok {
+				addSucc(tgt)
+			} else {
+				// Tail call to another procedure: terminator.
+				pi.TailCalls = append(pi.TailCalls, blk.End-1)
+			}
+		case asm.JCC:
+			addSucc(pi.Proc.Labels[last.Target])
+			addSucc(blk.End)
+		default:
+			addSucc(blk.End)
+		}
+	}
+}
+
+// stackAnalysis computes the affine esp/ebp values before each
+// instruction.
+func (pi *ProcInfo) stackAnalysis() {
+	n := len(pi.Proc.Insts)
+	pi.ESPIn = make([]SPVal, n)
+	pi.EBPIn = make([]SPVal, n)
+
+	type state struct{ esp, ebp SPVal }
+	blockIn := make([]state, len(pi.Blocks))
+	haveIn := make([]bool, len(pi.Blocks))
+	blockIn[0] = state{esp: SPVal{Known: true, Delta: 0}}
+	haveIn[0] = true
+
+	merge := func(a, b SPVal) SPVal {
+		if a.Known && b.Known && a.Delta == b.Delta {
+			return a
+		}
+		return SPVal{}
+	}
+
+	work := []int{0}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := blockIn[b]
+		for i := pi.Blocks[b].Start; i < pi.Blocks[b].End; i++ {
+			pi.ESPIn[i] = st.esp
+			pi.EBPIn[i] = st.ebp
+			st = transferSP(st.esp, st.ebp, pi.Proc.Insts[i])
+		}
+		for _, s := range pi.Blocks[b].Succs {
+			var next state
+			if !haveIn[s] {
+				next = st
+			} else {
+				next = state{esp: merge(blockIn[s].esp, st.esp), ebp: merge(blockIn[s].ebp, st.ebp)}
+				if next == blockIn[s] {
+					continue
+				}
+			}
+			blockIn[s] = next
+			haveIn[s] = true
+			work = append(work, s)
+		}
+	}
+}
+
+type spState = struct{ esp, ebp SPVal }
+
+func transferSP(esp, ebp SPVal, in asm.Inst) spState {
+	shift := func(v SPVal, d int32) SPVal {
+		if !v.Known {
+			return v
+		}
+		return SPVal{Known: true, Delta: v.Delta + d}
+	}
+	switch in.Op {
+	case asm.PUSH:
+		esp = shift(esp, -4)
+	case asm.POP:
+		if in.Dst.Kind == asm.OpReg && in.Dst.Reg == asm.EBP {
+			ebp = SPVal{}
+		}
+		esp = shift(esp, 4)
+	case asm.SUB:
+		if in.Dst.Kind == asm.OpReg && in.Dst.Reg == asm.ESP && in.Src.Kind == asm.OpImm {
+			esp = shift(esp, -in.Src.Imm)
+		}
+	case asm.ADD:
+		if in.Dst.Kind == asm.OpReg && in.Dst.Reg == asm.ESP && in.Src.Kind == asm.OpImm {
+			esp = shift(esp, in.Src.Imm)
+		}
+	case asm.MOV:
+		if in.Dst.Kind == asm.OpReg {
+			switch {
+			case in.Dst.Reg == asm.EBP && in.Src.Kind == asm.OpReg && in.Src.Reg == asm.ESP:
+				ebp = esp
+			case in.Dst.Reg == asm.ESP && in.Src.Kind == asm.OpReg && in.Src.Reg == asm.EBP:
+				esp = ebp
+			case in.Dst.Reg == asm.EBP:
+				ebp = SPVal{}
+			case in.Dst.Reg == asm.ESP:
+				esp = SPVal{}
+			}
+		}
+	case asm.LEAVE:
+		// mov esp, ebp; pop ebp
+		if ebp.Known {
+			esp = SPVal{Known: true, Delta: ebp.Delta + 4}
+		} else {
+			esp = SPVal{}
+		}
+		ebp = SPVal{}
+	}
+	return spState{esp, ebp}
+}
+
+// instUses returns the registers read by in (for liveness; esp and ebp
+// excluded — they are handled by the stack analysis).
+func instUses(in asm.Inst) []asm.Reg {
+	var out []asm.Reg
+	add := func(r asm.Reg) {
+		if r != asm.ESP && r != asm.EBP && r < asm.NumRegs {
+			out = append(out, r)
+		}
+	}
+	addOp := func(o asm.Operand) {
+		switch o.Kind {
+		case asm.OpReg:
+			add(o.Reg)
+		case asm.OpMem:
+			add(o.Reg)
+		}
+	}
+	switch in.Op {
+	case asm.MOV, asm.MOVB, asm.MOVW:
+		addOp(in.Src)
+		if in.Dst.Kind == asm.OpMem {
+			add(in.Dst.Reg)
+		}
+	case asm.LEA:
+		add(in.Src.Reg)
+	case asm.PUSH:
+		addOp(in.Src)
+	case asm.ADD, asm.SUB, asm.IMUL, asm.AND, asm.OR, asm.SHL, asm.SHR:
+		addOp(in.Src)
+		addOp(in.Dst)
+	case asm.XOR:
+		// xor r, r zeroes r without reading it (§2.1).
+		if !(in.Dst.Kind == asm.OpReg && in.Src.Kind == asm.OpReg && in.Dst.Reg == in.Src.Reg) {
+			addOp(in.Src)
+			addOp(in.Dst)
+		}
+	case asm.TEST, asm.CMP:
+		addOp(in.Src)
+		addOp(in.Dst)
+	}
+	return out
+}
+
+// instRegDefs returns the registers written by in.
+func instRegDefs(in asm.Inst) []asm.Reg {
+	switch in.Op {
+	case asm.MOV, asm.MOVB, asm.MOVW, asm.LEA:
+		if in.Dst.Kind == asm.OpReg && in.Dst.Reg != asm.ESP && in.Dst.Reg != asm.EBP {
+			return []asm.Reg{in.Dst.Reg}
+		}
+	case asm.POP:
+		if in.Dst.Reg != asm.ESP && in.Dst.Reg != asm.EBP {
+			return []asm.Reg{in.Dst.Reg}
+		}
+	case asm.ADD, asm.SUB, asm.IMUL, asm.XOR, asm.AND, asm.OR, asm.SHL, asm.SHR:
+		if in.Dst.Kind == asm.OpReg && in.Dst.Reg != asm.ESP && in.Dst.Reg != asm.EBP {
+			return []asm.Reg{in.Dst.Reg}
+		}
+	case asm.CALL:
+		// Caller-saved registers are clobbered.
+		return []asm.Reg{asm.EAX, asm.ECX, asm.EDX}
+	}
+	return nil
+}
+
+// findFormals detects the formal-in locations: stack slots at positive
+// offsets read with the entry value live, and registers live-in at
+// entry (§2.5 — this conservatively reports the "push ecx" idiom as a
+// register parameter, which is exactly the over-unification stressor
+// the paper discusses).
+func (pi *ProcInfo) findFormals() {
+	insts := pi.Proc.Insts
+
+	// Register liveness, backward to a fixpoint.
+	liveIn := make([]uint8, len(pi.Blocks))  // bitmask of first 6 regs
+	liveOut := make([]uint8, len(pi.Blocks)) // bitmask
+	bit := func(r asm.Reg) uint8 {
+		if r >= 6 {
+			return 0
+		}
+		return 1 << r
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := len(pi.Blocks) - 1; b >= 0; b-- {
+			var out uint8
+			for _, s := range pi.Blocks[b].Succs {
+				out |= liveIn[s]
+			}
+			// Tail calls keep nothing live (stack args only in corpus).
+			live := out
+			for i := pi.Blocks[b].End - 1; i >= pi.Blocks[b].Start; i-- {
+				for _, r := range instRegDefs(insts[i]) {
+					live &^= bit(r)
+				}
+				for _, r := range instUses(insts[i]) {
+					live |= bit(r)
+				}
+			}
+			if live != liveIn[b] || out != liveOut[b] {
+				liveIn[b] = live
+				liveOut[b] = out
+				changed = true
+			}
+		}
+	}
+
+	// Stack parameter slots: positive-offset slot reads.
+	paramSlots := map[int32]bool{}
+	noteRead := func(idx int, m asm.Operand) {
+		if off, ok := pi.SlotOf(idx, m); ok && off >= 4 {
+			paramSlots[off] = true
+		}
+	}
+	for i, in := range insts {
+		switch in.Op {
+		case asm.MOV, asm.MOVB, asm.MOVW, asm.ADD, asm.SUB, asm.IMUL, asm.AND, asm.OR, asm.CMP, asm.TEST:
+			if in.Src.Kind == asm.OpMem {
+				noteRead(i, in.Src)
+			}
+		case asm.PUSH:
+			if in.Src.Kind == asm.OpMem {
+				noteRead(i, in.Src)
+			}
+		}
+	}
+	// Tail calls forward the incoming argument area; the slots they
+	// pass are handled by the constraint generator, not listed as
+	// formals unless also read.
+
+	var slots []int32
+	for off := range paramSlots {
+		slots = append(slots, off)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	// Fill gaps so the argument area is contiguous: a callee that reads
+	// stack0 and stack8 still has three parameters.
+	if len(slots) > 0 {
+		max := slots[len(slots)-1]
+		slots = slots[:0]
+		for off := int32(4); off <= max; off += 4 {
+			slots = append(slots, off)
+		}
+	}
+	for _, off := range slots {
+		pi.FormalIns = append(pi.FormalIns, SlotLoc(off))
+	}
+	for r := asm.EAX; r < 6; r++ {
+		if liveIn[0]&bit(r) != 0 {
+			pi.FormalIns = append(pi.FormalIns, RegLoc(r))
+		}
+	}
+
+	// Synthetic entry definitions for formals.
+	for _, l := range pi.FormalIns {
+		id := DefID(-len(pi.entryLocs) - 1)
+		pi.entryDefs[l] = id
+		pi.entryLocs = append(pi.entryLocs, l)
+	}
+}
+
+// DefsOf lists the locations defined by instruction idx (registers and
+// resolvable stack slots).
+func (pi *ProcInfo) DefsOf(idx int) []Loc {
+	in := pi.Proc.Insts[idx]
+	var out []Loc
+	for _, r := range instRegDefs(in) {
+		out = append(out, RegLoc(r))
+	}
+	switch in.Op {
+	case asm.MOV, asm.MOVB, asm.MOVW:
+		if in.Dst.Kind == asm.OpMem {
+			if off, ok := pi.SlotOf(idx, in.Dst); ok {
+				out = append(out, SlotLoc(off))
+			}
+		}
+	case asm.PUSH:
+		if sp := pi.ESPIn[idx]; sp.Known {
+			out = append(out, SlotLoc(sp.Delta-4))
+		}
+	}
+	return out
+}
+
+// reachingDefs computes block-entry reaching definitions for registers
+// and stack slots.
+func (pi *ProcInfo) reachingDefs() {
+	nb := len(pi.Blocks)
+	pi.reachIn = make([]map[Loc][]DefID, nb)
+	pi.reachIn[0] = map[Loc][]DefID{}
+	for l, d := range pi.entryDefs {
+		pi.reachIn[0][l] = []DefID{d}
+	}
+
+	// Per-block gen/kill in one pass: out = gen ∪ (in − kill).
+	gen := make([]map[Loc]DefID, nb)
+	kill := make([]map[Loc]bool, nb)
+	for b := 0; b < nb; b++ {
+		gen[b] = map[Loc]DefID{}
+		kill[b] = map[Loc]bool{}
+		for i := pi.Blocks[b].Start; i < pi.Blocks[b].End; i++ {
+			for _, l := range pi.DefsOf(i) {
+				gen[b][l] = DefID(i)
+				kill[b][l] = true
+			}
+		}
+	}
+
+	mergeInto := func(dst map[Loc][]DefID, l Loc, ds []DefID) bool {
+		cur := dst[l]
+		changed := false
+		for _, d := range ds {
+			found := false
+			for _, c := range cur {
+				if c == d {
+					found = true
+					break
+				}
+			}
+			if !found {
+				cur = append(cur, d)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+			dst[l] = cur
+		}
+		return changed
+	}
+
+	work := []int{0}
+	inWork := make([]bool, nb)
+	inWork[0] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+		// Compute out state.
+		out := map[Loc][]DefID{}
+		for l, ds := range pi.reachIn[b] {
+			if !kill[b][l] {
+				mergeInto(out, l, ds)
+			}
+		}
+		for l, d := range gen[b] {
+			mergeInto(out, l, []DefID{d})
+		}
+		for _, s := range pi.Blocks[b].Succs {
+			if pi.reachIn[s] == nil {
+				pi.reachIn[s] = map[Loc][]DefID{}
+			}
+			changed := false
+			for l, ds := range out {
+				if mergeInto(pi.reachIn[s], l, ds) {
+					changed = true
+				}
+			}
+			if changed && !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+}
+
+// WalkDefs replays the reaching-definition state through every
+// instruction in order, invoking f with the pre-state of each. The
+// state map is reused; f must not retain it.
+func (pi *ProcInfo) WalkDefs(f func(idx int, reach map[Loc][]DefID)) {
+	for b := range pi.Blocks {
+		state := map[Loc][]DefID{}
+		for l, ds := range pi.reachIn[b] {
+			state[l] = ds
+		}
+		for i := pi.Blocks[b].Start; i < pi.Blocks[b].End; i++ {
+			f(i, state)
+			for _, l := range pi.DefsOf(i) {
+				state[l] = []DefID{DefID(i)}
+			}
+		}
+	}
+}
+
+// ReachEntry reports whether any block-entry state is unreachable
+// (diagnostics).
+func (pi *ProcInfo) ReachEntry(b int) map[Loc][]DefID { return pi.reachIn[b] }
+
+// findHasOut checks whether a definition of eax reaches some ret.
+func (pi *ProcInfo) findHasOut() {
+	for b := range pi.Blocks {
+		blk := pi.Blocks[b]
+		if blk.End == blk.Start {
+			continue
+		}
+		if pi.Proc.Insts[blk.End-1].Op != asm.RET {
+			continue
+		}
+		// Replay the block to the ret.
+		state := map[Loc][]DefID{}
+		if pi.reachIn[b] != nil {
+			for l, ds := range pi.reachIn[b] {
+				state[l] = ds
+			}
+		}
+		for i := blk.Start; i < blk.End-1; i++ {
+			for _, l := range pi.DefsOf(i) {
+				state[l] = []DefID{DefID(i)}
+			}
+		}
+		for _, d := range state[RegLoc(asm.EAX)] {
+			if !d.IsEntry() {
+				pi.HasOut = true
+				return
+			}
+		}
+	}
+}
+
+// CallGraph is the program call graph.
+type CallGraph struct {
+	Prog *asm.Program
+	// Callees[p] lists distinct program procedures called (or
+	// tail-called) by p.
+	Callees map[string][]string
+	// Externals[p] lists called names with no definition in the
+	// program.
+	Externals map[string][]string
+	// SCCs lists strongly connected components in bottom-up (callee
+	// first) order.
+	SCCs [][]string
+}
+
+// BuildCallGraph computes the call graph and its SCCs in bottom-up
+// topological order (Tarjan's algorithm emits SCCs in reverse
+// topological order of the condensation, which is exactly the
+// callee-first order InferProcTypes needs, §4.2).
+func BuildCallGraph(prog *asm.Program) *CallGraph {
+	cg := &CallGraph{
+		Prog:      prog,
+		Callees:   map[string][]string{},
+		Externals: map[string][]string{},
+	}
+	for _, p := range prog.Procs {
+		seen := map[string]bool{}
+		seenExt := map[string]bool{}
+		for _, in := range p.Insts {
+			var tgt string
+			switch in.Op {
+			case asm.CALL:
+				tgt = in.Target
+			case asm.JMP:
+				if _, isLabel := p.Labels[in.Target]; !isLabel {
+					tgt = in.Target
+				}
+			}
+			if tgt == "" {
+				continue
+			}
+			if _, ok := prog.ProcIndex[tgt]; ok {
+				if !seen[tgt] {
+					seen[tgt] = true
+					cg.Callees[p.Name] = append(cg.Callees[p.Name], tgt)
+				}
+			} else if !seenExt[tgt] {
+				seenExt[tgt] = true
+				cg.Externals[p.Name] = append(cg.Externals[p.Name], tgt)
+			}
+		}
+	}
+
+	// Tarjan SCC.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	counter := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range cg.Callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			cg.SCCs = append(cg.SCCs, scc)
+		}
+	}
+	for _, p := range prog.Procs {
+		if _, seen := index[p.Name]; !seen {
+			strongconnect(p.Name)
+		}
+	}
+	return cg
+}
+
+// AnalyzeProgram analyzes every procedure and completes the
+// program-level HasOut fixpoint across tail calls.
+func AnalyzeProgram(prog *asm.Program) map[string]*ProcInfo {
+	infos := make(map[string]*ProcInfo, len(prog.Procs))
+	for _, p := range prog.Procs {
+		infos[p.Name] = Analyze(prog, p)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pi := range infos {
+			if pi.HasOut {
+				continue
+			}
+			for _, idx := range pi.TailCalls {
+				callee := pi.Proc.Insts[idx].Target
+				if ci, ok := infos[callee]; ok && ci.HasOut {
+					pi.HasOut = true
+					changed = true
+					break
+				}
+				if _, ok := infos[callee]; !ok {
+					// External tail callee: assume it returns a value.
+					pi.HasOut = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return infos
+}

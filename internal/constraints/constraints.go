@@ -1,0 +1,404 @@
+// Package constraints implements the syntax of the Retypd constraint
+// type system (Noonan et al., PLDI 2016, §3.1): derived type variables
+// (Definition 3.1), subtype and capability constraints (Definition 3.3),
+// the 3-place additive constraints of Appendix A.6/Figure 13, constraint
+// sets, and recursively constrained type schemes (Definition 3.4).
+package constraints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"retypd/internal/label"
+)
+
+// Var is a base type variable. By convention, type constants (elements
+// of Λ rendered symbolically, §3.1) are Vars whose name matches a
+// lattice element and are recognized by the solver via its lattice.
+type Var string
+
+// DTV is a derived type variable: a base variable extended by a word of
+// field labels (Definition 3.1).
+type DTV struct {
+	Base Var
+	Path label.Word
+}
+
+// MakeDTV builds Base.l1.l2...
+func MakeDTV(base Var, labels ...label.Label) DTV {
+	return DTV{Base: base, Path: label.Word(labels)}
+}
+
+// Append returns d.l as a fresh derived type variable.
+func (d DTV) Append(l label.Label) DTV {
+	return DTV{Base: d.Base, Path: d.Path.Append(l)}
+}
+
+// Concat returns d.w.
+func (d DTV) Concat(w label.Word) DTV {
+	return DTV{Base: d.Base, Path: d.Path.Concat(w)}
+}
+
+// Parent returns the one-shorter prefix of d and reports whether d had
+// any labels to strip.
+func (d DTV) Parent() (DTV, label.Label, bool) {
+	if len(d.Path) == 0 {
+		return d, label.Label{}, false
+	}
+	last := d.Path[len(d.Path)-1]
+	return DTV{Base: d.Base, Path: d.Path[:len(d.Path)-1]}, last, true
+}
+
+// IsBase reports whether d carries no labels.
+func (d DTV) IsBase() bool { return len(d.Path) == 0 }
+
+// Variance reports ⟨path⟩, the variance of d's label word.
+func (d DTV) Variance() label.Variance { return d.Path.Variance() }
+
+// Equal reports structural equality.
+func (d DTV) Equal(e DTV) bool { return d.Base == e.Base && d.Path.Equal(e.Path) }
+
+// String renders "base.l1.l2" in the paper's notation.
+func (d DTV) String() string {
+	if len(d.Path) == 0 {
+		return string(d.Base)
+	}
+	return string(d.Base) + "." + d.Path.String()
+}
+
+// ParseDTV parses the String form. Base variable names may not contain
+// '.'.
+func ParseDTV(s string) (DTV, error) {
+	parts := strings.Split(s, ".")
+	if parts[0] == "" {
+		return DTV{}, fmt.Errorf("constraints: empty base variable in %q", s)
+	}
+	d := DTV{Base: Var(parts[0])}
+	for _, p := range parts[1:] {
+		l, err := label.Parse(p)
+		if err != nil {
+			return DTV{}, err
+		}
+		d.Path = append(d.Path, l)
+	}
+	return d, nil
+}
+
+// Constraint is either a subtype constraint L ⊑ R, or an additive
+// constraint Add/Sub(X, Y; Z) (Appendix A.6). Capability constraints
+// VAR d are represented as d ⊑ d (reflexivity registers the derived
+// variable and all its prefixes with the solver).
+type Constraint struct {
+	Kind ConstraintKind
+	// Sub constraint operands.
+	L, R DTV
+	// Additive constraint operands (X op Y = Z).
+	X, Y, Z DTV
+}
+
+// ConstraintKind discriminates Constraint.
+type ConstraintKind uint8
+
+const (
+	// KindSub is L ⊑ R.
+	KindSub ConstraintKind = iota
+	// KindAdd is Add(X, Y; Z): Z = X + Y at the value level.
+	KindAdd
+	// KindSubtract is Sub(X, Y; Z): Z = X - Y at the value level.
+	KindSubtract
+)
+
+// Sub returns the subtype constraint l ⊑ r.
+func Sub(l, r DTV) Constraint { return Constraint{Kind: KindSub, L: l, R: r} }
+
+// HasVar returns the capability constraint VAR d, encoded as d ⊑ d.
+func HasVar(d DTV) Constraint { return Constraint{Kind: KindSub, L: d, R: d} }
+
+// Add returns the additive constraint Add(x, y; z).
+func Add(x, y, z DTV) Constraint { return Constraint{Kind: KindAdd, X: x, Y: y, Z: z} }
+
+// Subtract returns the additive constraint Sub(x, y; z).
+func Subtract(x, y, z DTV) Constraint { return Constraint{Kind: KindSubtract, X: x, Y: y, Z: z} }
+
+// String renders the constraint in the paper's ASCII notation.
+func (c Constraint) String() string {
+	switch c.Kind {
+	case KindSub:
+		return c.L.String() + " <= " + c.R.String()
+	case KindAdd:
+		return fmt.Sprintf("Add(%s, %s; %s)", c.X, c.Y, c.Z)
+	case KindSubtract:
+		return fmt.Sprintf("Sub(%s, %s; %s)", c.X, c.Y, c.Z)
+	default:
+		return fmt.Sprintf("constraint(%d)", c.Kind)
+	}
+}
+
+// ParseConstraint parses "l <= r" (also accepting "⊑" and "<:") and
+// "Add(x, y; z)" / "Sub(x, y; z)".
+func ParseConstraint(s string) (Constraint, error) {
+	s = strings.TrimSpace(s)
+	for _, pre := range []struct {
+		prefix string
+		kind   ConstraintKind
+	}{{"Add(", KindAdd}, {"Sub(", KindSubtract}} {
+		if strings.HasPrefix(s, pre.prefix) && strings.HasSuffix(s, ")") {
+			body := s[len(pre.prefix) : len(s)-1]
+			semi := strings.IndexByte(body, ';')
+			if semi < 0 {
+				return Constraint{}, fmt.Errorf("constraints: malformed additive constraint %q", s)
+			}
+			args := strings.Split(body[:semi], ",")
+			if len(args) != 2 {
+				return Constraint{}, fmt.Errorf("constraints: additive constraint needs 2 sources: %q", s)
+			}
+			x, err := ParseDTV(strings.TrimSpace(args[0]))
+			if err != nil {
+				return Constraint{}, err
+			}
+			y, err := ParseDTV(strings.TrimSpace(args[1]))
+			if err != nil {
+				return Constraint{}, err
+			}
+			z, err := ParseDTV(strings.TrimSpace(body[semi+1:]))
+			if err != nil {
+				return Constraint{}, err
+			}
+			return Constraint{Kind: pre.kind, X: x, Y: y, Z: z}, nil
+		}
+	}
+	for _, sep := range []string{"⊑", "<=", "<:"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			l, err := ParseDTV(strings.TrimSpace(s[:i]))
+			if err != nil {
+				return Constraint{}, err
+			}
+			r, err := ParseDTV(strings.TrimSpace(s[i+len(sep):]))
+			if err != nil {
+				return Constraint{}, err
+			}
+			return Sub(l, r), nil
+		}
+	}
+	return Constraint{}, fmt.Errorf("constraints: cannot parse %q", s)
+}
+
+// Set is a deduplicated constraint set over some collection of type
+// variables (Definition 3.3). The zero value is ready to use.
+type Set struct {
+	list []Constraint
+	seen map[string]struct{}
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{} }
+
+// ParseSet parses one constraint per line; blank lines and lines
+// starting with "//" or ";" are skipped. Intended for tests and
+// examples written in the paper's notation.
+func ParseSet(text string) (*Set, error) {
+	s := NewSet()
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		c, err := ParseConstraint(line)
+		if err != nil {
+			return nil, err
+		}
+		s.Insert(c)
+	}
+	return s, nil
+}
+
+// MustParseSet panics on parse errors; for statically known text.
+func MustParseSet(text string) *Set {
+	s, err := ParseSet(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Insert adds c if not already present and reports whether it was new.
+func (s *Set) Insert(c Constraint) bool {
+	if s.seen == nil {
+		s.seen = map[string]struct{}{}
+	}
+	k := c.String()
+	if _, ok := s.seen[k]; ok {
+		return false
+	}
+	s.seen[k] = struct{}{}
+	s.list = append(s.list, c)
+	return true
+}
+
+// AddSub is shorthand for Insert(Sub(l, r)).
+func (s *Set) AddSub(l, r DTV) bool { return s.Insert(Sub(l, r)) }
+
+// InsertAll merges other into s.
+func (s *Set) InsertAll(other *Set) {
+	if other == nil {
+		return
+	}
+	for _, c := range other.list {
+		s.Insert(c)
+	}
+}
+
+// Constraints returns the constraints in insertion order. The slice is
+// shared; callers must not mutate it.
+func (s *Set) Constraints() []Constraint {
+	if s == nil {
+		return nil
+	}
+	return s.list
+}
+
+// Subtypes returns only the subtype constraints.
+func (s *Set) Subtypes() []Constraint {
+	var out []Constraint
+	for _, c := range s.list {
+		if c.Kind == KindSub {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Additive returns only the Add/Sub constraints.
+func (s *Set) Additive() []Constraint {
+	var out []Constraint
+	for _, c := range s.list {
+		if c.Kind != KindSub {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Len reports the number of constraints.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.list)
+}
+
+// Has reports membership.
+func (s *Set) Has(c Constraint) bool {
+	if s == nil || s.seen == nil {
+		return false
+	}
+	_, ok := s.seen[c.String()]
+	return ok
+}
+
+// Vars returns the set of base variables mentioned, sorted.
+func (s *Set) Vars() []Var {
+	seen := map[Var]struct{}{}
+	add := func(d DTV) {
+		if d.Base != "" {
+			seen[d.Base] = struct{}{}
+		}
+	}
+	for _, c := range s.list {
+		add(c.L)
+		add(c.R)
+		add(c.X)
+		add(c.Y)
+		add(c.Z)
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep-enough copy (constraints are immutable values).
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	out.InsertAll(s)
+	return out
+}
+
+// SubstituteBases rewrites every base variable through f (used for
+// callsite tagging and scheme instantiation, §A.4).
+func (s *Set) SubstituteBases(f func(Var) Var) *Set {
+	out := NewSet()
+	sub := func(d DTV) DTV { return DTV{Base: f(d.Base), Path: d.Path} }
+	for _, c := range s.list {
+		switch c.Kind {
+		case KindSub:
+			out.Insert(Sub(sub(c.L), sub(c.R)))
+		default:
+			out.Insert(Constraint{Kind: c.Kind, X: sub(c.X), Y: sub(c.Y), Z: sub(c.Z)})
+		}
+	}
+	return out
+}
+
+// String renders one constraint per line, sorted, for stable output.
+func (s *Set) String() string {
+	lines := make([]string, 0, s.Len())
+	for _, c := range s.Constraints() {
+		lines = append(lines, c.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Scheme is a recursively constrained type scheme ∀α.C ⇒ Root
+// (Definition 3.4). Existential ("internal") variables synthesized by
+// constraint simplification are listed in Existential; all other
+// non-Root, non-constant variables in C are universally quantified.
+type Scheme struct {
+	// Root is the type variable the scheme describes (a procedure).
+	Root Var
+	// Constraints is the simplified constraint set C.
+	Constraints *Set
+	// Existential lists variables bound by ∃ inside C (Figure 2's τ).
+	Existential []Var
+}
+
+// String renders "∀F. (∃τ. C) ⇒ F" with C inline.
+func (sc *Scheme) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "∀%s.", sc.Root)
+	if len(sc.Existential) > 0 {
+		ex := make([]string, len(sc.Existential))
+		for i, v := range sc.Existential {
+			ex[i] = string(v)
+		}
+		fmt.Fprintf(&b, " (∃%s.", strings.Join(ex, ","))
+	}
+	cs := sc.Constraints.String()
+	if cs == "" {
+		cs = "⊤"
+	}
+	fmt.Fprintf(&b, " {%s}", strings.ReplaceAll(cs, "\n", " ∧ "))
+	if len(sc.Existential) > 0 {
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, " ⇒ %s", sc.Root)
+	return b.String()
+}
+
+// Instantiate returns the scheme's constraints with every quantified
+// variable (root, existentials, and any other free variable) renamed by
+// suffixing tag, implementing callsite-tagged instantiation
+// (Example A.4). Variables for which keep returns true (e.g. globals and
+// type constants) are left untouched.
+func (sc *Scheme) Instantiate(tag string, keep func(Var) bool) *Set {
+	return sc.Constraints.SubstituteBases(func(v Var) Var {
+		if keep != nil && keep(v) {
+			return v
+		}
+		return Var(string(v) + tag)
+	})
+}

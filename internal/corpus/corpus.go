@@ -1,0 +1,743 @@
+// Package corpus generates the synthetic benchmark suite that stands in
+// for the paper's 160 real binaries (§6.2). Each generated program is
+// deterministic in its seed and comes with per-variable ground truth,
+// playing the role of the debug-info builds the paper scored against.
+//
+// The generator emits exactly the §2 idiom catalogue that
+// differentiates subtype-based inference from the baselines:
+// semi-syntactic constants (§2.1), fortuitous value reuse (Figure 1),
+// stack-slot reuse, polymorphic allocator wrappers (§2.2), recursive
+// structures (§2.3), offset and address-taken stack structures (§2.4),
+// false-positive register parameters via the push-ecx idiom (§2.5),
+// cross-casting bit tricks (§2.6), and ad-hoc typedef hierarchies
+// (§2.8) — mixed with the bread-and-butter code (field getters/setters,
+// arithmetic helpers, libc users) that dominates real programs.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"retypd/internal/ctype"
+	"retypd/internal/metrics"
+)
+
+// Benchmark is one generated program with ground truth.
+type Benchmark struct {
+	Name string
+	// Cluster names the benchmark's cluster ("" = standalone).
+	Cluster string
+	// Source is the program in the substrate assembly format.
+	Source string
+	// Truths lists ground truth for scored variables.
+	Truths []metrics.VarTruth
+	// Insts is the instruction count.
+	Insts int
+}
+
+// gen carries generation state.
+type gen struct {
+	r      *rand.Rand
+	prefix string
+	b      strings.Builder
+	truths []metrics.VarTruth
+	n      int // function counter
+	insts  int
+	// callables collects zero-argument generated functions for the
+	// call-web drivers.
+	callables []string
+	// haveUsePair tracks the shared use_pair helper.
+	haveUsePair bool
+}
+
+func (g *gen) name(stem string) string {
+	g.n++
+	return fmt.Sprintf("%s%s_%d", g.prefix, stem, g.n)
+}
+
+// emit writes a proc body, counting instructions.
+func (g *gen) emit(name, body string) {
+	g.b.WriteString("proc " + name + "\n")
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		g.b.WriteString("    " + line + "\n")
+		if !strings.HasSuffix(line, ":") {
+			g.insts++
+		}
+	}
+	g.b.WriteString("endproc\n\n")
+}
+
+func (g *gen) truth(fn, kind string, idx int, t *ctype.Type, isConst bool) {
+	g.truths = append(g.truths, metrics.VarTruth{
+		Func: fn, Kind: kind, Index: idx, Type: t, Const: isConst,
+	})
+}
+
+func prim(n string) *ctype.Type     { return ctype.Prim(n) }
+func ptr(t *ctype.Type) *ctype.Type { return ctype.PtrTo(t) }
+
+func structT(fields ...ctype.Field) *ctype.Type {
+	return &ctype.Type{Kind: ctype.KStruct, Fields: fields}
+}
+
+func fld(off int, t *ctype.Type) ctype.Field { return ctype.Field{Off: off, Bits: 32, Type: t} }
+
+// template is one generator for a function group.
+type template func(g *gen)
+
+// fieldKind describes one entry of the struct-field menu: the C type,
+// the libc sink that consumes such a value (providing the upper-bound
+// evidence real code has), and the libc source that produces one.
+type fieldKind struct {
+	typ    string
+	sink   string // called as sink(value); "" = none
+	source string // eax := source(); "" = none
+}
+
+var fieldMenu = []fieldKind{
+	{"int", "abs", "rand"},
+	{"uint", "srand", ""},
+	{"size_t", "malloc", ""},
+	{"str", "puts", ""},
+	{"int", "putchar", "rand"},
+}
+
+// sinkCode emits "consume the value in eax" for a field kind; eax may
+// be clobbered (it receives the sink's return value).
+func (f fieldKind) sinkCode() string {
+	if f.sink == "" {
+		return ""
+	}
+	// The value is preserved around the call (the sink's return would
+	// otherwise replace it in eax).
+	return "mov ebx, eax\npush eax\ncall " + f.sink + "\nadd esp, 4\nmov eax, ebx\n"
+}
+
+// Generate produces a benchmark of roughly targetInsts instructions.
+func Generate(name string, seed int64, targetInsts int) *Benchmark {
+	return GenerateWithPrefix(name, "", seed, targetInsts)
+}
+
+// GenerateWithPrefix is Generate with a function-name prefix, used by
+// cluster generation to keep shared and unique parts disjoint.
+func GenerateWithPrefix(name, prefix string, seed int64, targetInsts int) *Benchmark {
+	g := &gen{r: rand.New(rand.NewSource(seed)), prefix: prefix}
+	templates := allTemplates()
+	for g.insts < targetInsts {
+		templates[g.r.Intn(len(templates))](g)
+	}
+	// A few call-web drivers for call-graph depth.
+	for i := 0; i < len(g.callables)/6+1 && len(g.callables) > 0; i++ {
+		g.driver()
+	}
+	return &Benchmark{
+		Name:   name,
+		Source: g.b.String(),
+		Truths: g.truths,
+		Insts:  g.insts,
+	}
+}
+
+// driver emits a void function calling a few generated zero-argument
+// functions.
+func (g *gen) driver() {
+	n := g.name("web")
+	var body strings.Builder
+	k := 2 + g.r.Intn(3)
+	for i := 0; i < k; i++ {
+		callee := g.callables[g.r.Intn(len(g.callables))]
+		body.WriteString("call " + callee + "\n")
+	}
+	body.WriteString("ret\n")
+	g.emit(n, body.String())
+	g.truth(n, "ret", 0, prim("int"), false)
+}
+
+func allTemplates() []template {
+	return []template{
+		tArith, tArith, tArith, // bread-and-butter weight
+		tGetField, tGetField,
+		tSetField,
+		tListWalk,
+		tAllocWrapper,
+		tConstReader, tConstReader,
+		tWriterParam,
+		tFdUser,
+		tStrUser,
+		tRegParam,
+		tPushEcxIdiom,
+		tStackReuse,
+		tFortuitousReuse,
+		tCrossCast,
+		tStackStruct,
+		tMutualRecursion,
+		tHandleUser,
+		tMemcpyUser,
+		tSemiSyntacticConst,
+	}
+}
+
+// tArith: int f(int a, int b[, int c]) { a = abs(a); return a OP b…; }
+// — the bread-and-butter arithmetic helper, with the libc evidence
+// (abs/putchar) that real integer code carries.
+func tArith(g *gen) {
+	n := g.name("calc")
+	nArgs := 2 + g.r.Intn(2)
+	ops := []string{"add", "imul", "sub"}
+	var b strings.Builder
+	b.WriteString("mov eax, [esp+4]\n")
+	if g.r.Intn(4) > 0 {
+		b.WriteString("push eax\ncall abs\nadd esp, 4\n")
+	}
+	for i := 1; i < nArgs; i++ {
+		fmt.Fprintf(&b, "mov ecx, [esp+%d]\n", 4+4*i)
+		fmt.Fprintf(&b, "%s eax, ecx\n", ops[g.r.Intn(len(ops))])
+	}
+	if g.r.Intn(3) == 0 {
+		b.WriteString("push eax\ncall putchar\nadd esp, 4\n")
+	}
+	b.WriteString("ret\n")
+	g.emit(n, b.String())
+	for i := 0; i < nArgs; i++ {
+		g.truth(n, "param", i, prim("int"), false)
+	}
+	g.truth(n, "ret", 0, prim("int"), false)
+
+	// A caller feeding it rand() values (typed actuals for the F.3
+	// specialization pass).
+	cn := g.name("calc_use")
+	var cb strings.Builder
+	for i := nArgs - 1; i >= 0; i-- {
+		if g.r.Intn(2) == 0 {
+			cb.WriteString("call rand\npush eax\n")
+		} else {
+			fmt.Fprintf(&cb, "push %d\n", 1+g.r.Intn(100))
+		}
+	}
+	fmt.Fprintf(&cb, "call %s\nadd esp, %d\nret\n", n, 4*nArgs)
+	g.emit(cn, cb.String())
+	g.truth(cn, "ret", 0, prim("int"), false)
+	g.callables = append(g.callables, cn)
+}
+
+// randStruct invents a struct type with nf 32-bit fields at offsets
+// 0,4,8,… and returns the menu kinds alongside.
+func (g *gen) randStruct(nf int) (*ctype.Type, []fieldKind) {
+	var fields []ctype.Field
+	var kinds []fieldKind
+	for i := 0; i < nf; i++ {
+		k := fieldMenu[g.r.Intn(len(fieldMenu))]
+		kinds = append(kinds, k)
+		t := prim(k.typ)
+		if k.typ == "str" {
+			t = prim("char*")
+		}
+		fields = append(fields, fld(4*i, t))
+	}
+	return structT(fields...), kinds
+}
+
+// tGetField: T get(const S *s) { T v = s->field_k; sink(v); return v; }
+// plus an allocating caller (the polymorphic malloc wrapper path).
+func tGetField(g *gen) {
+	nf := 2 + g.r.Intn(3)
+	st, kinds := g.randStruct(nf)
+	k := g.r.Intn(nf)
+	n := g.name("get")
+	g.emit(n, fmt.Sprintf(`
+		mov ecx, [esp+4]
+		mov eax, [ecx+%d]
+		%s ret`, 4*k, kinds[k].sinkCode()))
+	g.truth(n, "param", 0, ptr(st), true)
+	g.truth(n, "ret", 0, st.Fields[k].Type, false)
+
+	// Caller: malloc an S, initialize the read field from its source
+	// when one exists, call get.
+	cn := g.name("get_use")
+	init := fmt.Sprintf("mov ecx, %d\nmov [esi+%d], ecx\n", g.r.Intn(50), 4*k)
+	if src := kinds[k].source; src != "" {
+		init = fmt.Sprintf("call %s\nmov [esi+%d], eax\n", src, 4*k)
+	}
+	g.emit(cn, fmt.Sprintf(`
+		push %d
+		call malloc
+		add esp, 4
+		mov esi, eax
+		%s push esi
+		call %s
+		add esp, 4
+		ret`, 4*nf, init, n))
+	g.truth(cn, "ret", 0, st.Fields[k].Type, false)
+	g.callables = append(g.callables, cn)
+}
+
+// tSetField: void set(S *s, T v) { s->field_k = v; } — non-const
+// pointer parameter, with a caller sourcing the value.
+func tSetField(g *gen) {
+	nf := 2 + g.r.Intn(3)
+	st, kinds := g.randStruct(nf)
+	k := g.r.Intn(nf)
+	n := g.name("set")
+	g.emit(n, fmt.Sprintf(`
+		mov ecx, [esp+4]
+		mov edx, [esp+8]
+		mov [ecx+%d], edx
+		ret`, 4*k))
+	g.truth(n, "param", 0, ptr(st), false)
+	g.truth(n, "param", 1, st.Fields[k].Type, false)
+
+	if src := kinds[k].source; src != "" {
+		cn := g.name("set_use")
+		g.emit(cn, fmt.Sprintf(`
+			push %d
+			call malloc
+			add esp, 4
+			mov esi, eax
+			call %s
+			push eax
+			push esi
+			call %s
+			add esp, 8
+			ret`, 4*nf, src, n))
+		g.callables = append(g.callables, cn)
+	}
+}
+
+// tListWalk: the close_last shape (§2.3, Figure 2): walk a recursive
+// list and consume its payload.
+func tListWalk(g *gen) {
+	n := g.name("walk")
+	// struct LL { struct LL *next; int handle; }
+	ll := &ctype.Type{Kind: ctype.KStruct}
+	ll.Fields = []ctype.Field{fld(0, ptr(ll)), fld(4, prim("int"))}
+	sink := "push eax\ncall putchar\nadd esp, 4\n"
+	if g.r.Intn(2) == 0 {
+		sink = "push eax\ncall close\nadd esp, 4\n"
+	}
+	g.emit(n, fmt.Sprintf(`
+		mov edx, [esp+4]
+	loop:
+		mov eax, [edx]
+		test eax, eax
+		jz done
+		mov edx, eax
+		jmp loop
+	done:
+		mov eax, [edx+4]
+		%s ret`, sink))
+	g.truth(n, "param", 0, ptr(ll), true)
+	g.truth(n, "ret", 0, prim("int"), false)
+}
+
+// tAllocWrapper: the polymorphic xalloc (§2.2): a malloc wrapper used
+// at two incompatibly typed callsites.
+func tAllocWrapper(g *gen) {
+	w := g.name("xalloc")
+	g.emit(w, `
+		mov eax, [esp+4]
+		push eax
+		call malloc
+		add esp, 4
+		ret`)
+	g.truth(w, "param", 0, prim("size_t"), false)
+	g.truth(w, "ret", 0, ptr(prim("void")), false)
+
+	// Caller A: allocates an int pair and fills it from rand().
+	ca := g.name("mk_pair")
+	stA := structT(fld(0, prim("int")), fld(4, prim("int")))
+	g.emit(ca, fmt.Sprintf(`
+		push 8
+		call %s
+		add esp, 4
+		mov esi, eax
+		call rand
+		mov [esi], eax
+		call rand
+		mov [esi+4], eax
+		mov eax, esi
+		ret`, w))
+	g.truth(ca, "ret", 0, ptr(stA), false)
+
+	// Caller B: a buffer holder { char *s; size_t n; }.
+	cb := g.name("mk_buf")
+	stB := structT(fld(0, prim("char*")), fld(4, prim("size_t")))
+	g.emit(cb, fmt.Sprintf(`
+		push 8
+		call %s
+		add esp, 4
+		mov esi, eax
+		mov ecx, [esp+4]
+		mov [esi], ecx
+		push ecx
+		call strlen
+		add esp, 4
+		mov [esi+4], eax
+		mov eax, esi
+		ret`, w))
+	g.truth(cb, "param", 0, prim("char*"), true)
+	g.truth(cb, "ret", 0, ptr(stB), false)
+	g.callables = append(g.callables, ca)
+}
+
+// tConstReader: int sum2(const S *p) — reads fields, never writes (the
+// §6.4 const-recovery population).
+func tConstReader(g *gen) {
+	nf := 2 + g.r.Intn(2)
+	st, kinds := g.randStruct(nf)
+	n := g.name("rd")
+	g.emit(n, fmt.Sprintf(`
+		mov ecx, [esp+4]
+		mov eax, [ecx+%d]
+		%s mov edx, [ecx]
+		add eax, edx
+		ret`, 4*(nf-1), kinds[nf-1].sinkCode()))
+	g.truth(n, "param", 0, ptr(st), true)
+	g.truth(n, "ret", 0, prim("int"), false)
+}
+
+// tWriterParam: void init(S *p) — writes fields from their natural
+// sources: must NOT be const.
+func tWriterParam(g *gen) {
+	nf := 2 + g.r.Intn(2)
+	st, kinds := g.randStruct(nf)
+	n := g.name("init")
+	var b strings.Builder
+	b.WriteString("mov esi, [esp+4]\n")
+	for i := 0; i < nf; i++ {
+		if src := kinds[i].source; src != "" {
+			fmt.Fprintf(&b, "call %s\nmov [esi+%d], eax\n", src, 4*i)
+		} else {
+			fmt.Fprintf(&b, "xor eax, eax\nmov [esi+%d], eax\n", 4*i)
+		}
+	}
+	b.WriteString("ret\n")
+	g.emit(n, b.String())
+	g.truth(n, "param", 0, ptr(st), false)
+}
+
+// tFdUser: int consume(int fd) — the #FileDescriptor population.
+func tFdUser(g *gen) {
+	n := g.name("fd_use")
+	g.emit(n, `
+		mov ebx, [esp+4]
+		push ebx
+		call close
+		add esp, 4
+		ret`)
+	g.truth(n, "param", 0, prim("int"), false)
+	g.truth(n, "ret", 0, prim("int"), false)
+}
+
+// tStrUser: size_t len2(const char *s) { return strlen(s)*2; }.
+func tStrUser(g *gen) {
+	n := g.name("slen")
+	g.emit(n, `
+		mov ecx, [esp+4]
+		push ecx
+		call strlen
+		add esp, 4
+		add eax, eax
+		ret`)
+	g.truth(n, "param", 0, prim("char*"), true)
+	g.truth(n, "ret", 0, prim("size_t"), false)
+}
+
+// tRegParam: a custom-convention callee taking its argument in ecx
+// (§2.5's register parameters).
+func tRegParam(g *gen) {
+	n := g.name("fast")
+	g.emit(n, `
+		mov eax, [ecx+4]
+		push eax
+		call abs
+		add esp, 4
+		ret`)
+	st := structT(fld(0, prim("int")), fld(4, prim("int")))
+	g.truth(n, "param", 0, ptr(st), true)
+	g.truth(n, "ret", 0, prim("int"), false)
+
+	cn := g.name("fast_use")
+	g.emit(cn, fmt.Sprintf(`
+		push 8
+		call malloc
+		add esp, 4
+		mov ecx, eax
+		call %s
+		ret`, n))
+	g.callables = append(g.callables, cn)
+}
+
+// tPushEcxIdiom: the §2.5 over-unification stressor: "push ecx"
+// reserves a stack slot, making ecx look like a register parameter;
+// the function is called from contexts where ecx holds unrelated,
+// incompatibly typed values.
+func tPushEcxIdiom(g *gen) {
+	n := g.name("local")
+	g.emit(n, `
+		push ecx
+		mov eax, [esp+8]
+		mov [esp], eax
+		mov eax, [esp]
+		add eax, 1
+		push eax
+		call abs
+		add esp, 4
+		add esp, 4
+		ret`)
+	g.truth(n, "param", 0, prim("int"), false)
+	g.truth(n, "ret", 0, prim("int"), false)
+
+	// Caller 1: ecx happens to hold a struct pointer (dead here).
+	c1 := g.name("pe_a")
+	g.emit(c1, fmt.Sprintf(`
+		push 8
+		call malloc
+		add esp, 4
+		mov ecx, eax
+		mov edx, [ecx]
+		push 7
+		call %s
+		add esp, 4
+		ret`, n))
+	g.truth(c1, "ret", 0, prim("int"), false)
+	// Caller 2: ecx holds a string pointer.
+	c2 := g.name("pe_b")
+	g.emit(c2, fmt.Sprintf(`
+		mov ecx, [esp+4]
+		push ecx
+		call strlen
+		add esp, 4
+		mov ecx, [esp+4]
+		push 9
+		call %s
+		add esp, 4
+		ret`, n))
+	g.truth(c2, "param", 0, prim("char*"), true)
+	g.truth(c2, "ret", 0, prim("int"), false)
+	g.callables = append(g.callables, c1)
+}
+
+// tStackReuse: one stack slot holds an int in one live range, then a
+// struct pointer in a disjoint one (§2.1).
+func tStackReuse(g *gen) {
+	n := g.name("reuse")
+	st := structT(fld(0, prim("int")))
+	g.emit(n, `
+		sub esp, 4
+		mov eax, [esp+8]
+		mov [esp], eax         ; slot as int
+		mov eax, [esp]
+		push eax
+		call putchar
+		add esp, 4
+		mov ecx, [esp+12]
+		mov [esp], ecx         ; slot reused as S*
+		mov edx, [esp]
+		mov eax, [edx]
+		add esp, 4
+		ret`)
+	g.truth(n, "param", 0, prim("int"), false)
+	g.truth(n, "param", 1, ptr(st), true)
+	g.truth(n, "ret", 0, prim("int"), false)
+}
+
+// tFortuitousReuse reproduces Figure 1: the return value in eax may be
+// either the NULL from the early exit or the converted value; the NULL
+// must not link the two function types.
+func tFortuitousReuse(g *gen) {
+	gs := g.name("get_s")
+	stS := structT(fld(0, prim("int")), fld(4, prim("int")))
+	g.emit(gs, `
+		push 8
+		call malloc
+		add esp, 4
+		call rand
+		ret`)
+	_ = stS
+	s2t := g.name("s2t")
+	stT := structT(fld(0, prim("int")))
+	g.emit(s2t, `
+		mov ecx, [esp+4]
+		push 4
+		call malloc
+		add esp, 4
+		mov edx, [ecx]
+		mov [eax], edx
+		ret`)
+	n := g.name("get_t")
+	g.emit(n, fmt.Sprintf(`
+		call %s
+		test eax, eax
+		jz out
+		push eax
+		call %s
+		add esp, 4
+	out:
+		ret`, gs, s2t))
+	g.truth(n, "ret", 0, ptr(stT), false)
+	g.callables = append(g.callables, n)
+}
+
+// tCrossCast: the quake3-style bit twiddle (§2.6): a float's bits
+// manipulated as an integer — inherently contradictory constraints.
+func tCrossCast(g *gen) {
+	n := g.name("bits")
+	g.emit(n, `
+		mov eax, [esp+4]
+		shr eax, 1
+		mov ecx, 1597463007
+		sub ecx, eax
+		mov eax, ecx
+		ret`)
+	g.truth(n, "param", 0, prim("float"), false)
+	g.truth(n, "ret", 0, prim("float"), false)
+}
+
+// tStackStruct: a struct on the stack manipulated both directly and
+// via its address (§2.4).
+func tStackStruct(g *gen) {
+	helper := g.prefix + "use_pair"
+	n := g.name("frame")
+	g.emit(n, fmt.Sprintf(`
+		sub esp, 8
+		mov eax, [esp+12]
+		mov [esp], eax
+		call rand
+		mov [esp+4], eax
+		lea eax, [esp]
+		push eax
+		call %s
+		add esp, 4
+		add esp, 8
+		ret`, helper))
+	if !g.haveUsePair {
+		g.haveUsePair = true
+		g.emit(helper, `
+			mov ecx, [esp+4]
+			mov eax, [ecx]
+			mov edx, [ecx+4]
+			add eax, edx
+			push eax
+			call abs
+			add esp, 4
+			ret`)
+		st := structT(fld(0, prim("int")), fld(4, prim("int")))
+		g.truth(helper, "param", 0, ptr(st), true)
+		g.truth(helper, "ret", 0, prim("int"), false)
+	}
+	g.truth(n, "param", 0, prim("int"), false)
+	g.truth(n, "ret", 0, prim("int"), false)
+}
+
+// tMutualRecursion: an SCC of two procedures (tests the bottom-up
+// scheme inference's same-SCC linking).
+func tMutualRecursion(g *gen) {
+	a := g.name("even")
+	bn := g.name("odd")
+	ll := &ctype.Type{Kind: ctype.KStruct}
+	ll.Fields = []ctype.Field{fld(0, ptr(ll)), fld(4, prim("int"))}
+	g.emit(a, fmt.Sprintf(`
+		mov ecx, [esp+4]
+		test ecx, ecx
+		jz base
+		mov eax, [ecx]
+		push eax
+		call %s
+		add esp, 4
+		ret
+	base:
+		mov eax, 1
+		push eax
+		call putchar
+		add esp, 4
+		ret`, bn))
+	g.emit(bn, fmt.Sprintf(`
+		mov ecx, [esp+4]
+		test ecx, ecx
+		jz base
+		mov eax, [ecx]
+		push eax
+		call %s
+		add esp, 4
+		ret
+	base:
+		call rand
+		ret`, a))
+	g.truth(a, "param", 0, ptr(ll), true)
+	g.truth(a, "ret", 0, prim("int"), false)
+	g.truth(bn, "param", 0, ptr(ll), true)
+	g.truth(bn, "ret", 0, prim("int"), false)
+}
+
+// tHandleUser: the §2.8 ad-hoc typedef hierarchy via the Windows GDI
+// summaries.
+func tHandleUser(g *gen) {
+	n := g.name("gdi")
+	g.emit(n, `
+		push 0
+		call GetStockObject
+		add esp, 4
+		push eax
+		mov ecx, [esp+8]
+		push ecx
+		call SelectObject
+		add esp, 8
+		ret`)
+	g.truth(n, "param", 0, prim("HANDLE"), false)
+	g.truth(n, "ret", 0, prim("HGDI"), false)
+}
+
+// tMemcpyUser: copy a struct with memcpy (the β ⊑ α flow of §2.2).
+func tMemcpyUser(g *gen) {
+	n := g.name("copy")
+	st, _ := g.randStruct(3)
+	g.emit(n, `
+		mov eax, [esp+4]
+		mov ecx, [esp+8]
+		push 12
+		push ecx
+		push eax
+		call memcpy
+		add esp, 12
+		ret`)
+	g.truth(n, "param", 0, ptr(st), false)
+	g.truth(n, "param", 1, ptr(st), true)
+}
+
+// tSemiSyntacticConst: f(0, NULL) compiled as xor eax,eax; push eax;
+// push eax (§2.1): the two arguments must not be unified with each
+// other.
+func tSemiSyntacticConst(g *gen) {
+	callee := g.name("two")
+	st, _ := g.randStruct(2)
+	g.emit(callee, `
+		mov eax, [esp+4]
+		push eax
+		call abs
+		add esp, 4
+		mov ecx, [esp+8]
+		test ecx, ecx
+		jz skip
+		mov eax, [ecx]
+	skip:
+		ret`)
+	g.truth(callee, "param", 0, prim("int"), false)
+	g.truth(callee, "param", 1, ptr(st), true)
+	g.truth(callee, "ret", 0, prim("int"), false)
+
+	cn := g.name("two_use")
+	g.emit(cn, fmt.Sprintf(`
+		xor eax, eax
+		push eax
+		push eax
+		call %s
+		add esp, 8
+		ret`, callee))
+	g.truth(cn, "ret", 0, prim("int"), false)
+	g.callables = append(g.callables, cn)
+}

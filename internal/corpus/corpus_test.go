@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"testing"
+
+	"retypd/internal/asm"
+	"retypd/internal/cfg"
+)
+
+// TestDeterminism: generation is a pure function of the seed.
+func TestDeterminism(t *testing.T) {
+	a := Generate("x", 7, 1500)
+	b := Generate("x", 7, 1500)
+	if a.Source != b.Source {
+		t.Error("same seed must generate identical programs")
+	}
+	c := Generate("x", 8, 1500)
+	if a.Source == c.Source {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestAllSeedsParse: a sweep of seeds/sizes always yields programs that
+// parse and analyze.
+func TestAllSeedsParse(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		b := Generate("t", seed, 800)
+		prog, err := asm.Parse(b.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		infos := cfg.AnalyzeProgram(prog)
+		if len(infos) != len(prog.Procs) {
+			t.Fatalf("seed %d: analysis incomplete", seed)
+		}
+		if b.Insts < 800 {
+			t.Errorf("seed %d: undersized (%d)", seed, b.Insts)
+		}
+		if len(b.Truths) == 0 {
+			t.Errorf("seed %d: no ground truth", seed)
+		}
+	}
+}
+
+// TestTruthsReferToRealProcs: every ground-truth entry names a defined
+// procedure, and parameter indices are plausible.
+func TestTruthsReferToRealProcs(t *testing.T) {
+	b := Generate("t", 3, 2000)
+	prog, err := asm.Parse(b.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range b.Truths {
+		if _, ok := prog.Proc(tr.Func); !ok {
+			t.Errorf("truth names unknown proc %q", tr.Func)
+		}
+		if tr.Kind != "param" && tr.Kind != "ret" {
+			t.Errorf("bad kind %q", tr.Kind)
+		}
+		if tr.Type == nil {
+			t.Errorf("nil truth type for %s", tr.Func)
+		}
+	}
+}
+
+// TestClusterSharing: cluster members share their common pool but have
+// distinct unique parts.
+func TestClusterSharing(t *testing.T) {
+	c := ClusterDesc{Name: "cl", Count: 3, PaperInsts: 4000, SharedFrac: 0.7}
+	members := GenerateCluster(c, 3, 99, 1200)
+	if len(members) != 3 {
+		t.Fatalf("want 3 members, got %d", len(members))
+	}
+	for _, m := range members {
+		if m.Cluster != "cl" {
+			t.Errorf("member cluster = %q", m.Cluster)
+		}
+		if _, err := asm.Parse(m.Source); err != nil {
+			t.Fatalf("cluster member does not parse: %v", err)
+		}
+	}
+	if members[0].Source == members[1].Source {
+		t.Error("members must have unique parts")
+	}
+}
+
+// TestSuiteShape: the generated suite covers Figure 7 and the Figure 10
+// clusters.
+func TestSuiteShape(t *testing.T) {
+	benches := GenerateSuite(SuiteOptions{Scale: 400, MaxClusterMembers: 2, Seed: 5})
+	names := map[string]bool{}
+	clusters := map[string]int{}
+	for _, b := range benches {
+		names[b.Name] = true
+		if b.Cluster != "" {
+			clusters[b.Cluster]++
+		}
+	}
+	for _, d := range Figure7() {
+		if !names[d.Name] {
+			t.Errorf("missing Figure 7 benchmark %s", d.Name)
+		}
+	}
+	for _, c := range Figure10Clusters() {
+		if clusters[c.Name] != 2 {
+			t.Errorf("cluster %s has %d members, want 2", c.Name, clusters[c.Name])
+		}
+	}
+}

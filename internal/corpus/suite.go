@@ -1,0 +1,146 @@
+package corpus
+
+import "fmt"
+
+// BenchDesc describes one benchmark of the suite (Figure 7) or one
+// cluster member (Figure 10).
+type BenchDesc struct {
+	Name string
+	// Desc is the human description from Figure 7.
+	Desc string
+	// PaperInsts is the instruction count the paper reports.
+	PaperInsts int
+	// Cluster groups related benchmarks for the §6.2 cluster
+	// averaging ("" = standalone).
+	Cluster string
+}
+
+// Figure7 lists the standalone benchmarks of Figure 7 with the paper's
+// instruction counts.
+func Figure7() []BenchDesc {
+	return []BenchDesc{
+		{Name: "libidn", Desc: "Domain name translator", PaperInsts: 7000},
+		{Name: "Tutorial00", Desc: "Direct3D tutorial", PaperInsts: 9000},
+		{Name: "zlib", Desc: "Compression library", PaperInsts: 14000},
+		{Name: "ogg", Desc: "Multimedia library", PaperInsts: 20000},
+		{Name: "distributor", Desc: "UltraVNC repeater", PaperInsts: 22000},
+		{Name: "libbz2", Desc: "BZIP library, as a DLL", PaperInsts: 37000},
+		{Name: "glut", Desc: "The glut32.dll library", PaperInsts: 40000},
+		{Name: "pngtest", Desc: "A test of libpng", PaperInsts: 42000},
+		{Name: "freeglut", Desc: "The freeglut.dll library", PaperInsts: 77000},
+		{Name: "miranda", Desc: "IRC client", PaperInsts: 100000},
+		{Name: "XMail", Desc: "Email server", PaperInsts: 137000},
+		{Name: "yasm", Desc: "Modular assembler", PaperInsts: 190000},
+		{Name: "python21", Desc: "Python 2.1", PaperInsts: 202000},
+		{Name: "quake3", Desc: "Quake 3", PaperInsts: 281000},
+		{Name: "TinyCad", Desc: "Computer-aided design", PaperInsts: 544000},
+		{Name: "Shareaza", Desc: "Peer-to-peer file sharing", PaperInsts: 842000},
+		{Name: "470.lbm", Desc: "Lattice Boltzmann Method", PaperInsts: 3000},
+		{Name: "429.mcf", Desc: "Vehicle scheduling", PaperInsts: 3000},
+		{Name: "462.libquantum", Desc: "Quantum computation", PaperInsts: 11000},
+		{Name: "401.bzip2", Desc: "Compression", PaperInsts: 13000},
+		{Name: "458.sjeng", Desc: "Chess AI", PaperInsts: 25000},
+		{Name: "433.milc", Desc: "Quantum field theory", PaperInsts: 28000},
+		{Name: "482.sphinx3", Desc: "Speech recognition", PaperInsts: 43000},
+		{Name: "456.hmmer", Desc: "Protein sequence analysis", PaperInsts: 71000},
+		{Name: "464.h264ref", Desc: "Video compression", PaperInsts: 113000},
+		{Name: "445.gobmk", Desc: "GNU Go AI", PaperInsts: 203000},
+		{Name: "400.perlbench", Desc: "Perl core", PaperInsts: 261000},
+		{Name: "403.gcc", Desc: "C/C++/Fortran compiler", PaperInsts: 751000},
+	}
+}
+
+// ClusterDesc describes a Figure 10 cluster.
+type ClusterDesc struct {
+	Name string
+	// Count is the paper's member count (scaled down by the harness).
+	Count int
+	Desc  string
+	// PaperInsts is the mean member size the paper reports.
+	PaperInsts int
+	// SharedFrac models how much code members share (coreutils shares
+	// over 80% of .text, §6.2).
+	SharedFrac float64
+}
+
+// Figure10Clusters lists the clusters of Figure 10.
+func Figure10Clusters() []ClusterDesc {
+	return []ClusterDesc{
+		{Name: "freeglut-demos", Count: 3, Desc: "freeglut samples", PaperInsts: 2000, SharedFrac: 0.5},
+		{Name: "coreutils", Count: 107, Desc: "GNU coreutils 8.23", PaperInsts: 10000, SharedFrac: 0.85},
+		{Name: "vpx-d", Count: 8, Desc: "VPx decoders", PaperInsts: 36000, SharedFrac: 0.7},
+		{Name: "vpx-e", Count: 6, Desc: "VPx encoders", PaperInsts: 78000, SharedFrac: 0.7},
+		{Name: "sphinx2", Count: 4, Desc: "Speech recognition", PaperInsts: 83000, SharedFrac: 0.6},
+		{Name: "putty", Count: 4, Desc: "SSH utilities", PaperInsts: 97000, SharedFrac: 0.6},
+	}
+}
+
+// SuiteOptions scales the generated suite; the paper's sizes divided by
+// Scale, with member counts capped at MaxClusterMembers.
+type SuiteOptions struct {
+	Scale             int
+	MaxClusterMembers int
+	Seed              int64
+}
+
+// DefaultSuite is a laptop-friendly scaling of the paper's suite.
+func DefaultSuite() SuiteOptions {
+	return SuiteOptions{Scale: 40, MaxClusterMembers: 6, Seed: 20160613}
+}
+
+// GenerateSuite produces the full benchmark collection: Figure 7's
+// standalone binaries plus Figure 10's clusters, scaled by opts.
+func GenerateSuite(opts SuiteOptions) []*Benchmark {
+	if opts.Scale <= 0 {
+		opts.Scale = 40
+	}
+	if opts.MaxClusterMembers <= 0 {
+		opts.MaxClusterMembers = 6
+	}
+	var out []*Benchmark
+	seed := opts.Seed
+	for _, d := range Figure7() {
+		seed++
+		size := d.PaperInsts / opts.Scale
+		if size < 300 {
+			size = 300
+		}
+		out = append(out, Generate(d.Name, seed, size))
+	}
+	for _, c := range Figure10Clusters() {
+		members := c.Count
+		if members > opts.MaxClusterMembers {
+			members = opts.MaxClusterMembers
+		}
+		size := c.PaperInsts / opts.Scale
+		if size < 300 {
+			size = 300
+		}
+		out = append(out, GenerateCluster(c, members, seed+1000, size)...)
+		seed += int64(members)
+	}
+	return out
+}
+
+// GenerateCluster produces members that share a common code pool
+// (modeling coreutils' shared statically linked runtime, §6.2) plus a
+// unique part per member.
+func GenerateCluster(c ClusterDesc, members int, seed int64, sizePer int) []*Benchmark {
+	sharedSize := int(float64(sizePer) * c.SharedFrac)
+	shared := GenerateWithPrefix(c.Name+"_shared", "sh_", seed, sharedSize)
+	var out []*Benchmark
+	for m := 0; m < members; m++ {
+		unique := GenerateWithPrefix(fmt.Sprintf("%s_u%d", c.Name, m),
+			fmt.Sprintf("u%d_", m), seed+int64(m)+1, sizePer-sharedSize)
+		bench := &Benchmark{
+			Name:    fmt.Sprintf("%s_%d", c.Name, m),
+			Cluster: c.Name,
+			Source:  shared.Source + unique.Source,
+			Insts:   shared.Insts + unique.Insts,
+		}
+		bench.Truths = append(bench.Truths, shared.Truths...)
+		bench.Truths = append(bench.Truths, unique.Truths...)
+		out = append(out, bench)
+	}
+	return out
+}

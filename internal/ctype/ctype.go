@@ -1,0 +1,596 @@
+// Package ctype implements the final phase of type resolution (§4.3):
+// converting inferred sketches into human-readable C types. The
+// conversion is deliberately heuristic — the paper sequesters all
+// unsound, C-specific policies into this phase so that the inference
+// core stays sound:
+//
+//   - Example 4.1: const recovery — a pointer parameter with a .load
+//     capability and no .store capability is rendered const.
+//   - Example 4.2: union types — incomparable scalar lower bounds form
+//     an antichain in Λ and are rendered as a union.
+//   - Example 4.3 / G.1: specialization — signatures use the
+//     F.3-refined parameter sketches when available.
+//   - Example G.3: reroll — unrolled recursive types are folded by the
+//     sketch quotient/memoized struct naming (pointer cycles become
+//     named struct references, as in Figure 2's Struct_0).
+//   - Semantic tags (#FileDescriptor, #SuccessZ, …) are emitted as
+//     comments on the underlying C type, matching Figure 2's
+//     "int // #FileDescriptor" rendering.
+package ctype
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+	"retypd/internal/sketch"
+)
+
+// Kind discriminates Type.
+type Kind uint8
+
+// Type kinds.
+const (
+	// KPrim is a primitive/typedef'd scalar named by Name.
+	KPrim Kind = iota
+	// KPtr is a pointer to Elem.
+	KPtr
+	// KStruct is a struct with Fields; Name is its typedef name.
+	KStruct
+	// KUnion is a union of Members.
+	KUnion
+	// KFunc is a function type.
+	KFunc
+	// KUnknown is an undetermined type (rendered per width).
+	KUnknown
+)
+
+// Type is a C type AST node.
+type Type struct {
+	Kind    Kind
+	Name    string
+	Const   bool
+	Elem    *Type
+	Fields  []Field
+	Members []*Type
+	Params  []*Type
+	Ret     *Type
+	// Tags carries semantic purpose tags to render as comments.
+	Tags []string
+	// Bits is the scalar width for KPrim/KUnknown (0 = 32).
+	Bits int
+}
+
+// Field is a struct member.
+type Field struct {
+	Off  int
+	Bits int
+	Type *Type
+}
+
+// Prim makes a named scalar type.
+func Prim(name string) *Type { return &Type{Kind: KPrim, Name: name} }
+
+// PtrTo makes a pointer type.
+func PtrTo(e *Type) *Type { return &Type{Kind: KPtr, Elem: e} }
+
+// Unknown is an undetermined 32-bit type.
+func Unknown() *Type { return &Type{Kind: KUnknown} }
+
+// Equal reports structural equality (tags and const ignored), with a
+// depth cut for recursive types.
+func (t *Type) Equal(o *Type) bool { return equalDepth(t, o, 8) }
+
+func equalDepth(a, b *Type, d int) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if d == 0 {
+		return true
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KPrim:
+		return a.Name == b.Name
+	case KPtr:
+		return equalDepth(a.Elem, b.Elem, d-1)
+	case KStruct:
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			if a.Fields[i].Off != b.Fields[i].Off || !equalDepth(a.Fields[i].Type, b.Fields[i].Type, d-1) {
+				return false
+			}
+		}
+		return true
+	case KUnion:
+		if len(a.Members) != len(b.Members) {
+			return false
+		}
+		for i := range a.Members {
+			if !equalDepth(a.Members[i], b.Members[i], d-1) {
+				return false
+			}
+		}
+		return true
+	case KFunc:
+		if len(a.Params) != len(b.Params) {
+			return false
+		}
+		for i := range a.Params {
+			if !equalDepth(a.Params[i], b.Params[i], d-1) {
+				return false
+			}
+		}
+		return equalDepth(a.Ret, b.Ret, d-1)
+	default:
+		return true
+	}
+}
+
+// primRender maps lattice element names to C spellings.
+var primRender = map[string]string{
+	"int":    "int",
+	"uint":   "unsigned int",
+	"int8":   "int8_t",
+	"uint8":  "uint8_t",
+	"int16":  "int16_t",
+	"uint16": "uint16_t",
+	"int32":  "int32_t",
+	"uint32": "uint32_t",
+	"int64":  "int64_t",
+	"uint64": "uint64_t",
+	"num8":   "uint8_t",
+	"num16":  "uint16_t",
+	"num32":  "uint32_t",
+	"num64":  "uint64_t",
+	"char":   "char",
+	"bool":   "bool",
+	"str":    "char *",
+	"ptr":    "void *",
+	"code":   "void (*)()",
+	"⊤":      "void *",
+	"⊥":      "void",
+}
+
+// CName renders a primitive name as C source.
+func CName(name string) string {
+	if c, ok := primRender[name]; ok {
+		return c
+	}
+	return name
+}
+
+// String renders the type as a C type expression (without a declarator
+// name).
+func (t *Type) String() string { return t.render(map[*Type]bool{}) }
+
+func (t *Type) render(onPath map[*Type]bool) string {
+	if t == nil {
+		return "void"
+	}
+	prefix := ""
+	if t.Const {
+		prefix = "const "
+	}
+	tagSuffix := ""
+	if len(t.Tags) > 0 {
+		tagSuffix = " /* " + strings.Join(t.Tags, " ") + " */"
+	}
+	switch t.Kind {
+	case KPrim:
+		return prefix + CName(t.Name) + tagSuffix
+	case KUnknown:
+		switch t.Bits {
+		case 8:
+			return prefix + "uint8_t" + tagSuffix
+		case 16:
+			return prefix + "uint16_t" + tagSuffix
+		default:
+			return prefix + "int" + tagSuffix // IdaPro-style fallback
+		}
+	case KPtr:
+		if t.Elem != nil && t.Elem.Kind == KStruct && t.Elem.Name != "" {
+			return prefix + t.Elem.Name + " *" + tagSuffix
+		}
+		if onPath[t] {
+			return prefix + "void *" + tagSuffix // pointer cycle with no struct
+		}
+		onPath[t] = true
+		defer delete(onPath, t)
+		return prefix + t.Elem.render(onPath) + " *" + tagSuffix
+	case KStruct:
+		if onPath[t] {
+			if t.Name != "" {
+				return t.Name
+			}
+			return "struct /* recursive */"
+		}
+		onPath[t] = true
+		defer delete(onPath, t)
+		var b strings.Builder
+		b.WriteString(prefix + "struct ")
+		if t.Name != "" {
+			b.WriteString(t.Name + " ")
+		}
+		b.WriteString("{ ")
+		for _, f := range t.Fields {
+			fmt.Fprintf(&b, "%s field_%d; ", f.Type.render(onPath), f.Off)
+		}
+		b.WriteString("}")
+		return b.String() + tagSuffix
+	case KUnion:
+		var parts []string
+		for i, m := range t.Members {
+			parts = append(parts, fmt.Sprintf("%s alt_%d;", m.render(onPath), i))
+		}
+		return prefix + "union { " + strings.Join(parts, " ") + " }" + tagSuffix
+	case KFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.render(onPath))
+		}
+		if len(ps) == 0 {
+			ps = []string{"void"}
+		}
+		return fmt.Sprintf("%s (*)(%s)%s", t.Ret.render(onPath), strings.Join(ps, ", "), tagSuffix)
+	default:
+		return "?"
+	}
+}
+
+// Converter turns sketches into C types, accumulating named struct
+// typedefs for recursive types.
+type Converter struct {
+	Lat *lattice.Lattice
+	// Structs lists the named struct types created so far, in creation
+	// order.
+	Structs []*Type
+	memo    map[string]*Type
+	nameN   int
+}
+
+// NewConverter makes a converter over lat.
+func NewConverter(lat *lattice.Lattice) *Converter {
+	return &Converter{Lat: lat, memo: map[string]*Type{}}
+}
+
+// FromSketch converts the sketch rooted at state 0.
+func (c *Converter) FromSketch(sk *sketch.Sketch) *Type {
+	t := c.convert(sk, 0, map[int]*Type{}, 32)
+	c.nameCycles(t, map[*Type]bool{}, map[*Type]bool{})
+	return t
+}
+
+// ConvertParam converts a parameter sketch, applying the const policy
+// (Example 4.1) at its root. The root is display-converted in
+// contravariant position (function inputs prefer upper bounds, §3.5),
+// and the returned node is a copy so that const does not leak into
+// other references to a shared recursive type.
+func (c *Converter) ConvertParam(sk *sketch.Sketch) *Type {
+	if len(sk.States) > 0 {
+		saved := sk.States[0].Variance
+		sk.States[0].Variance = label.Contravariant
+		defer func() { sk.States[0].Variance = saved }()
+	}
+	t := c.FromSketch(sk)
+	probe := *t
+	c.applyConst(sk, 0, &probe)
+	if probe.Const != t.Const {
+		return &probe
+	}
+	return t
+}
+
+// nameCycles assigns typedef names to structs participating in type
+// cycles (the reroll policy's output form, Example G.3) so that
+// rendering terminates with a named back reference. On a back edge the
+// first struct on the cycle segment is named.
+func (c *Converter) nameCycles(t *Type, onPath, done map[*Type]bool) {
+	var path []*Type
+	index := map[*Type]int{}
+	var walk func(t *Type)
+	walk = func(t *Type) {
+		if t == nil || done[t] {
+			return
+		}
+		if i, on := index[t]; on {
+			for _, n := range path[i:] {
+				if n.Kind == KStruct {
+					if n.Name == "" {
+						c.nameStruct(n)
+					}
+					return
+				}
+			}
+			return
+		}
+		index[t] = len(path)
+		path = append(path, t)
+		switch t.Kind {
+		case KPtr:
+			walk(t.Elem)
+		case KStruct:
+			for _, f := range t.Fields {
+				walk(f.Type)
+			}
+		case KUnion:
+			for _, m := range t.Members {
+				walk(m)
+			}
+		case KFunc:
+			for _, p := range t.Params {
+				walk(p)
+			}
+			walk(t.Ret)
+		}
+		path = path[:len(path)-1]
+		delete(index, t)
+		done[t] = true
+	}
+	walk(t)
+}
+
+// FromSketchState converts a specific state (width hints the scalar
+// size in bits).
+func (c *Converter) FromSketchState(sk *sketch.Sketch, st int, bits int) *Type {
+	return c.convert(sk, st, map[int]*Type{}, bits)
+}
+
+// convert implements the conversion policy tree.
+func (c *Converter) convert(sk *sketch.Sketch, st int, active map[int]*Type, bits int) *Type {
+	if t, ok := active[st]; ok {
+		// Recursive back reference: ensure the target is a named
+		// struct.
+		if t.Kind == KStruct && t.Name == "" {
+			c.nameStruct(t)
+		}
+		return t
+	}
+	node := &sk.States[st]
+
+	// Function capability dominates.
+	var ins, outs []sketch.Edge
+	var loads, stores []sketch.Edge
+	var fields []sketch.Edge
+	for _, e := range node.Edges {
+		switch e.Label.Kind() {
+		case label.KIn:
+			ins = append(ins, e)
+		case label.KOut:
+			outs = append(outs, e)
+		case label.KLoad:
+			loads = append(loads, e)
+		case label.KStore:
+			stores = append(stores, e)
+		case label.KField:
+			fields = append(fields, e)
+		}
+	}
+
+	if len(ins) > 0 || len(outs) > 0 {
+		ft := &Type{Kind: KFunc, Ret: Prim("void")}
+		active[st] = ft
+		defer delete(active, st)
+		sortInEdges(ins)
+		for _, e := range ins {
+			p := c.convert(sk, e.To, active, 32)
+			probe := *p
+			c.applyConst(sk, e.To, &probe)
+			if probe.Const != p.Const {
+				p = &probe
+			}
+			ft.Params = append(ft.Params, p)
+		}
+		if len(outs) > 0 {
+			ft.Ret = c.convert(sk, outs[0].To, active, 32)
+		}
+		return ft
+	}
+
+	if len(loads) > 0 || len(stores) > 0 {
+		pt := &Type{Kind: KPtr}
+		active[st] = pt
+		defer delete(active, st)
+		inner := loads
+		inner = append(inner, stores...)
+		pt.Elem = c.pointee(sk, inner[0].To, active)
+		return pt
+	}
+
+	if len(fields) > 0 {
+		// A bare struct (e.g. a frame region's contents).
+		return c.structOf(sk, st, fields, active)
+	}
+
+	return c.scalar(sk, st, bits)
+}
+
+// pointee converts the target of a load/store edge: if it carries σ
+// fields it is a struct; a lone 32-bit field at offset 0 collapses to
+// the field's own type.
+func (c *Converter) pointee(sk *sketch.Sketch, st int, active map[int]*Type) *Type {
+	node := &sk.States[st]
+	var fields []sketch.Edge
+	for _, e := range node.Edges {
+		if e.Label.Kind() == label.KField {
+			fields = append(fields, e)
+		}
+	}
+	if len(fields) == 0 {
+		return c.scalar(sk, st, 32)
+	}
+	if len(fields) == 1 && fields[0].Label.Offset() == 0 {
+		return c.convert(sk, fields[0].To, active, fields[0].Label.Bits())
+	}
+	return c.structOf(sk, st, fields, active)
+}
+
+// structOf assembles a struct type from σN@k edges.
+func (c *Converter) structOf(sk *sketch.Sketch, st int, fields []sketch.Edge, active map[int]*Type) *Type {
+	t := &Type{Kind: KStruct}
+	active[st] = t
+	defer delete(active, st)
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Label.Offset() < fields[j].Label.Offset() })
+	for _, e := range fields {
+		ft := c.convert(sk, e.To, active, e.Label.Bits())
+		t.Fields = append(t.Fields, Field{Off: e.Label.Offset(), Bits: e.Label.Bits(), Type: ft})
+	}
+	return t
+}
+
+// nameStruct assigns the next Struct_N typedef name.
+func (c *Converter) nameStruct(t *Type) {
+	t.Name = "Struct_" + strconv.Itoa(c.nameN)
+	c.nameN++
+	c.Structs = append(c.Structs, t)
+}
+
+// scalar applies the display policy for leaf nodes: prefer the
+// informative bound for the node's variance; resolve incomparable
+// lower bounds as a union (Example 4.2); carry semantic tags as
+// comments; fall back per pointer/integer flags.
+func (c *Converter) scalar(sk *sketch.Sketch, st int, bits int) *Type {
+	node := &sk.States[st]
+	lat := c.Lat
+
+	isTag := func(e lattice.Elem) bool { return strings.HasPrefix(lat.Name(e), "#") }
+	split := func(set []lattice.Elem) (scalars []lattice.Elem, tags []string) {
+		for _, e := range set {
+			if isTag(e) {
+				tags = append(tags, lat.Name(e))
+			} else if e != lat.Bottom() && e != lat.Top() {
+				scalars = append(scalars, e)
+			}
+		}
+		return
+	}
+
+	// Primary set per variance (§3.5: covariant nodes carry joins of
+	// lower bounds, contravariant nodes meets of upper bounds), with
+	// the other side as fallback.
+	primary, secondary := node.LowerSet, node.UpperSet
+	if node.Variance == label.Contravariant {
+		primary, secondary = node.UpperSet, node.LowerSet
+	}
+	scalars, tags := split(primary)
+	if len(scalars) == 0 {
+		var t2 []string
+		scalars, t2 = split(secondary)
+		tags = append(tags, t2...)
+	} else if _, moreTags := split(secondary); len(moreTags) > 0 {
+		tags = append(tags, moreTags...)
+	}
+	tags = dedupe(tags)
+
+	switch len(scalars) {
+	case 0:
+		var t *Type
+		switch {
+		case node.Flags&sketch.FlagPointer != 0:
+			t = PtrTo(Prim("void"))
+		case node.Flags&sketch.FlagInteger != 0:
+			t = Prim("int")
+		default:
+			t = Unknown()
+			t.Bits = bits
+		}
+		t.Tags = tags
+		return t
+	case 1:
+		t := Prim(lat.Name(scalars[0]))
+		t.Tags = tags
+		return t
+	default:
+		// Example 4.2: incomparable scalar constraints become a union.
+		u := &Type{Kind: KUnion, Tags: tags}
+		for _, e := range scalars {
+			u.Members = append(u.Members, Prim(lat.Name(e)))
+		}
+		return u
+	}
+}
+
+// applyConst implements Example 4.1: a pointer parameter whose sketch
+// has a .load capability but no .store capability is const.
+func (c *Converter) applyConst(sk *sketch.Sketch, st int, t *Type) {
+	if t.Kind != KPtr {
+		return
+	}
+	node := &sk.States[st]
+	hasLoad, hasStore := false, false
+	for _, e := range node.Edges {
+		switch e.Label.Kind() {
+		case label.KLoad:
+			hasLoad = true
+		case label.KStore:
+			hasStore = true
+		}
+	}
+	if hasLoad && !hasStore {
+		t.Const = true
+	}
+}
+
+func dedupe(ss []string) []string {
+	sort.Strings(ss)
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sortInEdges(es []sketch.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		return paramOrder(es[i].Label.Loc()) < paramOrder(es[j].Label.Loc())
+	})
+}
+
+// paramOrder sorts stack parameters by offset, then registers by name.
+func paramOrder(loc string) string {
+	if strings.HasPrefix(loc, "stack") {
+		n, err := strconv.Atoi(loc[5:])
+		if err == nil {
+			return fmt.Sprintf("a%08d", n)
+		}
+	}
+	return "b" + loc
+}
+
+// Signature is a rendered procedure signature.
+type Signature struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+}
+
+// Param is one parameter of a Signature.
+type Param struct {
+	Loc  string
+	Type *Type
+}
+
+// String renders the signature as a C declaration.
+func (s *Signature) String() string {
+	var ps []string
+	for _, p := range s.Params {
+		ps = append(ps, p.Type.String())
+	}
+	if len(ps) == 0 {
+		ps = []string{"void"}
+	}
+	ret := "void"
+	if s.Ret != nil {
+		ret = s.Ret.String()
+	}
+	return fmt.Sprintf("%s %s(%s);", ret, s.Name, strings.Join(ps, ", "))
+}

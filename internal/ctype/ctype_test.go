@@ -1,0 +1,190 @@
+package ctype
+
+import (
+	"strings"
+	"testing"
+
+	"retypd/internal/constraints"
+	"retypd/internal/lattice"
+	"retypd/internal/sketch"
+)
+
+func sketchOf(t *testing.T, text string, v string) (*sketch.Sketch, *lattice.Lattice) {
+	t.Helper()
+	cs, err := constraints.ParseSet(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := lattice.Default()
+	sh := sketch.InferShapes(cs, lat)
+	return sh.SketchFor(constraints.Var(v), -1), lat
+}
+
+// TestScalarDisplayPolicy: upper bounds display at contravariant
+// (parameter) positions, lower bounds at covariant ones.
+func TestScalarDisplayPolicy(t *testing.T) {
+	lat := lattice.Default()
+	sk := sketch.NewTop(lat)
+	sk.States[0].AddUpper(lat, lat.MustElem("size_t"))
+	conv := NewConverter(lat)
+	p := conv.ConvertParam(sk)
+	if p.Kind != KPrim || p.Name != "size_t" {
+		t.Errorf("param display = %s, want size_t", p)
+	}
+}
+
+// TestUnionPolicy (Example 4.2): incomparable scalar bounds become a
+// union.
+func TestUnionPolicy(t *testing.T) {
+	lat := lattice.Default()
+	sk := sketch.NewTop(lat)
+	sk.States[0].AddLower(lat, lat.MustElem("int"))
+	sk.States[0].AddLower(lat, lat.MustElem("FILE"))
+	conv := NewConverter(lat)
+	out := conv.FromSketch(sk)
+	if out.Kind != KUnion || len(out.Members) != 2 {
+		t.Errorf("want a 2-member union, got %s", out)
+	}
+}
+
+// TestTagsAsComments: semantic tags render as comments on the scalar.
+func TestTagsAsComments(t *testing.T) {
+	lat := lattice.Default()
+	sk := sketch.NewTop(lat)
+	sk.States[0].AddLower(lat, lat.MustElem("int"))
+	sk.States[0].AddLower(lat, lat.MustElem("#SuccessZ"))
+	conv := NewConverter(lat)
+	out := conv.FromSketch(sk)
+	s := out.String()
+	if !strings.Contains(s, "int") || !strings.Contains(s, "#SuccessZ") {
+		t.Errorf("tag rendering: %s", s)
+	}
+}
+
+// TestStructAssembly: σ fields become struct members in offset order.
+func TestStructAssembly(t *testing.T) {
+	sk, lat := sketchOf(t, `
+		p.load.σ32@4 <= int
+		p.load.σ32@0 <= str
+		x <= p
+	`, "x")
+	conv := NewConverter(lat)
+	out := conv.FromSketch(sk)
+	if out.Kind != KPtr || out.Elem.Kind != KStruct {
+		t.Fatalf("want pointer-to-struct, got %s", out)
+	}
+	if len(out.Elem.Fields) != 2 || out.Elem.Fields[0].Off != 0 || out.Elem.Fields[1].Off != 4 {
+		t.Errorf("field order wrong: %s", out)
+	}
+}
+
+// TestPointeeCollapse: a single σ32@0 field collapses to the scalar
+// (pointer-to-int, not pointer-to-struct-of-one).
+func TestPointeeCollapse(t *testing.T) {
+	sk, lat := sketchOf(t, `
+		p.load.σ32@0 <= int
+		int <= p.load.σ32@0
+		x <= p
+	`, "x")
+	conv := NewConverter(lat)
+	out := conv.FromSketch(sk)
+	if out.Kind != KPtr || out.Elem.Kind != KPrim || out.Elem.Name != "int" {
+		t.Errorf("want int*, got %s", out)
+	}
+}
+
+// TestRecursiveStructNaming (Example G.3): recursion produces a named
+// typedef with a back reference.
+func TestRecursiveStructNaming(t *testing.T) {
+	sk, lat := sketchOf(t, `
+		t.load.σ32@0 <= t
+		t.load.σ32@4 <= int
+		x <= t
+	`, "x")
+	conv := NewConverter(lat)
+	out := conv.FromSketch(sk)
+	if len(conv.Structs) != 1 {
+		t.Fatalf("want one named struct, got %d (%s)", len(conv.Structs), out)
+	}
+	if conv.Structs[0].Name == "" {
+		t.Error("recursive struct must be named")
+	}
+	s := out.String()
+	if !strings.Contains(s, conv.Structs[0].Name) {
+		t.Errorf("rendering must reference the typedef: %s", s)
+	}
+}
+
+// TestConstPolicy (Example 4.1): load without store ⇒ const param.
+func TestConstPolicy(t *testing.T) {
+	skR, lat := sketchOf(t, `
+		p.load.σ32@0 <= int
+		x <= p
+	`, "x")
+	conv := NewConverter(lat)
+	if !conv.ConvertParam(skR).Const {
+		t.Error("load-only parameter should be const")
+	}
+	skW, lat2 := sketchOf(t, `
+		int <= p.store.σ32@0
+		x <= p
+	`, "x")
+	conv2 := NewConverter(lat2)
+	if conv2.ConvertParam(skW).Const {
+		t.Error("store-capable parameter must not be const")
+	}
+}
+
+// TestFunctionPointer: in/out capabilities render as function types.
+func TestFunctionPointer(t *testing.T) {
+	sk, lat := sketchOf(t, `
+		f.in_stack0 <= int
+		int <= f.out_eax
+		x <= f
+	`, "x")
+	conv := NewConverter(lat)
+	out := conv.FromSketch(sk)
+	if out.Kind != KFunc {
+		t.Fatalf("want function type, got %s", out)
+	}
+	if len(out.Params) != 1 {
+		t.Errorf("want 1 param, got %s", out)
+	}
+}
+
+// TestSignatureRendering covers the C declaration printer.
+func TestSignatureRendering(t *testing.T) {
+	sig := &Signature{
+		Name: "f",
+		Ret:  Prim("int"),
+		Params: []Param{
+			{Loc: "stack0", Type: &Type{Kind: KPtr, Elem: Prim("char"), Const: true}},
+			{Loc: "stack4", Type: Prim("size_t")},
+		},
+	}
+	s := sig.String()
+	want := "int f(const char *, size_t);"
+	if s != want {
+		t.Errorf("got %q, want %q", s, want)
+	}
+	empty := &Signature{Name: "g", Ret: Prim("void")}
+	if empty.String() != "void g(void);" {
+		t.Errorf("got %q", empty.String())
+	}
+}
+
+// TestEqualRecursive: structural equality terminates on recursive
+// types.
+func TestEqualRecursive(t *testing.T) {
+	a := &Type{Kind: KStruct}
+	a.Fields = []Field{{Off: 0, Bits: 32, Type: PtrTo(a)}}
+	b := &Type{Kind: KStruct}
+	b.Fields = []Field{{Off: 0, Bits: 32, Type: PtrTo(b)}}
+	if !a.Equal(b) {
+		t.Error("isomorphic recursive structs should compare equal")
+	}
+	c := &Type{Kind: KStruct, Fields: []Field{{Off: 4, Bits: 32, Type: Prim("int")}}}
+	if a.Equal(c) {
+		t.Error("different structs must not compare equal")
+	}
+}

@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"testing"
+
+	"retypd/internal/asm"
+	"retypd/internal/baselines"
+	"retypd/internal/lattice"
+)
+
+func TestDebugFdUse(t *testing.T) {
+	lat := lattice.Default()
+	prog := asm.MustParse(`
+proc fd_use
+    mov ebx, [esp+4]
+    push ebx
+    call close
+    add esp, 4
+    ret
+endproc
+
+proc two
+    mov eax, [esp+4]
+    push eax
+    call abs
+    add esp, 4
+    mov ecx, [esp+8]
+    test ecx, ecx
+    jz skip
+    mov eax, [ecx]
+skip:
+    ret
+endproc
+`)
+	o := baselines.Retypd().Run(prog, lat)
+	t.Logf("fd_use formals: %v", o.Formals["fd_use"])
+	if sk := o.ParamSk("fd_use", "stack0"); sk != nil {
+		t.Logf("fd_use param0 sketch:\n%s", sk)
+	}
+	t.Logf("two formals: %v", o.Formals["two"])
+	if sk := o.ParamSk("two", "stack0"); sk != nil {
+		t.Logf("two param0 sketch:\n%s", sk)
+	}
+	if sk := o.ParamSk("two", "stack4"); sk != nil {
+		t.Logf("two param1 sketch:\n%s", sk)
+	}
+}

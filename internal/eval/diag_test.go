@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"testing"
+
+	"retypd/internal/asm"
+	"retypd/internal/baselines"
+	"retypd/internal/corpus"
+	"retypd/internal/ctype"
+	"retypd/internal/lattice"
+	"retypd/internal/metrics"
+	"retypd/internal/sketch"
+)
+
+// TestDiagPointerMisses prints, per function-name stem, the pointer
+// accuracy and distance so that corpus/metric calibration is visible.
+func TestDiagPointerMisses(t *testing.T) {
+	lat := lattice.Default()
+	b := corpus.Generate("diag", 99, 4000)
+	prog, err := asm.Parse(b.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := baselines.Retypd().Run(prog, lat)
+	sc := &metrics.Scorer{Lat: lat}
+	conv := ctype.NewConverter(lat)
+
+	type acc struct {
+		lv, mt, n int
+		dist      float64
+		cons      int
+	}
+	byStem := map[string]*acc{}
+	stem := func(fn string) string {
+		for i := len(fn) - 1; i >= 0; i-- {
+			if fn[i] == '_' {
+				return fn[:i]
+			}
+		}
+		return fn
+	}
+	for _, truth := range b.Truths {
+		var sk2 *sketch.Sketch
+		switch truth.Kind {
+		case "param":
+			var locs []string
+			for _, l := range o.Formals[truth.Func] {
+				locs = append(locs, l.ParamName())
+			}
+			if truth.Index < len(locs) {
+				sk2 = o.ParamSk(truth.Func, locs[truth.Index])
+			}
+		case "ret":
+			sk2 = o.OutSk(truth.Func)
+		}
+		var disp *ctype.Type
+		if sk2 == nil {
+			sk2 = sketch.NewTop(lat)
+			disp = ctype.Unknown()
+		} else if truth.Kind == "param" {
+			disp = conv.ConvertParam(sk2)
+		} else {
+			disp = conv.FromSketch(sk2)
+		}
+		s := sc.Score(sk2, disp, truth)
+		a := byStem[stem(truth.Func)+"/"+truth.Kind]
+		if a == nil {
+			a = &acc{}
+			byStem[stem(truth.Func)+"/"+truth.Kind] = a
+		}
+		a.lv += s.PtrLevels
+		a.mt += s.PtrMatched
+		a.n++
+		a.dist += s.Distance
+		if s.Conservative {
+			a.cons++
+		}
+	}
+	for k, a := range byStem {
+		if a.lv != a.mt || a.dist > 0.2*float64(a.n) || a.cons != a.n {
+			t.Logf("%-18s n=%3d ptr=%d/%d dist=%.2f cons=%d/%d", k, a.n, a.mt, a.lv, a.dist/float64(a.n), a.cons, a.n)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"retypd/internal/asm"
+	"retypd/internal/baselines"
+	"retypd/internal/corpus"
+	"retypd/internal/lattice"
+	"retypd/internal/solver"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Suite controls corpus generation.
+	Suite corpus.SuiteOptions
+	// Fig11Sizes are the program sizes (instructions) swept by the
+	// scaling experiments.
+	Fig11Sizes []int
+}
+
+// DefaultConfig is laptop-sized.
+func DefaultConfig() Config {
+	return Config{
+		Suite:      corpus.DefaultSuite(),
+		Fig11Sizes: []int{1000, 2000, 4000, 8000, 16000, 32000, 64000},
+	}
+}
+
+// QuickConfig is for tests and smoke runs.
+func QuickConfig() Config {
+	return Config{
+		Suite:      corpus.SuiteOptions{Scale: 300, MaxClusterMembers: 3, Seed: 20160613},
+		Fig11Sizes: []int{500, 1000, 2000, 4000},
+	}
+}
+
+// SuiteScores runs every system over the generated suite once.
+type SuiteScores struct {
+	Benches []*corpus.Benchmark
+	// PerSystem maps system name to per-benchmark scores.
+	PerSystem map[string][]BenchScore
+	Order     []string
+}
+
+// RunSuite generates the corpus and scores all systems.
+func RunSuite(cfg Config) *SuiteScores {
+	lat := lattice.Default()
+	benches := corpus.GenerateSuite(cfg.Suite)
+	systems := []baselines.System{
+		baselines.Retypd(),
+		baselines.TIEStyle(),
+		baselines.RewardsStyle(0.6),
+		baselines.Unify(),
+	}
+	out := &SuiteScores{Benches: benches, PerSystem: map[string][]BenchScore{}}
+	for _, sys := range systems {
+		scores := RunSystem(sys, benches, lat)
+		SortScores(scores)
+		out.PerSystem[sys.Name] = scores
+		out.Order = append(out.Order, sys.Name)
+	}
+	return out
+}
+
+// Figure7 renders the benchmark inventory table.
+func Figure7(cfg Config) string {
+	benches := corpus.GenerateSuite(cfg.Suite)
+	t := &Table{
+		Title:   "Figure 7 — benchmark suite (paper sizes scaled by 1/" + fmt.Sprint(cfg.Suite.Scale) + ")",
+		Headers: []string{"benchmark", "cluster", "instructions", "procs(truth vars)"},
+	}
+	for _, b := range benches {
+		t.AddRow(b.Name, b.Cluster, fmt.Sprint(b.Insts), fmt.Sprint(len(b.Truths)))
+	}
+	return t.String()
+}
+
+// groupOf selects the Figure 8/9 benchmark groups.
+func groupScores(scores []BenchScore, group string) []BenchScore {
+	switch group {
+	case "coreutils":
+		return Filter(scores, func(s BenchScore) bool { return s.Cluster == "coreutils" })
+	case "SPEC2006":
+		return Filter(scores, func(s BenchScore) bool { return isSpec(s.Bench) })
+	default:
+		return scores
+	}
+}
+
+// Figure8 renders mean distance and interval size per system per group
+// (paper: Retypd 0.54/1.2 overall vs TIE 1.58/2.0, REWARDS 1.53,
+// SecondWrite 1.70/1.7).
+func Figure8(s *SuiteScores) string {
+	t := &Table{
+		Title:   "Figure 8 — distance to ground truth and interval size",
+		Headers: []string{"system", "group", "distance", "interval"},
+	}
+	for _, group := range []string{"coreutils", "SPEC2006", "All"} {
+		for _, name := range s.Order {
+			g := ClusterAverage(groupScores(s.PerSystem[name], group))
+			t.AddRow(name, group, num2(g.Distance), num2(g.Interval))
+		}
+	}
+	return t.String()
+}
+
+// Figure9 renders conservativeness and pointer accuracy (paper:
+// Retypd 95% / 88% overall, SecondWrite pointer accuracy 73%).
+func Figure9(s *SuiteScores) string {
+	t := &Table{
+		Title:   "Figure 9 — conservativeness and multi-level pointer accuracy",
+		Headers: []string{"system", "group", "conservativeness", "pointer accuracy"},
+	}
+	for _, group := range []string{"coreutils", "SPEC2006", "All"} {
+		for _, name := range s.Order {
+			g := ClusterAverage(groupScores(s.PerSystem[name], group))
+			t.AddRow(name, group, pct(g.Conserv), pct(g.PtrAcc))
+		}
+	}
+	return t.String()
+}
+
+// Figure10 renders the per-cluster table plus the clustered and
+// unclustered overall rows for Retypd.
+func Figure10(s *SuiteScores) string {
+	scores := s.PerSystem["Retypd"]
+	t := &Table{
+		Title:   "Figure 10 — per-cluster metrics (Retypd)",
+		Headers: []string{"cluster", "members", "distance", "interval", "conserv.", "ptr.acc.", "const"},
+	}
+	clusters := map[string][]BenchScore{}
+	var order []string
+	for _, sc := range scores {
+		if sc.Cluster == "" {
+			continue
+		}
+		if _, ok := clusters[sc.Cluster]; !ok {
+			order = append(order, sc.Cluster)
+		}
+		clusters[sc.Cluster] = append(clusters[sc.Cluster], sc)
+	}
+	for _, c := range order {
+		g := PlainAverage(clusters[c])
+		t.AddRow(c, fmt.Sprint(len(clusters[c])), num2(g.Distance), num2(g.Interval),
+			pct(g.Conserv), pct(g.PtrAcc), pct(g.ConstRecall))
+	}
+	all := ClusterAverage(scores)
+	flat := PlainAverage(scores)
+	t.AddRow("Retypd, as reported", "", num2(all.Distance), num2(all.Interval),
+		pct(all.Conserv), pct(all.PtrAcc), pct(all.ConstRecall))
+	t.AddRow("Retypd, without clustering", "", num2(flat.Distance), num2(flat.Interval),
+		pct(flat.Conserv), pct(flat.PtrAcc), pct(flat.ConstRecall))
+	return t.String()
+}
+
+// ScalingPoint is one measurement of the scaling sweep.
+type ScalingPoint struct {
+	Insts   int
+	Seconds float64
+	// AllocBytes is total allocation during inference — the memory
+	// proxy for Figure 12 (the paper measured peak RSS; allocation
+	// volume is the closest hardware-independent analogue).
+	AllocBytes float64
+}
+
+// RunScaling measures inference time and allocation across program
+// sizes (Figures 11 and 12).
+func RunScaling(cfg Config) []ScalingPoint {
+	lat := lattice.Default()
+	var out []ScalingPoint
+	seed := int64(7)
+	for _, size := range cfg.Fig11Sizes {
+		seed++
+		b := corpus.Generate(fmt.Sprintf("scale%d", size), seed, size)
+		prog, err := asm.Parse(b.Source)
+		if err != nil {
+			panic(err)
+		}
+		opts := solver.DefaultOptions()
+		opts.KeepIntermediates = false
+
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res := solver.Infer(prog, lat, nil, opts)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		_ = res
+		out = append(out, ScalingPoint{
+			Insts:      b.Insts,
+			Seconds:    elapsed.Seconds(),
+			AllocBytes: float64(m1.TotalAlloc - m0.TotalAlloc),
+		})
+	}
+	return out
+}
+
+// Figure11 renders the time-scaling fit (paper: t = 0.000725·N^1.098,
+// R² = 0.977).
+func Figure11(points []ScalingPoint) string {
+	var xs, ys []float64
+	t := &Table{
+		Title:   "Figure 11 — type-inference time vs program size",
+		Headers: []string{"instructions", "seconds"},
+	}
+	for _, p := range points {
+		xs = append(xs, float64(p.Insts))
+		ys = append(ys, p.Seconds)
+		t.AddRow(fmt.Sprint(p.Insts), fmt.Sprintf("%.3f", p.Seconds))
+	}
+	fit := FitPower(xs, ys)
+	ll := FitPowerLogLog(xs, ys)
+	return t.String() +
+		fmt.Sprintf("numerical fit   : t = %.3g · N^%.3f   (R² = %.3f)   [paper: N^1.098, R²=0.977]\n",
+			fit.A, fit.B, fit.R2) +
+		fmt.Sprintf("log-log fit     : t = %.3g · N^%.3f   (R² = %.3f)   [§6.6 note comparison]\n",
+			ll.A, ll.B, ll.R2)
+}
+
+// Figure12 renders the memory-scaling fit (paper: m = 0.037·N^0.846,
+// R² = 0.959).
+func Figure12(points []ScalingPoint) string {
+	var xs, ys []float64
+	t := &Table{
+		Title:   "Figure 12 — type-inference memory vs program size",
+		Headers: []string{"instructions", "MB allocated"},
+	}
+	for _, p := range points {
+		xs = append(xs, float64(p.Insts))
+		ys = append(ys, p.AllocBytes/1e6)
+		t.AddRow(fmt.Sprint(p.Insts), fmt.Sprintf("%.1f", p.AllocBytes/1e6))
+	}
+	fit := FitPower(xs, ys)
+	return t.String() +
+		fmt.Sprintf("numerical fit   : m = %.3g · N^%.3f   (R² = %.3f)   [paper: N^0.846, R²=0.959]\n",
+			fit.A, fit.B, fit.R2)
+}
+
+// ConstReport renders the §6.4 const-recovery result (paper: 98%
+// recall).
+func ConstReport(s *SuiteScores) string {
+	scores := s.PerSystem["Retypd"]
+	var truth, found, extra int
+	for _, sc := range scores {
+		truth += sc.Agg.ConstTruth
+		found += sc.Agg.ConstFound
+		extra += sc.Agg.ConstExtra
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "§6.4 const recovery — source const parameters: %d, recovered: %d (recall %.0f%%) [paper: 98%%]\n",
+		truth, found, 100*float64(found)/float64(max(1, truth)))
+	fmt.Fprintf(&b, "additional const annotations on non-const source parameters: %d (paper: uncounted, §6.4)\n", extra)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

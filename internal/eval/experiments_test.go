@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickSuite runs the full cross-system evaluation on a small
+// corpus and sanity-checks the headline shape of Figures 8 and 9:
+// Retypd must dominate the unification baseline on distance and
+// pointer accuracy.
+func TestQuickSuite(t *testing.T) {
+	s := RunSuite(QuickConfig())
+	retypd := ClusterAverage(s.PerSystem["Retypd"])
+	unify := ClusterAverage(s.PerSystem["SecondWrite*"])
+	tie := ClusterAverage(s.PerSystem["TIE*"])
+
+	t.Logf("\n%s", Figure8(s))
+	t.Logf("\n%s", Figure9(s))
+	t.Logf("\n%s", Figure10(s))
+	t.Logf("\n%s", ConstReport(s))
+
+	if retypd.Distance >= unify.Distance {
+		t.Errorf("Retypd distance %.2f should beat unification %.2f", retypd.Distance, unify.Distance)
+	}
+	if retypd.PtrAcc <= unify.PtrAcc {
+		t.Errorf("Retypd pointer accuracy %.2f should beat unification %.2f", retypd.PtrAcc, unify.PtrAcc)
+	}
+	if retypd.Conserv < 0.85 {
+		t.Errorf("Retypd conservativeness %.2f suspiciously low", retypd.Conserv)
+	}
+	if retypd.ConstRecall < 0.9 {
+		t.Errorf("Retypd const recall %.2f, paper reports 98%%", retypd.ConstRecall)
+	}
+	_ = tie
+}
+
+func TestPowerFit(t *testing.T) {
+	xs := []float64{1000, 2000, 4000, 8000, 16000}
+	var ys []float64
+	for _, x := range xs {
+		ys = append(ys, 0.0007*pow(x, 1.1))
+	}
+	fit := FitPower(xs, ys)
+	if fit.B < 1.05 || fit.B > 1.15 {
+		t.Errorf("exponent = %.3f, want ≈1.1", fit.B)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R² = %.4f, want ≈1", fit.R2)
+	}
+}
+
+func pow(x, b float64) float64 {
+	r := 1.0
+	_ = r
+	// tiny helper to avoid importing math in the test
+	return exp(b * ln(x))
+}
+
+func exp(x float64) float64 {
+	s, term := 1.0, 1.0
+	for i := 1; i < 40; i++ {
+		term *= x / float64(i)
+		s += term
+	}
+	return s
+}
+
+func ln(x float64) float64 {
+	// Newton on exp
+	y := 1.0
+	for i := 0; i < 60; i++ {
+		y += 2 * (x - exp(y)) / (x + exp(y))
+	}
+	return y
+}
+
+var _ = strings.Contains

@@ -1,0 +1,105 @@
+package eval
+
+import "math"
+
+// PowerFit is a fitted model y = A·x^B.
+type PowerFit struct {
+	A, B float64
+	R2   float64
+}
+
+// FitPower fits y = A·x^B by numerical least squares in (x, y) space —
+// the paper's §6.6 note is explicit that it fits in value space, not
+// log-log space, because that minimizes the error in predicted values
+// rather than in their logarithms. For a fixed exponent B the optimal
+// A has the closed form Σ(y·x^B)/Σ(x^2B); the exponent is found by
+// iterated grid refinement.
+func FitPower(xs, ys []float64) PowerFit {
+	if len(xs) == 0 {
+		return PowerFit{}
+	}
+	sse := func(b float64) (float64, float64) {
+		var num, den float64
+		for i := range xs {
+			xb := math.Pow(xs[i], b)
+			num += ys[i] * xb
+			den += xb * xb
+		}
+		if den == 0 {
+			return 0, math.Inf(1)
+		}
+		a := num / den
+		var s float64
+		for i := range xs {
+			d := ys[i] - a*math.Pow(xs[i], b)
+			s += d * d
+		}
+		return a, s
+	}
+
+	lo, hi := 0.1, 3.0
+	bestA, bestB, bestS := 0.0, 1.0, math.Inf(1)
+	for refine := 0; refine < 6; refine++ {
+		step := (hi - lo) / 40
+		for b := lo; b <= hi+1e-12; b += step {
+			if a, s := sse(b); s < bestS {
+				bestA, bestB, bestS = a, b, s
+			}
+		}
+		lo = math.Max(0.01, bestB-2*step)
+		hi = bestB + 2*step
+	}
+
+	// R² against the mean.
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var sst float64
+	for _, y := range ys {
+		sst += (y - mean) * (y - mean)
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - bestS/sst
+	}
+	return PowerFit{A: bestA, B: bestB, R2: r2}
+}
+
+// FitPowerLogLog fits y = A·x^B by linear regression in log-log space
+// (the comparison model of the §6.6 note).
+func FitPowerLogLog(xs, ys []float64) PowerFit {
+	n := float64(len(xs))
+	if n == 0 {
+		return PowerFit{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	b := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	a := math.Exp((sy - b*sx) / n)
+
+	// R² in value space for comparability.
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= n
+	var sst, sse float64
+	for i := range ys {
+		sst += (ys[i] - mean) * (ys[i] - mean)
+		d := ys[i] - a*math.Pow(xs[i], b)
+		sse += d * d
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	}
+	return PowerFit{A: a, B: b, R2: r2}
+}

@@ -1,0 +1,39 @@
+package eval
+
+import "testing"
+
+// TestScalingExponent pins the Figure 11 claim: whole-program inference
+// time scales near-linearly despite the cubic per-procedure core
+// (paper: N^1.098). An exponent drifting toward 2 would mean the
+// per-SCC locality argument of §5.3 has been broken.
+func TestScalingExponent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	cfg := Config{Fig11Sizes: []int{1000, 2000, 4000, 8000, 16000}}
+	points := RunScaling(cfg)
+	var xs, ys []float64
+	for _, p := range points {
+		xs = append(xs, float64(p.Insts))
+		ys = append(ys, p.Seconds)
+	}
+	fit := FitPower(xs, ys)
+	t.Logf("t = %.3g · N^%.3f (R²=%.3f); paper: N^1.098, R²=0.977", fit.A, fit.B, fit.R2)
+	if fit.B > 1.45 {
+		t.Errorf("scaling exponent %.3f is superlinear beyond the paper's regime", fit.B)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("power model no longer explains the data (R²=%.3f)", fit.R2)
+	}
+
+	// Memory (Figure 12): allocation volume must not be super-linear.
+	var ms []float64
+	for _, p := range points {
+		ms = append(ms, p.AllocBytes)
+	}
+	mfit := FitPower(xs, ms)
+	t.Logf("m = %.3g · N^%.3f (R²=%.3f); paper (RSS): N^0.846", mfit.A, mfit.B, mfit.R2)
+	if mfit.B > 1.3 {
+		t.Errorf("memory exponent %.3f is super-linear", mfit.B)
+	}
+}

@@ -1,0 +1,23 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"retypd/internal/asm"
+	"retypd/internal/corpus"
+	"retypd/internal/lattice"
+	"retypd/internal/solver"
+)
+
+func TestCorpusSmoke(t *testing.T) {
+	b := corpus.Generate("smoke", 42, 2000)
+	t.Logf("insts=%d truths=%d", b.Insts, len(b.Truths))
+	prog, err := asm.Parse(b.Source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	start := time.Now()
+	res := solver.Infer(prog, lattice.Default(), nil, solver.DefaultOptions())
+	t.Logf("procs=%d elapsed=%v", len(res.Procs), time.Since(start))
+}

@@ -1,0 +1,79 @@
+package lattice
+
+// Default constructs the stock Λ used by the reproduction: C primitive
+// type names, common POSIX/Windows typedefs (§2.8's ad-hoc hierarchies,
+// including the GDI handle family), and the semantic tags used in the
+// paper's examples (#FileDescriptor, #SuccessZ, #signal-number).
+//
+// The paper's production lattice has "hundreds of elements" (§3.5); this
+// one is a representative core that callers can extend through
+// DefaultBuilder before building.
+func Default() *Lattice { return DefaultBuilder().MustBuild() }
+
+// DefaultBuilder returns a Builder pre-populated with the stock Λ so
+// that callers can add domain-specific elements (the run-time
+// extensibility called out in §2.8) before Build.
+func DefaultBuilder() *Builder {
+	b := NewBuilder()
+
+	// Integral tower. num32 is the generic 32-bit scalar; int/uint and
+	// the sized variants refine it. Following TIE's lattice stratification
+	// coarsely: ⊥ <: intN <: int-family <: num-family <: ⊤.
+	for _, decl := range [][2]string{
+		{"num8", "⊤"}, {"num16", "⊤"}, {"num32", "⊤"}, {"num64", "⊤"},
+		{"int", "num32"}, {"uint", "num32"},
+		{"int8", "num8"}, {"uint8", "num8"},
+		{"int16", "num16"}, {"uint16", "num16"},
+		{"int32", "int"}, {"uint32", "uint"},
+		{"int64", "num64"}, {"uint64", "num64"},
+		{"char", "int8"}, {"bool", "int8"},
+		{"short", "int16"},
+		{"long", "int32"},
+		{"float", "num32"}, {"double", "num64"},
+		{"code", "⊤"},
+	} {
+		b.Below(decl[0], decl[1])
+	}
+
+	// Pointer-ish scalars. ptr is the generic data pointer; str is a
+	// char pointer refinement used by the Appendix E example lattice
+	// (Figure 15: ⊥ <: url <: str <: ⊤, num <: ⊤).
+	b.Below("ptr", "num32")
+	b.Below("str", "ptr")
+	b.Below("url", "str")
+
+	// POSIX/libc typedefs.
+	b.Below("size_t", "uint32")
+	b.Below("ssize_t", "int32")
+	b.Below("time_t", "int32")
+	b.Below("off_t", "int32")
+	b.Below("pid_t", "int32")
+	b.Below("FILE", "⊤")
+	b.Below("SOCKET", "uint32")
+
+	// Windows ad-hoc handle hierarchy (§2.8): specific GDI handles are
+	// subtypes of the generic HGDI, all handles below HANDLE (itself a
+	// void* typedef); WPARAM/LPARAM/DWORD are generic 32-bit supertypes.
+	b.Below("HANDLE", "ptr")
+	b.Below("HGDI", "HANDLE")
+	b.Below("HBRUSH", "HGDI")
+	b.Below("HPEN", "HGDI")
+	b.Below("HFONT", "HGDI")
+	b.Below("HWND", "HANDLE")
+	b.Below("int", "LPARAM")
+	b.Below("int", "WPARAM")
+	b.Below("LPARAM", "⊤")
+	b.Below("WPARAM", "⊤")
+	b.Below("uint32", "DWORD")
+	b.Below("DWORD", "⊤")
+
+	// Semantic purpose tags from the paper's examples. They sit directly
+	// under ⊤ and are combined with scalar names by meets, e.g.
+	// int ∧ #FileDescriptor (Figure 2).
+	b.Below("#FileDescriptor", "⊤")
+	b.Below("#SuccessZ", "⊤")
+	b.Below("#signal-number", "⊤")
+	b.Below("#ErrnoZ", "⊤")
+
+	return b
+}

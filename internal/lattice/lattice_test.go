@@ -1,0 +1,158 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testLattice(t *testing.T) *Lattice {
+	t.Helper()
+	return Default()
+}
+
+// pick maps an arbitrary uint onto an element, for property tests.
+func pick(l *Lattice, n uint) Elem { return Elem(n % uint(l.Size())) }
+
+// TestLatticeLawsQuick property-checks the lattice axioms over the
+// default Λ with testing/quick: commutativity, associativity,
+// idempotence, absorption, and consistency of ≤ with ∨/∧.
+func TestLatticeLawsQuick(t *testing.T) {
+	l := testLattice(t)
+	cfg := &quick.Config{MaxCount: 2000}
+
+	if err := quick.Check(func(a, b uint) bool {
+		x, y := pick(l, a), pick(l, b)
+		return l.Join(x, y) == l.Join(y, x) && l.Meet(x, y) == l.Meet(y, x)
+	}, cfg); err != nil {
+		t.Error("commutativity:", err)
+	}
+	if err := quick.Check(func(a uint) bool {
+		x := pick(l, a)
+		return l.Join(x, x) == x && l.Meet(x, x) == x
+	}, cfg); err != nil {
+		t.Error("idempotence:", err)
+	}
+	if err := quick.Check(func(a, b uint) bool {
+		x, y := pick(l, a), pick(l, b)
+		// Absorption holds in any lattice: x ∨ (x ∧ y) = x.
+		return l.Join(x, l.Meet(x, y)) == x && l.Meet(x, l.Join(x, y)) == x
+	}, cfg); err != nil {
+		t.Error("absorption:", err)
+	}
+	if err := quick.Check(func(a, b uint) bool {
+		x, y := pick(l, a), pick(l, b)
+		// x ≤ y ⟺ x ∨ y = y ⟺ x ∧ y = x.
+		if l.Leq(x, y) != (l.Join(x, y) == y) {
+			return false
+		}
+		return l.Leq(x, y) == (l.Meet(x, y) == x)
+	}, cfg); err != nil {
+		t.Error("order consistency:", err)
+	}
+	if err := quick.Check(func(a, b uint) bool {
+		x, y := pick(l, a), pick(l, b)
+		// Bounds: x ≤ x∨y and x∧y ≤ x.
+		return l.Leq(x, l.Join(x, y)) && l.Leq(l.Meet(x, y), x)
+	}, cfg); err != nil {
+		t.Error("bound laws:", err)
+	}
+}
+
+// TestJoinIsLeastUpperBound verifies, exhaustively over the default Λ,
+// that Join returns an upper bound below every common upper bound
+// expressible as another Join — the defining universal property.
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	l := testLattice(t)
+	es := l.Elements()
+	for _, a := range es {
+		for _, b := range es {
+			j := l.Join(a, b)
+			if !l.Leq(a, j) || !l.Leq(b, j) {
+				t.Fatalf("join(%s,%s)=%s is not an upper bound", l.Name(a), l.Name(b), l.Name(j))
+			}
+			m := l.Meet(a, b)
+			if !l.Leq(m, a) || !l.Leq(m, b) {
+				t.Fatalf("meet(%s,%s)=%s is not a lower bound", l.Name(a), l.Name(b), l.Name(m))
+			}
+		}
+	}
+}
+
+// TestAdHocHierarchy checks the §2.8 relations of the stock lattice.
+func TestAdHocHierarchy(t *testing.T) {
+	l := testLattice(t)
+	checks := [][2]string{
+		{"HBRUSH", "HGDI"}, {"HPEN", "HGDI"}, {"HGDI", "HANDLE"},
+		{"HANDLE", "ptr"}, {"int", "LPARAM"}, {"int", "WPARAM"},
+		{"uint32", "DWORD"}, {"url", "str"}, {"str", "ptr"},
+		{"int32", "int"}, {"size_t", "uint32"}, {"char", "int8"},
+	}
+	for _, c := range checks {
+		if !l.Leq(l.MustElem(c[0]), l.MustElem(c[1])) {
+			t.Errorf("want %s <: %s", c[0], c[1])
+		}
+	}
+	nots := [][2]string{
+		{"HGDI", "HBRUSH"}, {"int", "uint"}, {"FILE", "int"}, {"ptr", "int"},
+	}
+	for _, c := range nots {
+		if l.Leq(l.MustElem(c[0]), l.MustElem(c[1])) {
+			t.Errorf("do not want %s <: %s", c[0], c[1])
+		}
+	}
+}
+
+// TestFigure15Lattice builds Appendix E's example lattice and checks
+// the meets/joins used by the reverse_dns example (E.1).
+func TestFigure15Lattice(t *testing.T) {
+	b := NewBuilder()
+	b.Below("num", "⊤")
+	b.Below("str", "⊤")
+	b.Below("url", "str")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := l.MustElem("url")
+	str := l.MustElem("str")
+	num := l.MustElem("num")
+	if !l.Leq(url, str) {
+		t.Error("url <: str")
+	}
+	if l.Join(url, num) != l.Top() {
+		t.Error("url ∨ num should be ⊤")
+	}
+	if l.Meet(str, num) != l.Bottom() {
+		t.Error("str ∧ num should be ⊥")
+	}
+	if l.Meet(url, str) != url {
+		t.Error("url ∧ str should be url")
+	}
+}
+
+// TestCycleRejected: declaring a <: b <: a must fail.
+func TestCycleRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Below("a", "b")
+	b.Below("b", "a")
+	if _, err := b.Build(); err == nil {
+		t.Error("cycle should be rejected")
+	}
+}
+
+// TestAntichain verifies the Example 4.2 antichain reduction.
+func TestAntichain(t *testing.T) {
+	l := testLattice(t)
+	in := []Elem{l.MustElem("int32"), l.MustElem("int"), l.MustElem("str")}
+	out := l.Antichain(in)
+	if len(out) != 2 {
+		t.Fatalf("antichain of {int32, int, str} should have 2 members, got %d", len(out))
+	}
+	names := map[string]bool{}
+	for _, e := range out {
+		names[l.Name(e)] = true
+	}
+	if !names["int32"] || !names["str"] {
+		t.Errorf("antichain should keep the minimal elements int32 and str: %v", names)
+	}
+}

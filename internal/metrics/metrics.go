@@ -1,0 +1,559 @@
+// Package metrics implements the evaluation metrics of §6.5, defined by
+// Lee et al. (TIE) and used by the paper to compare Retypd against
+// TIE, REWARDS and SecondWrite:
+//
+//   - distance: lattice distance from the displayed type to the
+//     ground-truth type (max 4; recursive formula for pointers and
+//     structs);
+//   - interval size: lattice distance from the inferred upper bound to
+//     the inferred lower bound;
+//   - conservativeness: whether [lower, upper] over-approximates the
+//     declared type;
+//   - multi-level pointer accuracy (ElWazeer et al.): fraction of
+//     pointer levels correctly recovered;
+//   - const precision/recall (§6.4).
+package metrics
+
+import (
+	"strings"
+
+	"retypd/internal/ctype"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+	"retypd/internal/sketch"
+)
+
+// VarTruth is the ground truth for one scored variable (a parameter or
+// return value of a procedure), as recorded by the corpus generator
+// from the "source code" it compiled.
+type VarTruth struct {
+	Func string
+	// Kind is "param" or "ret".
+	Kind string
+	// Index is the parameter index for params.
+	Index int
+	// Type is the declared C type.
+	Type *ctype.Type
+	// Const marks pointer parameters declared const.
+	Const bool
+}
+
+// Sample is the scored result for one variable.
+type Sample struct {
+	Distance     float64
+	Interval     float64
+	Conservative bool
+	// PtrLevels / PtrMatched feed the multi-level pointer accuracy.
+	PtrLevels, PtrMatched int
+	// Const scoring (pointer parameters only).
+	ConstEligible, ConstTruth, ConstInferred bool
+}
+
+// Aggregate accumulates samples (§6.2's per-benchmark averages).
+type Aggregate struct {
+	N            int
+	SumDistance  float64
+	SumInterval  float64
+	Conservative int
+	PtrLevels    int
+	PtrMatched   int
+	ConstTruth   int
+	ConstFound   int
+	ConstExtra   int
+}
+
+// Add accumulates one sample.
+func (a *Aggregate) Add(s Sample) {
+	a.N++
+	a.SumDistance += s.Distance
+	a.SumInterval += s.Interval
+	if s.Conservative {
+		a.Conservative++
+	}
+	a.PtrLevels += s.PtrLevels
+	a.PtrMatched += s.PtrMatched
+	if s.ConstEligible {
+		if s.ConstTruth {
+			a.ConstTruth++
+			if s.ConstInferred {
+				a.ConstFound++
+			}
+		} else if s.ConstInferred {
+			a.ConstExtra++
+		}
+	}
+}
+
+// Merge folds another aggregate in.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.N += b.N
+	a.SumDistance += b.SumDistance
+	a.SumInterval += b.SumInterval
+	a.Conservative += b.Conservative
+	a.PtrLevels += b.PtrLevels
+	a.PtrMatched += b.PtrMatched
+	a.ConstTruth += b.ConstTruth
+	a.ConstFound += b.ConstFound
+	a.ConstExtra += b.ConstExtra
+}
+
+// MeanDistance reports the mean distance-to-truth.
+func (a *Aggregate) MeanDistance() float64 { return safeDiv(a.SumDistance, float64(a.N)) }
+
+// MeanInterval reports the mean interval size.
+func (a *Aggregate) MeanInterval() float64 { return safeDiv(a.SumInterval, float64(a.N)) }
+
+// Conservativeness reports the conservative fraction.
+func (a *Aggregate) Conservativeness() float64 {
+	return safeDiv(float64(a.Conservative), float64(a.N))
+}
+
+// PointerAccuracy reports the multi-level pointer accuracy.
+func (a *Aggregate) PointerAccuracy() float64 {
+	return safeDiv(float64(a.PtrMatched), float64(a.PtrLevels))
+}
+
+// ConstRecall reports the fraction of source const annotations
+// recovered (§6.4).
+func (a *Aggregate) ConstRecall() float64 {
+	return safeDiv(float64(a.ConstFound), float64(a.ConstTruth))
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Scorer evaluates inferred results against truths over a lattice.
+type Scorer struct {
+	Lat *lattice.Lattice
+}
+
+// levels assigns the TIE-style stratification level of a lattice
+// element name: 0 for ⊥, 1 for fully specific scalars and typedefs,
+// 2 for int/uint, 3 for generic machine words, 4 for ⊤.
+func levelName(name string) float64 {
+	switch name {
+	case "⊥":
+		return 0
+	case "int", "uint", "str", "HGDI":
+		return 2
+	case "num8", "num16", "num32", "num64", "DWORD", "WPARAM", "LPARAM", "ptr", "HANDLE":
+		return 3
+	case "⊤":
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Level reports the stratification level of e.
+func (sc *Scorer) Level(e lattice.Elem) float64 { return levelName(sc.Lat.Name(e)) }
+
+// scalarDist is the lattice distance between two element names.
+func (sc *Scorer) scalarDist(a, b lattice.Elem) float64 {
+	if a == b {
+		return 0
+	}
+	la, lb := sc.Level(a), sc.Level(b)
+	switch {
+	case sc.Lat.Leq(a, b), sc.Lat.Leq(b, a):
+		return abs(la - lb)
+	default:
+		j := sc.Lat.Join(a, b)
+		d := (sc.Level(j) - la) + (sc.Level(j) - lb)
+		return min4(d)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min4(x float64) float64 {
+	if x > 4 {
+		return 4
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// effBounds computes the node's effective scalar bounds: semantic tags
+// (#FileDescriptor, …) live beside the scalar names in Λ, so the joined
+// Lower/meeted Upper can collapse to ⊤/⊥ (Figure 2's int ∨ #SuccessZ);
+// the metrics use the join/meet of the non-tag bound-set members.
+func (sc *Scorer) effBounds(node *sketch.State) (lo, hi lattice.Elem) {
+	lo, hi = sc.Lat.Bottom(), sc.Lat.Top()
+	for _, e := range node.LowerSet {
+		if !strings.HasPrefix(sc.Lat.Name(e), "#") {
+			lo = sc.Lat.Join(lo, e)
+		}
+	}
+	for _, e := range node.UpperSet {
+		if !strings.HasPrefix(sc.Lat.Name(e), "#") {
+			hi = sc.Lat.Meet(hi, e)
+		}
+	}
+	return lo, hi
+}
+
+// truthElem maps a ground-truth scalar C type to its lattice element.
+func (sc *Scorer) truthElem(t *ctype.Type) (lattice.Elem, bool) {
+	if t == nil || t.Kind != ctype.KPrim {
+		return 0, false
+	}
+	name := t.Name
+	if name == "char*" || name == "char *" {
+		name = "str"
+	}
+	e, ok := sc.Lat.Elem(name)
+	return e, ok
+}
+
+// Distance computes the TIE distance between the displayed type and the
+// truth, capped at 4, halving at each pointer level (the recursive
+// formula for pointer and structural types).
+func (sc *Scorer) Distance(inferred, truth *ctype.Type) float64 {
+	return min4(sc.dist(inferred, truth, 6))
+}
+
+func (sc *Scorer) dist(inf, truth *ctype.Type, depth int) float64 {
+	if truth == nil {
+		return 0
+	}
+	if inf == nil {
+		return 4
+	}
+	if depth == 0 {
+		return 0
+	}
+	// Normalize pointer-like scalars on both sides.
+	if truth.Kind == ctype.KPrim && (truth.Name == "char*" || truth.Name == "char *") {
+		truth = ctype.PtrTo(ctype.Prim("char"))
+	}
+	if truth.Kind == ctype.KPrim && truth.Name == "void" {
+		return 0 // void truth constrains nothing
+	}
+	if inf.Kind == ctype.KPrim && inf.Name == "str" {
+		inf = ctype.PtrTo(ctype.Prim("char"))
+	}
+	if inf.Kind == ctype.KPrim && (inf.Name == "ptr" || inf.Name == "HANDLE") && truth.Kind == ctype.KPtr {
+		inf = ctype.PtrTo(ctype.Unknown())
+	}
+
+	switch truth.Kind {
+	case ctype.KPtr:
+		switch inf.Kind {
+		case ctype.KPtr:
+			return 0.5 * sc.dist(inf.Elem, truth.Elem, depth-1)
+		case ctype.KUnknown:
+			return 2 // unconstrained: half the lattice away
+		case ctype.KUnion:
+			return sc.bestMember(inf, truth, depth)
+		default:
+			return 2.5 // scalar where a pointer belongs
+		}
+	case ctype.KStruct:
+		if inf.Kind == ctype.KStruct {
+			return sc.structDist(inf, truth, depth)
+		}
+		if inf.Kind == ctype.KUnknown {
+			return 2
+		}
+		return 2.5
+	case ctype.KPrim:
+		te, ok := sc.truthElem(truth)
+		if !ok {
+			return 1
+		}
+		switch inf.Kind {
+		case ctype.KPrim:
+			ie, ok := sc.truthElem(inf)
+			if !ok {
+				return 1
+			}
+			return sc.scalarDist(ie, te)
+		case ctype.KUnknown:
+			return 4 - levelName(truth.Name)
+		case ctype.KPtr:
+			return 2.5
+		case ctype.KUnion:
+			return sc.bestMember(inf, truth, depth)
+		default:
+			return 2.5
+		}
+	default:
+		if inf.Kind == truth.Kind {
+			return 0
+		}
+		return 2
+	}
+}
+
+// bestMember scores a union as its best member plus a 0.5 ambiguity
+// penalty (Example 4.2's display can only be half right).
+func (sc *Scorer) bestMember(u, truth *ctype.Type, depth int) float64 {
+	best := 4.0
+	for _, m := range u.Members {
+		if d := sc.dist(m, truth, depth-1); d < best {
+			best = d
+		}
+	}
+	return min4(best + 0.5)
+}
+
+func (sc *Scorer) structDist(inf, truth *ctype.Type, depth int) float64 {
+	if len(truth.Fields) == 0 {
+		return 0
+	}
+	infByOff := map[int]*ctype.Type{}
+	for _, f := range inf.Fields {
+		infByOff[f.Off] = f.Type
+	}
+	total := 0.0
+	for _, f := range truth.Fields {
+		if it, ok := infByOff[f.Off]; ok {
+			total += sc.dist(it, f.Type, depth-1)
+		} else {
+			total += 2 // missing field
+		}
+	}
+	return min4(total / float64(len(truth.Fields)))
+}
+
+// Interval computes the interval-size metric from a sketch: the lattice
+// distance between the node's upper and lower bounds, recursing through
+// one pointer level with the TIE halving.
+func (sc *Scorer) Interval(sk *sketch.Sketch) float64 {
+	if sk == nil {
+		return 4
+	}
+	return min4(sc.intervalAt(sk, 0, 3))
+}
+
+func (sc *Scorer) intervalAt(sk *sketch.Sketch, st int, depth int) float64 {
+	node := &sk.States[st]
+	if depth == 0 {
+		return 0
+	}
+	// Pointer-capable: interval is half the pointee's.
+	for _, e := range node.Edges {
+		if e.Label.Kind() == label.KLoad || e.Label.Kind() == label.KStore {
+			inner := 0.0
+			// Descend through the access and its σ field if present.
+			t := e.To
+			if len(sk.States[t].Edges) > 0 && sk.States[t].Edges[0].Label.Kind() == label.KField {
+				inner = sc.intervalAt(sk, sk.States[t].Edges[0].To, depth-1)
+			} else {
+				inner = sc.intervalAt(sk, t, depth-1)
+			}
+			return 0.5 * inner
+		}
+	}
+	lo, hi := sc.effBounds(node)
+	return sc.Level(hi) - sc.Level(lo)
+}
+
+// Conservative reports whether the sketch's bound interval
+// over-approximates the truth (recursing one level through pointers).
+func (sc *Scorer) Conservative(sk *sketch.Sketch, truth *ctype.Type) bool {
+	if sk == nil {
+		return true
+	}
+	return sc.conservativeAt(sk, 0, truth, 4)
+}
+
+func (sc *Scorer) conservativeAt(sk *sketch.Sketch, st int, truth *ctype.Type, depth int) bool {
+	if truth == nil || depth == 0 {
+		return true
+	}
+	node := &sk.States[st]
+	hasPtrCap := false
+	var pointee = -1
+	for _, e := range node.Edges {
+		if e.Label.Kind() == label.KLoad || e.Label.Kind() == label.KStore {
+			hasPtrCap = true
+			pointee = e.To
+		}
+	}
+	if truth.Kind == ctype.KPrim && (truth.Name == "char*" || truth.Name == "char *") {
+		truth = ctype.PtrTo(ctype.Prim("char"))
+	}
+	switch truth.Kind {
+	case ctype.KPtr, ctype.KStruct:
+		// A scalar upper bound strictly below a pointable level
+		// contradicts pointerhood.
+		if !hasPtrCap {
+			_, hi := sc.effBounds(node)
+			return hi == sc.Lat.Top() ||
+				sc.Lat.Name(hi) == "ptr" || sc.Lat.Name(hi) == "str" ||
+				node.Flags&sketch.FlagPointer != 0
+		}
+		if truth.Kind == ctype.KPtr && pointee >= 0 {
+			// Descend through σ32@0 when present.
+			t := pointee
+			for _, e := range sk.States[t].Edges {
+				if e.Label.Kind() == label.KField && e.Label.Offset() == 0 {
+					return sc.conservativeAt(sk, e.To, truth.Elem, depth-1)
+				}
+			}
+			return sc.conservativeAt(sk, t, truth.Elem, depth-1)
+		}
+		return true
+	case ctype.KPrim:
+		te, ok := sc.truthElem(truth)
+		if !ok {
+			return true
+		}
+		if hasPtrCap {
+			// Claimed pointer where the truth is scalar: unsound
+			// unless the scalar is itself pointer-like.
+			return sc.Lat.Leq(te, mustElem(sc.Lat, "ptr"))
+		}
+		lo, hi := sc.effBounds(node)
+		return sc.Lat.Leq(lo, te) && sc.Lat.Leq(te, hi)
+	default:
+		return true
+	}
+}
+
+func mustElem(lat *lattice.Lattice, name string) lattice.Elem {
+	if e, ok := lat.Elem(name); ok {
+		return e
+	}
+	return lat.Top()
+}
+
+// inferredPointerAt reports whether the sketch state claims a pointer:
+// a load/store capability, a pointer-family lattice bound, or the
+// Figure 13 pointer flag. The pointee state (for capability-based
+// claims) is returned for descent.
+func (sc *Scorer) inferredPointerAt(sk *sketch.Sketch, st int) (bool, int) {
+	node := &sk.States[st]
+	for _, e := range node.Edges {
+		if e.Label.Kind() == label.KLoad || e.Label.Kind() == label.KStore {
+			// The pointer spine continues only through a scalar
+			// pointee (a single field at offset 0, mirroring the
+			// display policy); a struct pointee ends the spine.
+			t := e.To
+			var fieldEdges []sketch.Edge
+			for _, e2 := range sk.States[t].Edges {
+				if e2.Label.Kind() == label.KField {
+					fieldEdges = append(fieldEdges, e2)
+				}
+			}
+			if len(fieldEdges) == 1 && fieldEdges[0].Label.Offset() == 0 {
+				return true, fieldEdges[0].To
+			}
+			if len(fieldEdges) == 0 {
+				return true, t
+			}
+			return true, -1
+		}
+	}
+	lo, hi := sc.effBounds(node)
+	ptrE, ok := sc.Lat.Elem("ptr")
+	if ok {
+		if lo != sc.Lat.Bottom() && sc.Lat.Leq(lo, ptrE) {
+			return true, -1
+		}
+		if hi != sc.Lat.Top() && sc.Lat.Leq(hi, ptrE) {
+			return true, -1
+		}
+	}
+	if node.Flags&sketch.FlagPointer != 0 {
+		return true, -1
+	}
+	return false, -1
+}
+
+// PointerLevels implements the multi-level pointer accuracy of
+// ElWazeer et al. (§6.5): the truth's pointer spine is compared with
+// the inferred one; levels is the longer of the two spines (claiming a
+// pointer where the source has a scalar counts against accuracy, as
+// does missing one), matched is the agreeing prefix.
+func (sc *Scorer) PointerLevels(sk *sketch.Sketch, truth *ctype.Type) (levels, matched int) {
+	truthL := 0
+	cur := truth
+	for cur != nil {
+		if cur.Kind == ctype.KPrim && (cur.Name == "char*" || cur.Name == "char *") {
+			cur = ctype.PtrTo(ctype.Prim("char"))
+		}
+		if cur.Kind != ctype.KPtr {
+			break
+		}
+		truthL++
+		cur = cur.Elem
+	}
+	// Opaque pointer typedefs (HANDLE and friends, §2.8) are scalars in
+	// the source but pointers underneath; they are excluded from the
+	// spine comparison rather than counted as over-claims.
+	if truthL == 0 {
+		if te, ok := sc.truthElem(truth); ok {
+			if pe, okp := sc.Lat.Elem("ptr"); okp && sc.Lat.Leq(te, pe) {
+				return 0, 0
+			}
+		}
+	}
+	infL := 0
+	if sk != nil {
+		st := 0
+		for infL < truthL+2 {
+			isPtr, next := sc.inferredPointerAt(sk, st)
+			if !isPtr {
+				break
+			}
+			infL++
+			if next < 0 {
+				break
+			}
+			st = next
+		}
+	}
+	levels = truthL
+	if infL > levels {
+		levels = infL
+	}
+	matched = truthL
+	if infL < matched {
+		matched = infL
+	}
+	return levels, matched
+}
+
+// Score evaluates one variable.
+func (sc *Scorer) Score(sk *sketch.Sketch, displayed *ctype.Type, truth VarTruth) Sample {
+	s := Sample{
+		Distance:     sc.Distance(displayed, truth.Type),
+		Interval:     sc.Interval(sk),
+		Conservative: sc.Conservative(sk, truth.Type),
+	}
+	s.PtrLevels, s.PtrMatched = sc.PointerLevels(sk, truth.Type)
+	if truth.Kind == "param" && truthIsPointer(truth.Type) {
+		s.ConstEligible = true
+		s.ConstTruth = truth.Const
+		if sk != nil {
+			hasLoad := sk.Accepts(label.Word{label.Load()})
+			hasStore := sk.Accepts(label.Word{label.Store()})
+			s.ConstInferred = hasLoad && !hasStore
+		}
+	}
+	return s
+}
+
+func truthIsPointer(t *ctype.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.Kind == ctype.KPtr {
+		return true
+	}
+	return t.Kind == ctype.KPrim && (t.Name == "char*" || t.Name == "char *" || strings.HasSuffix(t.Name, "*"))
+}

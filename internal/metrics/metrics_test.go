@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"testing"
+
+	"retypd/internal/constraints"
+	"retypd/internal/ctype"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+	"retypd/internal/sketch"
+)
+
+func scorer() (*Scorer, *lattice.Lattice) {
+	lat := lattice.Default()
+	return &Scorer{Lat: lat}, lat
+}
+
+// TestDistanceBasics spot-checks the TIE distance.
+func TestDistanceBasics(t *testing.T) {
+	sc, _ := scorer()
+	cases := []struct {
+		inf, truth *ctype.Type
+		lo, hi     float64
+	}{
+		{ctype.Prim("int"), ctype.Prim("int"), 0, 0},
+		{ctype.Prim("int32"), ctype.Prim("int"), 1, 1},
+		{ctype.Unknown(), ctype.Prim("int"), 2, 2},
+		{ctype.Prim("int"), ctype.PtrTo(ctype.Prim("int")), 2.5, 2.5},
+		{ctype.PtrTo(ctype.Prim("int")), ctype.PtrTo(ctype.Prim("int")), 0, 0},
+		{ctype.PtrTo(ctype.Unknown()), ctype.PtrTo(ctype.Prim("int")), 1, 1},
+		{ctype.Prim("str"), ctype.Prim("char*"), 0, 0},
+	}
+	for i, c := range cases {
+		d := sc.Distance(c.inf, c.truth)
+		if d < c.lo || d > c.hi {
+			t.Errorf("case %d: distance(%s, %s) = %.2f, want [%.2f, %.2f]",
+				i, c.inf, c.truth, d, c.lo, c.hi)
+		}
+	}
+}
+
+// TestConservativeScalar: interval containment of the truth.
+func TestConservativeScalar(t *testing.T) {
+	sc, lat := scorer()
+	sk := sketch.NewTop(lat)
+	sk.States[0].AddUpper(lat, lat.MustElem("int"))
+	if !sc.Conservative(sk, ctype.Prim("int")) {
+		t.Error("[⊥,int] contains int")
+	}
+	if sc.Conservative(sk, ctype.PtrTo(ctype.Prim("int"))) {
+		t.Error("[⊥,int] cannot contain a pointer")
+	}
+	sk2 := sketch.NewTop(lat)
+	sk2.States[0].AddLower(lat, lat.MustElem("num32"))
+	if sc.Conservative(sk2, ctype.Prim("char")) {
+		t.Error("[num32,⊤] does not contain char")
+	}
+}
+
+// TestPointerLevels: multi-level accuracy with over-claim penalty.
+func TestPointerLevels(t *testing.T) {
+	sc, lat := scorer()
+	// A sketch claiming one pointer level.
+	cs := constraints.MustParseSet(`
+		p.load.σ32@0 <= int
+		x <= p
+	`)
+	sh := sketch.InferShapes(cs, lat)
+	sk := sh.SketchFor("x", -1)
+
+	// Truth int*: 1 level, matched.
+	l, m := sc.PointerLevels(sk, ctype.PtrTo(ctype.Prim("int")))
+	if l != 1 || m != 1 {
+		t.Errorf("int*: %d/%d, want 1/1", m, l)
+	}
+	// Truth int**: 2 levels, 1 matched.
+	l, m = sc.PointerLevels(sk, ctype.PtrTo(ctype.PtrTo(ctype.Prim("int"))))
+	if l != 2 || m != 1 {
+		t.Errorf("int**: %d/%d, want 1/2", m, l)
+	}
+	// Truth int (scalar): over-claim penalized.
+	l, m = sc.PointerLevels(sk, ctype.Prim("int"))
+	if l != 1 || m != 0 {
+		t.Errorf("scalar truth with pointer claim: %d/%d, want 0/1", m, l)
+	}
+	// Opaque handles are exempt.
+	l, m = sc.PointerLevels(sk, ctype.Prim("HANDLE"))
+	if l != 0 || m != 0 {
+		t.Errorf("HANDLE: %d/%d, want 0/0", m, l)
+	}
+}
+
+// TestConstScoring: recall bookkeeping.
+func TestConstScoring(t *testing.T) {
+	sc, lat := scorer()
+	cs := constraints.MustParseSet(`
+		p.load.σ32@0 <= int
+		x <= p
+	`)
+	sh := sketch.InferShapes(cs, lat)
+	sk := sh.SketchFor("x", -1)
+	if !sk.Accepts(label.Word{label.Load()}) {
+		t.Fatal("sketch should be loadable")
+	}
+	s := sc.Score(sk, ctype.PtrTo(ctype.Prim("int")), VarTruth{
+		Kind: "param", Type: ctype.PtrTo(ctype.Prim("int")), Const: true,
+	})
+	if !s.ConstEligible || !s.ConstTruth || !s.ConstInferred {
+		t.Errorf("const sample wrong: %+v", s)
+	}
+	var agg Aggregate
+	agg.Add(s)
+	if agg.ConstRecall() != 1 {
+		t.Errorf("recall = %v", agg.ConstRecall())
+	}
+}
+
+// TestIntervalMetric: unconstrained = 4; [⊥,int] = 2; pointer halves.
+func TestIntervalMetric(t *testing.T) {
+	sc, lat := scorer()
+	top := sketch.NewTop(lat)
+	if iv := sc.Interval(top); iv != 4 {
+		t.Errorf("⊤ interval = %v", iv)
+	}
+	bounded := sketch.NewTop(lat)
+	bounded.States[0].AddUpper(lat, lat.MustElem("int"))
+	if iv := sc.Interval(bounded); iv != 2 {
+		t.Errorf("[⊥,int] interval = %v", iv)
+	}
+	point := sketch.NewTop(lat)
+	point.States[0].AddUpper(lat, lat.MustElem("int"))
+	point.States[0].AddLower(lat, lat.MustElem("int"))
+	if iv := sc.Interval(point); iv != 0 {
+		t.Errorf("[int,int] interval = %v", iv)
+	}
+}
+
+// TestAggregateMerge checks the accumulation arithmetic.
+func TestAggregateMerge(t *testing.T) {
+	var a, b Aggregate
+	a.Add(Sample{Distance: 1, Interval: 2, Conservative: true, PtrLevels: 1, PtrMatched: 1})
+	b.Add(Sample{Distance: 3, Interval: 0, Conservative: false})
+	a.Merge(b)
+	if a.N != 2 || a.MeanDistance() != 2 || a.Conservativeness() != 0.5 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+}

@@ -1,0 +1,96 @@
+package pgraph
+
+import (
+	"strings"
+	"testing"
+
+	"retypd/internal/constraints"
+	"retypd/internal/lattice"
+)
+
+// figure20 is the raw constraint set obtained by abstract interpretation
+// of close_last (Appendix H, Figure 20), transliterated: AR slots become
+// slot variables, registers keep their definition sites.
+const figure20 = `
+	AR_INITIAL <= EDX_8048420
+	close_last.in_stack0 <= AR_INITIAL
+	EAX_804843F <= close_last.out_eax
+	EAX_8048432 <= EDX_8048430
+	EDX_8048420 <= unknown_loc_106
+	EDX_8048430 <= unknown_loc_106
+	unknown_loc_106.load.σ32@0 <= EAX_8048432
+	EDX_8048420 <= unknown_loc_111
+	EDX_8048430 <= unknown_loc_111
+	unknown_loc_111.load.σ32@4 <= EAX_8048438
+	EAX_8048438 <= AR_804843B
+	AR_804843B <= close.in_stack0
+	close.in_stack0 <= #FileDescriptor
+	close.in_stack0 <= int
+	close.out_eax <= EAX_804843F
+	int <= close.out_eax
+	#SuccessZ <= close.out_eax
+`
+
+// TestAppendixH runs the simplification algorithm on Figure 20's
+// constraints with close_last interesting (close is an external whose
+// variables are eliminated together with the register/slot variables)
+// and checks that the result is equivalent to the Figure 2 scheme: the
+// transducer Q of Figure 19 recognizes exactly
+//
+//	close_last.in_stack0.(load.σ32@0)*.load.σ32@4 ⊑ int ∧ #FileDescriptor
+//	int ∨ #SuccessZ ⊑ close_last.out_eax
+func TestAppendixH(t *testing.T) {
+	cs := constraints.MustParseSet(figure20)
+	lat := lattice.Default()
+	g := Build(cs, lat)
+	res := g.Simplify(func(v constraints.Var) bool { return v == "close_last" })
+
+	t.Logf("simplified (%d constraints):\n%s", res.Constraints.Len(), res.Constraints)
+
+	g2 := Build(res.Constraints, lat)
+	g2.Saturate()
+	mustProve := [][2]string{
+		{"close_last.in_stack0.load.σ32@4", "int"},
+		{"close_last.in_stack0.load.σ32@4", "#FileDescriptor"},
+		{"close_last.in_stack0.load.σ32@0.load.σ32@4", "int"},
+		{"close_last.in_stack0.load.σ32@0.load.σ32@0.load.σ32@4", "#FileDescriptor"},
+		{"int", "close_last.out_eax"},
+		{"#SuccessZ", "close_last.out_eax"},
+	}
+	for _, q := range mustProve {
+		if !g2.Proves(mustDTV(t, q[0]), mustDTV(t, q[1])) {
+			t.Errorf("simplified scheme lost %s ⊑ %s", q[0], q[1])
+		}
+	}
+	mustNot := [][2]string{
+		{"close_last.in_stack0.load.σ32@0", "int"}, // the next field is not an int
+		{"close_last.in_stack0.load.σ32@8", "int"}, // no σ32@8 capability
+		{"close_last.out_eax", "int"},              // out is bounded below, not above
+		{"int", "close_last.in_stack0.load.σ32@4"}, // handle is bounded above, not below
+	}
+	for _, q := range mustNot {
+		if g2.Proves(mustDTV(t, q[0]), mustDTV(t, q[1])) {
+			t.Errorf("simplified scheme invented %s ⊑ %s", q[0], q[1])
+		}
+	}
+
+	// Internal variables must all be eliminated.
+	for _, c := range res.Constraints.Subtypes() {
+		for _, d := range []constraints.DTV{c.L, c.R} {
+			switch string(d.Base) {
+			case "close_last", "int", "#FileDescriptor", "#SuccessZ":
+			default:
+				if !strings.HasPrefix(string(d.Base), "τ") {
+					t.Errorf("unexpected variable %q in simplification: %s", d.Base, c)
+				}
+			}
+		}
+	}
+
+	// The output must be small: the paper's Figure 2 scheme has 4
+	// constraints over one existential; allow modest slack for the
+	// extra τ per merge point.
+	if res.Constraints.Len() > 16 {
+		t.Errorf("simplification too large: %d constraints", res.Constraints.Len())
+	}
+}

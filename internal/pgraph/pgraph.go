@@ -1,0 +1,394 @@
+// Package pgraph implements the pushdown-system encoding of constraint
+// entailment at the core of Retypd (Noonan et al., PLDI 2016, §5 and
+// Appendix D).
+//
+// Proofs in the deduction system of Figure 3 have a normal form
+// (Theorem B.1) that corresponds to transition sequences of an
+// unconstrained pushdown system. The graph built here encodes those
+// transition sequences:
+//
+//   - a node is a pair (d, s) of a derived type variable d (drawn from
+//     the prefix closure of the constraint set) and a variance
+//     s ∈ {⊕,⊖} — the variance of the pending stack suffix at that point
+//     of a derivation;
+//   - for every constraint α ⊑ β there are ε-edges (α,⊕)→(β,⊕) (the
+//     axiom used covariantly) and (β,⊖)→(α,⊖) (contravariantly);
+//   - for every derived type variable α.ℓ there is a pop edge
+//     (α,s) →pop ℓ→ (α.ℓ, s·⟨ℓ⟩) that moves a label from the stack into
+//     the variable, and the inverse push edge.
+//
+// Saturation (Algorithm D.2) adds shortcut ε-edges so that every
+// derivable judgement X.u ⊑ Y.v between interesting variables is
+// witnessed by a canonical path: pops first, then ε-edges, then pushes.
+// The infinite S-POINTER rule family (α.store ⊑ α.load for every α) is
+// instantiated lazily during saturation: rewriting the stack top between
+// .store (contravariant) and .load (covariant) flips the suffix
+// variance, so a reaching-push recorded at (q,⊖) is transferred, with
+// the label dualized, to (q,⊕). That variance flip is exactly what
+// produces the dashed x.store⊕ → y.load⊕ edge of Figure 14.
+package pgraph
+
+import (
+	"sort"
+
+	"retypd/internal/constraints"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+)
+
+// NodeID indexes a node in the graph.
+type NodeID int32
+
+// Node is a (derived type variable, variance) pair.
+type Node struct {
+	DTV constraints.DTV
+	Var label.Variance
+}
+
+// edge is a labeled pop/push edge.
+type edge struct {
+	lbl label.Label
+	to  NodeID
+}
+
+// Graph is the (saturated) constraint graph for one constraint set.
+type Graph struct {
+	lat *lattice.Lattice
+
+	nodes []Node
+	index map[string]NodeID
+
+	eps    [][]NodeID // ε successors
+	epsSet map[int64]struct{}
+	pops   [][]edge // pop successors (label read)
+	pushes [][]edge // push successors (label emitted)
+
+	// constVars maps nodes that are lattice constants used covariantly
+	// ((κ,⊕)) to their lattice element.
+	constOf map[NodeID]lattice.Elem
+
+	saturated bool
+}
+
+// nodeKey renders the identity of (dtv, variance).
+func nodeKey(d constraints.DTV, v label.Variance) string {
+	if v == label.Covariant {
+		return d.String() + "⁺"
+	}
+	return d.String() + "⁻"
+}
+
+// Build constructs the (unsaturated) graph for cs. Type constants are
+// the base variables whose name matches an element of lat; they are
+// always interesting. Pointer-sibling completion is applied: whenever a
+// node α.load exists, α.store is added too (and vice versa), matching
+// the unconditional ∆ptr rule family of Definition D.3.
+func Build(cs *constraints.Set, lat *lattice.Lattice) *Graph {
+	g := &Graph{
+		lat:     lat,
+		index:   map[string]NodeID{},
+		epsSet:  map[int64]struct{}{},
+		constOf: map[NodeID]lattice.Elem{},
+	}
+	for _, c := range cs.Subtypes() {
+		l, r := c.L, c.R
+		g.registerDTV(l)
+		g.registerDTV(r)
+		if !l.Equal(r) {
+			g.addEps(g.node(l, label.Covariant), g.node(r, label.Covariant))
+			g.addEps(g.node(r, label.Contravariant), g.node(l, label.Contravariant))
+		}
+	}
+	return g
+}
+
+// Lattice returns the lattice the graph was built with.
+func (g *Graph) Lattice() *lattice.Lattice { return g.lat }
+
+// registerDTV interns d, its prefixes, pointer siblings, and both
+// variances of each, wiring pop/push edges.
+func (g *Graph) registerDTV(d constraints.DTV) {
+	g.node(d, label.Covariant)
+	g.node(d, label.Contravariant)
+}
+
+// node interns (d, v), creating prefix nodes and pop/push edges on the
+// way, plus pointer-sibling nodes for load/store.
+func (g *Graph) node(d constraints.DTV, v label.Variance) NodeID {
+	key := nodeKey(d, v)
+	if id, ok := g.index[key]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{DTV: d, Var: v})
+	g.index[key] = id
+	g.eps = append(g.eps, nil)
+	g.pops = append(g.pops, nil)
+	g.pushes = append(g.pushes, nil)
+
+	if parent, last, ok := d.Parent(); ok {
+		// Wire pop/push edges between (parent, v·⟨last⟩) and (d, v):
+		// pop: (parent, pv) → (d, pv·⟨last⟩) with pv·⟨last⟩ = v.
+		pv := v.Mul(last.Variance())
+		pid := g.node(parent, pv)
+		g.pops[pid] = append(g.pops[pid], edge{lbl: last, to: id})
+		g.pushes[id] = append(g.pushes[id], edge{lbl: last, to: pid})
+		if last.IsPointerAccess() {
+			// Pointer-sibling completion: α.load ⇒ α.store and vice
+			// versa, in the dual variance (load is ⊕, store is ⊖).
+			g.node(parent.Append(last.PointerDual()), v.Mul(label.Contravariant))
+		}
+	} else if v == label.Covariant {
+		if e, ok := g.lat.Elem(string(d.Base)); ok {
+			g.constOf[id] = e
+		}
+	}
+	return id
+}
+
+// NodeOf looks up (d, v) without creating it.
+func (g *Graph) NodeOf(d constraints.DTV, v label.Variance) (NodeID, bool) {
+	id, ok := g.index[nodeKey(d, v)]
+	return id, ok
+}
+
+// NodeInfo returns the node contents.
+func (g *Graph) NodeInfo(id NodeID) Node { return g.nodes[id] }
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+func epsKey(from, to NodeID) int64 { return int64(from)<<32 | int64(uint32(to)) }
+
+// addEps inserts an ε edge, reporting whether it is new.
+func (g *Graph) addEps(from, to NodeID) bool {
+	if from == to {
+		return false
+	}
+	k := epsKey(from, to)
+	if _, ok := g.epsSet[k]; ok {
+		return false
+	}
+	g.epsSet[k] = struct{}{}
+	g.eps[from] = append(g.eps[from], to)
+	return true
+}
+
+// HasEps reports whether an ε edge from → to exists (for tests that
+// validate saturation against the paper's Figure 14).
+func (g *Graph) HasEps(from, to NodeID) bool {
+	_, ok := g.epsSet[epsKey(from, to)]
+	return ok
+}
+
+// reach is a (label, origin-node) pair: "a push of lbl starting at org
+// reaches this node through ε edges".
+type reach struct {
+	lbl label.Label
+	org NodeID
+}
+
+// Saturate runs Algorithm D.2 to fixpoint. It is idempotent.
+func (g *Graph) Saturate() {
+	if g.saturated {
+		return
+	}
+	g.saturated = true
+
+	n := len(g.nodes)
+	r := make([]map[reach]struct{}, n)
+	for i := range r {
+		r[i] = map[reach]struct{}{}
+	}
+
+	var work []NodeID
+	inWork := make([]bool, n)
+	enqueue := func(id NodeID) {
+		if !inWork[id] {
+			inWork[id] = true
+			work = append(work, id)
+		}
+	}
+
+	addReach := func(id NodeID, rc reach) {
+		if _, ok := r[id][rc]; !ok {
+			r[id][rc] = struct{}{}
+			enqueue(id)
+		}
+	}
+
+	// Seed: every push edge (from --push ℓ--> to) makes (ℓ, from) reach
+	// to.
+	for from := range g.pushes {
+		for _, e := range g.pushes[from] {
+			addReach(e.to, reach{lbl: e.lbl, org: NodeID(from)})
+		}
+	}
+
+	// process applies, for node id with reach set r[id]:
+	//   (a) propagation along outgoing ε edges,
+	//   (b) the lazy S-POINTER transfer when id has variance ⊖,
+	//   (c) the shortcut rule on outgoing pop edges.
+	process := func(id NodeID) {
+		node := g.nodes[id]
+		// (b) first, so (c) sees the transferred labels on the dual node.
+		if node.Var == label.Contravariant {
+			dualID, ok := g.NodeOf(node.DTV, label.Covariant)
+			if ok {
+				for rc := range r[id] {
+					if rc.lbl.IsPointerAccess() {
+						addReach(dualID, reach{lbl: rc.lbl.PointerDual(), org: rc.org})
+					}
+				}
+			}
+		}
+		for _, succ := range g.eps[id] {
+			for rc := range r[id] {
+				addReach(succ, rc)
+			}
+		}
+		for _, pe := range g.pops[id] {
+			for rc := range r[id] {
+				if rc.lbl == pe.lbl && rc.org != pe.to {
+					if g.addEps(rc.org, pe.to) {
+						// New ε edge: its source must re-propagate.
+						enqueue(rc.org)
+					}
+				}
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[id] = false
+		process(id)
+	}
+}
+
+// EpsSucc returns the ε successors of id (shared slice; do not mutate).
+func (g *Graph) EpsSucc(id NodeID) []NodeID { return g.eps[id] }
+
+// PopSucc invokes f for each pop edge out of id.
+func (g *Graph) PopSucc(id NodeID, f func(l label.Label, to NodeID)) {
+	for _, e := range g.pops[id] {
+		f(e.lbl, e.to)
+	}
+}
+
+// PushSucc invokes f for each push edge out of id.
+func (g *Graph) PushSucc(id NodeID, f func(l label.Label, to NodeID)) {
+	for _, e := range g.pushes[id] {
+		f(e.lbl, e.to)
+	}
+}
+
+// ConstNodes returns the covariant nodes of lattice constants, sorted by
+// node id for determinism.
+func (g *Graph) ConstNodes() []NodeID {
+	out := make([]NodeID, 0, len(g.constOf))
+	for id := range g.constOf {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConstElem reports the lattice element of a constant node.
+func (g *Graph) ConstElem(id NodeID) (lattice.Elem, bool) {
+	e, ok := g.constOf[id]
+	return e, ok
+}
+
+// Proves decides whether the constraint set entails l ⊑ r, by searching
+// for a canonical pop*·ε*·push* path from (l.Base, ⟨l.Path⟩) to
+// (r.Base, ⟨r.Path⟩) in the saturated graph (Theorem D.1).
+func (g *Graph) Proves(l, r constraints.DTV) bool {
+	if l.Equal(r) {
+		return true // S-REFL
+	}
+	g.Saturate()
+
+	// Phase 0: consume l.Path via pop edges, ε edges allowed anywhere.
+	start, ok := g.NodeOf(constraints.DTV{Base: l.Base}, l.Path.Variance())
+	if !ok {
+		return false
+	}
+	type popState struct {
+		n NodeID
+		i int
+	}
+	seen := map[popState]bool{}
+	var stack []popState
+	push0 := func(s popState) {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	push0(popState{start, 0})
+	var frontier []NodeID // states with the full l.Path consumed
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.i == len(l.Path) {
+			frontier = append(frontier, s.n)
+		}
+		for _, succ := range g.eps[s.n] {
+			push0(popState{succ, s.i})
+		}
+		if s.i < len(l.Path) {
+			want := l.Path[s.i]
+			for _, e := range g.pops[s.n] {
+				if e.lbl == want {
+					push0(popState{e.to, s.i + 1})
+				}
+			}
+		}
+	}
+	if len(frontier) == 0 {
+		return false
+	}
+
+	// Phase 1: emit r.Path via push edges; push edges emit the word
+	// back-to-front (deepest label last stripped), so k counts down.
+	goal, ok := g.NodeOf(constraints.DTV{Base: r.Base}, r.Path.Variance())
+	if !ok {
+		return false
+	}
+	type pushState struct {
+		n NodeID
+		k int
+	}
+	seen1 := map[pushState]bool{}
+	var stack1 []pushState
+	push1 := func(s pushState) {
+		if !seen1[s] {
+			seen1[s] = true
+			stack1 = append(stack1, s)
+		}
+	}
+	for _, n := range frontier {
+		push1(pushState{n, len(r.Path)})
+	}
+	for len(stack1) > 0 {
+		s := stack1[len(stack1)-1]
+		stack1 = stack1[:len(stack1)-1]
+		if s.k == 0 && s.n == goal {
+			return true
+		}
+		for _, succ := range g.eps[s.n] {
+			push1(pushState{succ, s.k})
+		}
+		if s.k > 0 {
+			want := r.Path[s.k-1]
+			for _, e := range g.pushes[s.n] {
+				if e.lbl == want {
+					push1(pushState{e.to, s.k - 1})
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package pgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"retypd/internal/constraints"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+)
+
+// randomConstraintSet builds a random constraint set over a small
+// vocabulary of base variables and labels, mimicking the shapes the
+// abstract interpreter produces (copies, loads, stores, interface
+// bindings, constants).
+func randomConstraintSet(r *rand.Rand, nvars, ncons int) *constraints.Set {
+	vars := []string{"F.in_stack0", "F.in_stack4", "F.out_eax"}
+	for i := 0; i < nvars; i++ {
+		vars = append(vars, fmt.Sprintf("v%d", i))
+	}
+	consts := []string{"int", "str", "size_t", "#FileDescriptor"}
+	randDTV := func(base string) constraints.DTV {
+		d, _ := constraints.ParseDTV(base)
+		// Extend with 0-2 labels.
+		for k := r.Intn(3); k > 0; k-- {
+			switch r.Intn(4) {
+			case 0:
+				d = d.Append(label.Load())
+			case 1:
+				d = d.Append(label.Store())
+			default:
+				d = d.Append(label.Field(32, 4*r.Intn(3)))
+			}
+		}
+		return d
+	}
+	cs := constraints.NewSet()
+	for i := 0; i < ncons; i++ {
+		switch r.Intn(10) {
+		case 0: // upper-bound constant
+			cs.AddSub(randDTV(vars[r.Intn(len(vars))]), constraints.DTV{Base: constraints.Var(consts[r.Intn(len(consts))])})
+		case 1: // lower-bound constant
+			cs.AddSub(constraints.DTV{Base: constraints.Var(consts[r.Intn(len(consts))])}, randDTV(vars[r.Intn(len(vars))]))
+		default:
+			cs.AddSub(randDTV(vars[r.Intn(len(vars))]), randDTV(vars[r.Intn(len(vars))]))
+		}
+	}
+	return cs
+}
+
+// interestingQueries enumerates judgement candidates between interesting
+// endpoints for a constraint set.
+func interestingQueries(r *rand.Rand) [][2]constraints.DTV {
+	words := []string{
+		"F.in_stack0", "F.in_stack4", "F.out_eax",
+		"F.in_stack0.load.σ32@0", "F.in_stack0.load.σ32@4",
+		"F.in_stack0.store.σ32@0", "F.out_eax.load.σ32@0",
+		"F.in_stack0.load.σ32@0.load.σ32@4",
+	}
+	consts := []string{"int", "str", "size_t", "#FileDescriptor"}
+	var qs [][2]constraints.DTV
+	mk := func(s string) constraints.DTV {
+		d, _ := constraints.ParseDTV(s)
+		return d
+	}
+	for _, w := range words {
+		for _, k := range consts {
+			qs = append(qs, [2]constraints.DTV{mk(w), mk(k)})
+			qs = append(qs, [2]constraints.DTV{mk(k), mk(w)})
+		}
+	}
+	for _, a := range words {
+		for _, b := range words {
+			if a != b && r.Intn(3) == 0 {
+				qs = append(qs, [2]constraints.DTV{mk(a), mk(b)})
+			}
+		}
+	}
+	return qs
+}
+
+// TestSimplifyPreservesEntailment is the central property test of the
+// whole solver: for random constraint sets, the simplification relative
+// to {F} must entail exactly the same interesting judgements as the
+// original set (Definition 5.1 — a simplification is both sound and
+// complete for interesting consequences).
+func TestSimplifyPreservesEntailment(t *testing.T) {
+	r := rand.New(rand.NewSource(20160613))
+	lat := lattice.Default()
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		cs := randomConstraintSet(r, 4+r.Intn(4), 6+r.Intn(14))
+		g := Build(cs, lat)
+		g.Saturate()
+		res := g.Simplify(func(v constraints.Var) bool { return v == "F" })
+		g2 := Build(res.Constraints, lat)
+		g2.Saturate()
+
+		for _, q := range interestingQueries(r) {
+			orig := g.Proves(q[0], q[1])
+			simp := g2.Proves(q[0], q[1])
+			if orig && !simp {
+				t.Fatalf("trial %d: simplification LOST %s ⊑ %s\noriginal:\n%s\nsimplified:\n%s",
+					trial, q[0], q[1], cs, res.Constraints)
+			}
+			if !orig && simp {
+				t.Fatalf("trial %d: simplification INVENTED %s ⊑ %s\noriginal:\n%s\nsimplified:\n%s",
+					trial, q[0], q[1], cs, res.Constraints)
+			}
+		}
+	}
+}
+
+// TestSaturationMonotone: saturating twice is the same as once, and
+// Proves is stable across repeated queries (no hidden state).
+func TestSaturationMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	lat := lattice.Default()
+	for trial := 0; trial < 20; trial++ {
+		cs := randomConstraintSet(r, 5, 12)
+		g := Build(cs, lat)
+		g.Saturate()
+		n1 := g.NumNodes()
+		g.Saturate()
+		if g.NumNodes() != n1 {
+			t.Fatal("second Saturate changed the graph")
+		}
+		q := interestingQueries(r)
+		for _, pair := range q[:8] {
+			a := g.Proves(pair[0], pair[1])
+			b := g.Proves(pair[0], pair[1])
+			if a != b {
+				t.Fatal("Proves is not stable")
+			}
+		}
+	}
+}
+
+// TestProvesRespectsAxioms: every axiom of the input set is derivable
+// from it (soundness floor), and reflexivity always holds.
+func TestProvesRespectsAxioms(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	lat := lattice.Default()
+	for trial := 0; trial < 30; trial++ {
+		cs := randomConstraintSet(r, 4, 10)
+		g := Build(cs, lat)
+		g.Saturate()
+		for _, c := range cs.Subtypes() {
+			if !g.Proves(c.L, c.R) {
+				t.Fatalf("axiom not derivable: %s from\n%s", c, cs)
+			}
+		}
+	}
+}
+
+// TestTransitivityProperty: derivability is transitive on sampled
+// triples (S-TRANS at the query level).
+func TestTransitivityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	lat := lattice.Default()
+	mk := func(s string) constraints.DTV {
+		d, _ := constraints.ParseDTV(s)
+		return d
+	}
+	words := []string{"F.in_stack0", "F.out_eax", "int", "str", "F.in_stack0.load.σ32@0"}
+	for trial := 0; trial < 25; trial++ {
+		cs := randomConstraintSet(r, 4, 12)
+		g := Build(cs, lat)
+		g.Saturate()
+		for _, a := range words {
+			for _, b := range words {
+				for _, c := range words {
+					if g.Proves(mk(a), mk(b)) && g.Proves(mk(b), mk(c)) {
+						if !g.Proves(mk(a), mk(c)) {
+							t.Fatalf("transitivity broken: %s ⊑ %s ⊑ %s but not %s ⊑ %s\n%s",
+								a, b, c, a, c, cs)
+						}
+					}
+				}
+			}
+		}
+	}
+}

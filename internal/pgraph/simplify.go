@@ -1,0 +1,297 @@
+package pgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"retypd/internal/constraints"
+	"retypd/internal/label"
+)
+
+// SimplifyResult is a simplified constraint set together with the fresh
+// existential variables synthesized for internal states (the τ of
+// Figure 2).
+type SimplifyResult struct {
+	Constraints *constraints.Set
+	Existential []constraints.Var
+}
+
+// Simplify computes a simplification of the constraint set the graph
+// was built from, relative to the interesting base variables (§5.1,
+// Definition 5.1): a small constraint set that entails the same
+// interesting consequences. Lattice constants are always interesting.
+//
+// The algorithm walks the saturated graph's phase automaton (pops, then
+// interleavable ε edges, then pushes — the reduced transition sequences
+// of Theorem 5.1), keeps the states that lie on some anchored canonical
+// path, names internal states with fresh existential variables, and
+// emits one constraint per live ε edge: forward at covariant states,
+// flipped at contravariant states (the variance partition of
+// Lemma D.6).
+func (g *Graph) Simplify(interesting func(constraints.Var) bool) *SimplifyResult {
+	g.Saturate()
+
+	isAnchor := func(v constraints.Var) bool {
+		if interesting != nil && interesting(v) {
+			return true
+		}
+		_, ok := g.lat.Elem(string(v))
+		return ok
+	}
+
+	// Anchor states: base-variable nodes of interesting variables.
+	var anchors []NodeID
+	for id, n := range g.nodes {
+		if n.DTV.IsBase() && isAnchor(n.DTV.Base) {
+			anchors = append(anchors, NodeID(id))
+		}
+	}
+
+	// Phase automaton liveness. State = node*2 + phase.
+	n := len(g.nodes)
+	fwd := make([]bool, 2*n)
+	var stack []int32
+	pushState := func(s int32) {
+		if !fwd[s] {
+			fwd[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for _, a := range anchors {
+		pushState(int32(a) * 2) // phase 0
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		id, phase := NodeID(s/2), s%2
+		for _, succ := range g.eps[id] {
+			pushState(int32(succ)*2 + phase)
+		}
+		if phase == 0 {
+			for _, e := range g.pops[id] {
+				pushState(int32(e.to) * 2)
+			}
+		}
+		for _, e := range g.pushes[id] {
+			pushState(int32(e.to)*2 + 1)
+		}
+	}
+
+	// Backward liveness from anchor acceptors (either phase).
+	// Build reverse adjacency over the forward-live subgraph only.
+	bwd := make([]bool, 2*n)
+	revEps := make([][]NodeID, n)
+	revPop := make([][]NodeID, n)
+	revPush := make([][]NodeID, n)
+	for id := range g.nodes {
+		for _, succ := range g.eps[id] {
+			revEps[succ] = append(revEps[succ], NodeID(id))
+		}
+		for _, e := range g.pops[id] {
+			revPop[e.to] = append(revPop[e.to], NodeID(id))
+		}
+		for _, e := range g.pushes[id] {
+			revPush[e.to] = append(revPush[e.to], NodeID(id))
+		}
+	}
+	stack = stack[:0]
+	pushBwd := func(s int32) {
+		if fwd[s] && !bwd[s] {
+			bwd[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for _, a := range anchors {
+		pushBwd(int32(a) * 2)
+		pushBwd(int32(a)*2 + 1)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		id, phase := NodeID(s/2), s%2
+		for _, pred := range revEps[id] {
+			pushBwd(int32(pred)*2 + phase)
+		}
+		if phase == 0 {
+			for _, pred := range revPop[id] {
+				pushBwd(int32(pred) * 2)
+			}
+		}
+		if phase == 1 {
+			for _, pred := range revPush[id] {
+				pushBwd(int32(pred)*2 + 1)
+				pushBwd(int32(pred) * 2)
+			}
+		}
+	}
+	live := func(id NodeID, phase int32) bool { return bwd[int32(id)*2+phase] }
+
+	// Fresh existential variables, one per internal base variable that
+	// appears in a live state. Both variances of a base share one fresh
+	// variable: every emitted constraint is a judgement derivable from
+	// C about that base variable, in either derivation polarity, so the
+	// merge is entailment-preserving.
+	freshIdx := map[constraints.Var]constraints.Var{}
+	var existential []constraints.Var
+	freshFor := func(base constraints.Var) constraints.Var {
+		if tv, ok := freshIdx[base]; ok {
+			return tv
+		}
+		tv := constraints.Var(fmt.Sprintf("τ%d", len(freshIdx)))
+		freshIdx[base] = tv
+		existential = append(existential, tv)
+		return tv
+	}
+	nameOf := func(id NodeID) constraints.DTV {
+		nd := g.nodes[id]
+		if isAnchor(nd.DTV.Base) {
+			return nd.DTV
+		}
+		return constraints.DTV{Base: freshFor(nd.DTV.Base), Path: nd.DTV.Path}
+	}
+
+	out := constraints.NewSet()
+	// Deterministic edge order: by (from, to).
+	type epsEdge struct{ from, to NodeID }
+	var edges []epsEdge
+	for id := range g.nodes {
+		for _, succ := range g.eps[id] {
+			edges = append(edges, epsEdge{NodeID(id), succ})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if !((live(e.from, 0) && live(e.to, 0)) || (live(e.from, 1) && live(e.to, 1))) {
+			continue
+		}
+		a, b := nameOf(e.from), nameOf(e.to)
+		if a.Equal(b) {
+			continue
+		}
+		if g.nodes[e.from].Var == label.Covariant {
+			out.AddSub(a, b)
+		} else {
+			out.AddSub(b, a)
+		}
+	}
+
+	res := &SimplifyResult{Constraints: compact(out, existential), Existential: nil}
+	// Recompute the existential list: compaction may eliminate some.
+	used := map[constraints.Var]bool{}
+	for _, c := range res.Constraints.Subtypes() {
+		used[c.L.Base] = true
+		used[c.R.Base] = true
+	}
+	for _, tv := range existential {
+		if used[tv] {
+			res.Existential = append(res.Existential, tv)
+		}
+	}
+	return res
+}
+
+// compact eliminates fresh existential variables that occur only in
+// chain position, replacing A ⊑ τ, τ ⊑ B pairs by A ⊑ B. A variable is
+// eliminated when (a) it never occurs with a non-empty label path, and
+// (b) the substitution does not grow the constraint count. To keep the
+// substitution exact, each pass eliminates an independent set of
+// candidates (no two adjacent through a bare constraint); passes repeat
+// to a fixpoint. Elimination is entailment-preserving in both
+// directions.
+func compact(cs *constraints.Set, fresh []constraints.Var) *constraints.Set {
+	isFresh := map[constraints.Var]bool{}
+	for _, v := range fresh {
+		isFresh[v] = true
+	}
+	cur := cs
+	for pass := 0; pass < 64; pass++ {
+		type occ struct {
+			in, out []constraints.Constraint
+			labeled bool
+		}
+		occs := map[constraints.Var]*occ{}
+		get := func(v constraints.Var) *occ {
+			o := occs[v]
+			if o == nil {
+				o = &occ{}
+				occs[v] = o
+			}
+			return o
+		}
+		for _, c := range cur.Subtypes() {
+			if isFresh[c.L.Base] {
+				o := get(c.L.Base)
+				if len(c.L.Path) > 0 {
+					o.labeled = true
+				} else {
+					o.out = append(o.out, c)
+				}
+			}
+			if isFresh[c.R.Base] {
+				o := get(c.R.Base)
+				if len(c.R.Path) > 0 {
+					o.labeled = true
+				} else {
+					o.in = append(o.in, c)
+				}
+			}
+		}
+		// Candidates, in deterministic order.
+		var cands []constraints.Var
+		for v, o := range occs {
+			if !o.labeled && len(o.in)*len(o.out) <= len(o.in)+len(o.out) {
+				cands = append(cands, v)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		// Greedy independent set: skip candidates adjacent (via a bare
+		// chain constraint) to an already selected one.
+		selected := map[constraints.Var]bool{}
+		adjacentSelected := func(o *occ) bool {
+			for _, c := range o.in {
+				if len(c.L.Path) == 0 && selected[c.L.Base] {
+					return true
+				}
+			}
+			for _, c := range o.out {
+				if len(c.R.Path) == 0 && selected[c.R.Base] {
+					return true
+				}
+			}
+			return false
+		}
+		for _, v := range cands {
+			if !adjacentSelected(occs[v]) {
+				selected[v] = true
+			}
+		}
+		if len(selected) == 0 {
+			break
+		}
+		next := constraints.NewSet()
+		for _, c := range cur.Subtypes() {
+			lElim := len(c.L.Path) == 0 && selected[c.L.Base]
+			rElim := len(c.R.Path) == 0 && selected[c.R.Base]
+			if !lElim && !rElim {
+				next.Insert(c)
+			}
+		}
+		for v := range selected {
+			o := occs[v]
+			for _, cin := range o.in {
+				for _, cout := range o.out {
+					if !cin.L.Equal(cout.R) {
+						next.AddSub(cin.L, cout.R)
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,467 @@
+package sketch
+
+import (
+	"retypd/internal/constraints"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
+)
+
+// Shapes is the result of shape inference (Theorem 3.1 / Algorithm E.1):
+// a quotient of the derived-type-variable graph by the symmetrization ∼
+// of the subtype relation, computed Steensgaard-style with union-find
+// and label congruence (conflating .load/.store children as required by
+// the S-POINTER rule).
+type Shapes struct {
+	lat    *lattice.Lattice
+	parent []int32
+	rank   []int8
+	edges  []map[label.Label]int32 // valid on representatives
+	flags  []Flags                 // valid on representatives
+	seeds  []lattice.Elem          // join of constants unioned in (repr)
+	nodeOf map[string]int32
+	dtvs   []constraints.DTV
+}
+
+// InferShapes builds the quotient graph for cs, applies the additive
+// constraints of Figure 13, and returns the resulting Shapes.
+func InferShapes(cs *constraints.Set, lat *lattice.Lattice) *Shapes {
+	sh := &Shapes{lat: lat, nodeOf: map[string]int32{}}
+
+	// Register all derived type variables (prefix closed).
+	for _, c := range cs.Constraints() {
+		switch c.Kind {
+		case constraints.KindSub:
+			sh.node(c.L)
+			sh.node(c.R)
+		default:
+			sh.node(c.X)
+			sh.node(c.Y)
+			sh.node(c.Z)
+		}
+	}
+	// Union the two sides of every subtype constraint — except that
+	// lattice constants do not glue classes together: κ is a type NAME,
+	// not a structural node, so x ⊑ κ and κ ⊑ y must not identify x
+	// with y (otherwise every value bounded by the same constant — for
+	// example every allocation bounded below by ptr — would share its
+	// capabilities program-wide). Constants contribute a seed mark
+	// instead (Theorem 3.1 treats the lattice labels separately).
+	constElem := func(d constraints.DTV) (lattice.Elem, bool) {
+		if !d.IsBase() {
+			return 0, false
+		}
+		return lat.Elem(string(d.Base))
+	}
+	for _, c := range cs.Subtypes() {
+		le, lConst := constElem(c.L)
+		re, rConst := constElem(c.R)
+		switch {
+		case lConst && rConst:
+			// κ1 ⊑ κ2: pure lattice fact, nothing structural.
+		case rConst:
+			r := sh.find(sh.node(c.L))
+			sh.seeds[r] = lat.Join(sh.seeds[r], re)
+		case lConst:
+			r := sh.find(sh.node(c.R))
+			sh.seeds[r] = lat.Join(sh.seeds[r], le)
+		default:
+			sh.union(sh.node(c.L), sh.node(c.R))
+		}
+	}
+	// Additive constraints: Figure 13 fixpoint over class flags.
+	sh.applyAdditive(cs)
+	return sh
+}
+
+// node interns d and its prefixes, wiring labeled edges parent→child.
+func (sh *Shapes) node(d constraints.DTV) int32 {
+	key := d.String()
+	if id, ok := sh.nodeOf[key]; ok {
+		return id
+	}
+	id := int32(len(sh.parent))
+	sh.parent = append(sh.parent, id)
+	sh.rank = append(sh.rank, 0)
+	sh.edges = append(sh.edges, nil)
+	sh.flags = append(sh.flags, 0)
+	sh.seeds = append(sh.seeds, sh.lat.Bottom())
+	sh.nodeOf[key] = id
+	sh.dtvs = append(sh.dtvs, d)
+
+	if parent, last, ok := d.Parent(); ok {
+		pid := sh.find(sh.node(parent))
+		if sh.edges[pid] == nil {
+			sh.edges[pid] = map[label.Label]int32{}
+		}
+		if prev, exists := sh.edges[pid][last]; exists {
+			sh.union(prev, id)
+		} else {
+			sh.edges[pid][last] = id
+			// S-POINTER conflation: a class's .load and .store children
+			// coincide.
+			if last.IsPointerAccess() {
+				if sib, ok := sh.edges[pid][last.PointerDual()]; ok {
+					sh.union(sib, id)
+				}
+			}
+		}
+	} else if e, ok := sh.lat.Elem(string(d.Base)); ok {
+		sh.seeds[id] = e
+	}
+	return id
+}
+
+func (sh *Shapes) find(x int32) int32 {
+	for sh.parent[x] != x {
+		sh.parent[x] = sh.parent[sh.parent[x]]
+		x = sh.parent[x]
+	}
+	return x
+}
+
+// union merges the classes of a and b, propagating label congruence.
+func (sh *Shapes) union(a, b int32) {
+	type job struct{ a, b int32 }
+	work := []job{{a, b}}
+	for len(work) > 0 {
+		j := work[len(work)-1]
+		work = work[:len(work)-1]
+		ra, rb := sh.find(j.a), sh.find(j.b)
+		if ra == rb {
+			continue
+		}
+		if sh.rank[ra] < sh.rank[rb] {
+			ra, rb = rb, ra
+		}
+		if sh.rank[ra] == sh.rank[rb] {
+			sh.rank[ra]++
+		}
+		sh.parent[rb] = ra
+		sh.flags[ra] |= sh.flags[rb]
+		sh.seeds[ra] = sh.lat.Join(sh.seeds[ra], sh.seeds[rb])
+		// Merge edge maps with congruence.
+		loser := sh.edges[rb]
+		sh.edges[rb] = nil
+		if len(loser) > 0 && sh.edges[ra] == nil {
+			sh.edges[ra] = map[label.Label]int32{}
+		}
+		for l, t := range loser {
+			if prev, ok := sh.edges[ra][l]; ok {
+				work = append(work, job{prev, t})
+			} else {
+				sh.edges[ra][l] = t
+			}
+		}
+		// Pointer conflation on the merged class.
+		if m := sh.edges[ra]; m != nil {
+			if lo, ok1 := m[label.Load()]; ok1 {
+				if st, ok2 := m[label.Store()]; ok2 {
+					work = append(work, job{lo, st})
+				}
+			}
+		}
+	}
+}
+
+// classOf returns the representative of d's class, or -1 if d was never
+// seen.
+func (sh *Shapes) classOf(d constraints.DTV) int32 {
+	if id, ok := sh.nodeOf[d.String()]; ok {
+		return sh.find(id)
+	}
+	return -1
+}
+
+// HasCapability reports whether the constraint set gives d's class an
+// outgoing l edge.
+func (sh *Shapes) HasCapability(d constraints.DTV, l label.Label) bool {
+	c := sh.classOf(d)
+	if c < 0 {
+		return false
+	}
+	_, ok := sh.edges[c][l]
+	return ok
+}
+
+// applyAdditive runs the Figure 13 inference rules over class
+// pointer/integer flags to fixpoint.
+func (sh *Shapes) applyAdditive(cs *constraints.Set) {
+	// Seeds: classes with load/store capabilities are pointers; classes
+	// joined with scalar constants are integers or pointers per Λ.
+	ptrElem, hasPtr := sh.lat.Elem("ptr")
+	var numElems []lattice.Elem
+	for _, name := range []string{"num8", "num16", "num32", "num64"} {
+		if e, ok := sh.lat.Elem(name); ok {
+			numElems = append(numElems, e)
+		}
+	}
+	isNumeric := func(e lattice.Elem) bool {
+		for _, n := range numElems {
+			if sh.lat.Leq(e, n) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range sh.parent {
+		r := sh.find(int32(i))
+		if m := sh.edges[r]; m != nil {
+			if _, ok := m[label.Load()]; ok {
+				sh.flags[r] |= FlagPointer
+			}
+			if _, ok := m[label.Store()]; ok {
+				sh.flags[r] |= FlagPointer
+			}
+		}
+		if sh.seeds[r] != sh.lat.Bottom() {
+			switch {
+			case hasPtr && sh.lat.Leq(sh.seeds[r], ptrElem):
+				sh.flags[r] |= FlagPointer
+			case isNumeric(sh.seeds[r]):
+				sh.flags[r] |= FlagInteger
+			}
+		}
+	}
+
+	adds := cs.Additive()
+	if len(adds) == 0 {
+		return
+	}
+	isP := func(c int32) bool { return sh.flags[c]&FlagPointer != 0 }
+	isI := func(c int32) bool { return sh.flags[c]&FlagInteger != 0 }
+	mark := func(c int32, f Flags) bool {
+		if sh.flags[c]&f == f {
+			return false
+		}
+		sh.flags[c] |= f
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range adds {
+			x, y, z := sh.classOf(c.X), sh.classOf(c.Y), sh.classOf(c.Z)
+			if x < 0 || y < 0 || z < 0 {
+				continue
+			}
+			if c.Kind == constraints.KindAdd {
+				switch {
+				case isI(x) && isI(y):
+					changed = mark(z, FlagInteger) || changed
+				case isI(z):
+					changed = mark(x, FlagInteger) || changed
+					changed = mark(y, FlagInteger) || changed
+				}
+				if isP(x) {
+					changed = mark(z, FlagPointer) || changed
+					changed = mark(y, FlagInteger) || changed
+				}
+				if isP(y) {
+					changed = mark(z, FlagPointer) || changed
+					changed = mark(x, FlagInteger) || changed
+				}
+				if isP(z) && isI(x) {
+					changed = mark(y, FlagPointer) || changed
+				}
+				if isP(z) && isI(y) {
+					changed = mark(x, FlagPointer) || changed
+				}
+			} else {
+				// SUB: z = x - y.
+				if isI(x) {
+					changed = mark(y, FlagInteger) || changed
+					changed = mark(z, FlagInteger) || changed
+				}
+				if isI(y) && isI(z) {
+					changed = mark(x, FlagInteger) || changed
+				}
+				if isP(z) && isI(y) {
+					changed = mark(x, FlagPointer) || changed
+				}
+				if isP(y) {
+					changed = mark(x, FlagPointer) || changed
+					changed = mark(z, FlagInteger) || changed
+				}
+				if isP(x) && isI(z) {
+					changed = mark(y, FlagPointer) || changed
+				}
+				if isP(x) && isI(y) {
+					changed = mark(z, FlagPointer) || changed
+				}
+				if isP(x) && isP(z) {
+					changed = mark(y, FlagInteger) || changed
+				}
+			}
+		}
+	}
+}
+
+// SeedFor returns the join of the lattice constants unified into v's
+// class — the "type" a unification-based algorithm assigns to it
+// (⊥ when unconstrained; incomparable constants collapse toward ⊤,
+// modeling the over-unification loss of §2.5).
+func (sh *Shapes) SeedFor(v constraints.Var) lattice.Elem {
+	c := sh.classOf(constraints.DTV{Base: v})
+	if c < 0 {
+		return sh.lat.Bottom()
+	}
+	return sh.seeds[c]
+}
+
+// SketchForUnify extracts v's sketch with unification-style marks:
+// every node's bounds collapse to its class seed (a point interval when
+// a constant was unified in, unconstrained otherwise).
+func (sh *Shapes) SketchForUnify(v constraints.Var, maxDepth int) *Sketch {
+	sk := sh.sketchFor(v, maxDepth, true)
+	return sk
+}
+
+// SketchFor extracts the sketch of base variable v from the quotient
+// graph. maxDepth < 0 means unbounded (recursive sketches become loops
+// in the automaton); maxDepth ≥ 0 truncates expansion, which is how the
+// TIE-style baseline's lack of recursive types is modeled.
+func (sh *Shapes) SketchFor(v constraints.Var, maxDepth int) *Sketch {
+	return sh.sketchFor(v, maxDepth, false)
+}
+
+func (sh *Shapes) sketchFor(v constraints.Var, maxDepth int, unifyMarks bool) *Sketch {
+	root := sh.classOf(constraints.DTV{Base: v})
+	if root < 0 {
+		return NewTop(sh.lat)
+	}
+	sk := &Sketch{Lat: sh.lat}
+	type key struct {
+		class int32
+		v     label.Variance
+		depth int
+	}
+	index := map[key]int{}
+	var build func(k key) int
+	build = func(k key) int {
+		// Depth participates in identity only when truncating.
+		ik := k
+		if maxDepth < 0 {
+			ik.depth = 0
+		}
+		if id, ok := index[ik]; ok {
+			return id
+		}
+		id := len(sk.States)
+		index[ik] = id
+		cls := sh.find(k.class)
+		st := State{
+			Lower:    sh.lat.Bottom(),
+			Upper:    sh.lat.Top(),
+			Variance: k.v,
+			Flags:    sh.flags[cls],
+		}
+		if unifyMarks && sh.seeds[cls] != sh.lat.Bottom() && sh.seeds[cls] != sh.lat.Top() {
+			// A unified-in constant is THE type of the class. When
+			// incomparable constants collided the join is ⊤: the
+			// unification tool detects a conflict and falls back to
+			// "no information" (IdaPro-style), leaving the node
+			// unconstrained.
+			st.Lower, st.Upper = sh.seeds[cls], sh.seeds[cls]
+			st.LowerSet = []lattice.Elem{sh.seeds[cls]}
+			st.UpperSet = []lattice.Elem{sh.seeds[cls]}
+		}
+		sk.States = append(sk.States, st)
+		if maxDepth >= 0 && k.depth >= maxDepth {
+			return id
+		}
+		m := sh.edges[cls]
+		var ls []label.Label
+		for l := range m {
+			ls = append(ls, l)
+		}
+		label.SortLabels(ls)
+		var edges []Edge
+		for _, l := range ls {
+			child := key{class: sh.find(m[l]), v: k.v.Mul(l.Variance()), depth: k.depth + 1}
+			edges = append(edges, Edge{Label: l, To: build(child)})
+		}
+		sk.States[id].Edges = edges
+		return id
+	}
+	build(key{class: root, v: label.Covariant, depth: 0})
+	return sk
+}
+
+// Decorator computes the lattice bounds that label sketch nodes
+// (Appendix D.4): lower bounds κ with ⊢ κ ⊑ X.u and upper bounds with
+// ⊢ X.u ⊑ κ, read off the saturated constraint graph by a product walk
+// of the sketch automaton with the graph's pop/ε structure.
+type Decorator struct {
+	g      *pgraph.Graph
+	revEps [][]pgraph.NodeID
+}
+
+// NewDecorator prepares a decorator for the (saturated) graph.
+func NewDecorator(g *pgraph.Graph) *Decorator {
+	g.Saturate()
+	d := &Decorator{g: g, revEps: make([][]pgraph.NodeID, g.NumNodes())}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, succ := range g.EpsSucc(pgraph.NodeID(i)) {
+			d.revEps[succ] = append(d.revEps[succ], pgraph.NodeID(i))
+		}
+	}
+	return d
+}
+
+// Decorate fills in Lower and Upper for every state of sk, where sk is
+// the sketch of base variable root.
+func (d *Decorator) Decorate(sk *Sketch, root constraints.Var) {
+	base := constraints.DTV{Base: root}
+	var starts []pgraph.NodeID
+	if n, ok := d.g.NodeOf(base, label.Covariant); ok {
+		starts = append(starts, n)
+	}
+	if n, ok := d.g.NodeOf(base, label.Contravariant); ok {
+		starts = append(starts, n)
+	}
+	if len(starts) == 0 {
+		return
+	}
+	lat := d.g.Lattice()
+
+	// One product walk per direction. silent(n) yields ε-moves; read
+	// moves follow pop edges aligned with sketch edges. At each visited
+	// (state, node) with node a constant, apply the bound.
+	walk := func(silent func(pgraph.NodeID) []pgraph.NodeID, apply func(st int, e lattice.Elem)) {
+		type item struct {
+			st int
+			n  pgraph.NodeID
+		}
+		seen := map[item]bool{}
+		var stack []item
+		push := func(it item) {
+			if !seen[it] {
+				seen[it] = true
+				stack = append(stack, it)
+			}
+		}
+		for _, s := range starts {
+			push(item{0, s})
+		}
+		for len(stack) > 0 {
+			it := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if e, ok := d.g.ConstElem(it.n); ok {
+				apply(it.st, e)
+			}
+			for _, n2 := range silent(it.n) {
+				push(item{it.st, n2})
+			}
+			d.g.PopSucc(it.n, func(l label.Label, to pgraph.NodeID) {
+				if next := sk.States[it.st].Lookup(l); next >= 0 {
+					push(item{next, to})
+				}
+			})
+		}
+	}
+
+	walk(func(n pgraph.NodeID) []pgraph.NodeID { return d.revEps[n] },
+		func(st int, e lattice.Elem) { sk.States[st].AddLower(lat, e) })
+	walk(func(n pgraph.NodeID) []pgraph.NodeID { return d.g.EpsSucc(n) },
+		func(st int, e lattice.Elem) { sk.States[st].AddUpper(lat, e) })
+}

@@ -1,0 +1,361 @@
+// Package sketch implements Retypd's semantic model of types: sketches
+// (Noonan et al., PLDI 2016, §3.5 and Appendix E).
+//
+// A sketch is a regular tree whose edges are labeled with field labels
+// from Σ and whose nodes are marked with elements of the auxiliary
+// lattice Λ; it records the capabilities a value holds (which fields can
+// be accessed, whether it can be loaded from or stored through, called,
+// …) together with atomic-type bounds. Collapsing isomorphic subtrees
+// represents a sketch as a deterministic finite automaton whose states
+// carry lattice elements (Definition 3.5).
+//
+// We decorate every node with a pair (Lower, Upper) of lattice bounds:
+// the covariant ν of the paper corresponds to Lower at covariant nodes
+// and Upper at contravariant nodes; keeping both directions also gives
+// the TIE-style intervals used by the evaluation metrics.
+package sketch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+)
+
+// Flags carry scalar classification inferred from additive constraints
+// (Appendix A.6, Figure 13).
+type Flags uint8
+
+const (
+	// FlagPointer marks a value inferred to be pointer-like.
+	FlagPointer Flags = 1 << iota
+	// FlagInteger marks a value inferred to be integer-like.
+	FlagInteger
+)
+
+// State is one node of a sketch automaton.
+type State struct {
+	// Edges are the outgoing labeled transitions, sorted by label.
+	Edges []Edge
+	// Lower and Upper are the lattice bounds collected for this node:
+	// joins of lower-bound constants and meets of upper-bound constants.
+	Lower, Upper lattice.Elem
+	// LowerSet and UpperSet retain the individual bound constants as
+	// antichains; the join/meet can collapse to ⊤/⊥ (e.g. Figure 2's
+	// int ∨ #SuccessZ), and the C-type conversion policies need the
+	// members to render tags and unions (Examples 4.2 and the
+	// #FileDescriptor comments of Figure 2).
+	LowerSet, UpperSet []lattice.Elem
+	// Variance is the variance of the words reaching this state.
+	Variance label.Variance
+	// Flags carries pointer/integer classification.
+	Flags Flags
+}
+
+// AddLower records a lower-bound constant.
+func (st *State) AddLower(lat *lattice.Lattice, e lattice.Elem) {
+	st.Lower = lat.Join(st.Lower, e)
+	st.LowerSet = lat.Antichain(append(st.LowerSet, e))
+}
+
+// AddUpper records an upper-bound constant.
+func (st *State) AddUpper(lat *lattice.Lattice, e lattice.Elem) {
+	st.Upper = lat.Meet(st.Upper, e)
+	st.UpperSet = lat.Antichain(append(st.UpperSet, e))
+}
+
+// Edge is a labeled transition.
+type Edge struct {
+	Label label.Label
+	To    int
+}
+
+// Sketch is a rooted sketch automaton. State 0 is the root. A nil
+// Sketch represents the ⊤ sketch (language {ε}, unconstrained marks).
+type Sketch struct {
+	Lat    *lattice.Lattice
+	States []State
+}
+
+// NewTop returns the one-state sketch accepting only ε with
+// unconstrained bounds (⊥ lower, ⊤ upper) at the root.
+func NewTop(lat *lattice.Lattice) *Sketch {
+	return &Sketch{Lat: lat, States: []State{{
+		Lower: lat.Bottom(), Upper: lat.Top(), Variance: label.Covariant,
+	}}}
+}
+
+// Lookup returns the index of the transition for l in st, or -1.
+func (st *State) Lookup(l label.Label) int {
+	for i, e := range st.Edges {
+		if e.Label == l {
+			return e.To
+		}
+		_ = i
+	}
+	return -1
+}
+
+// Accepts reports whether w ∈ L(S).
+func (s *Sketch) Accepts(w label.Word) bool {
+	_, ok := s.StateAt(w)
+	return ok
+}
+
+// StateAt walks w from the root, returning the reached state index.
+func (s *Sketch) StateAt(w label.Word) (int, bool) {
+	cur := 0
+	for _, l := range w {
+		next := s.States[cur].Lookup(l)
+		if next < 0 {
+			return 0, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// Descend returns the sub-sketch rooted at the state reached by w
+// (u⁻¹S in the paper's notation), or false if w ∉ L(S).
+func (s *Sketch) Descend(w label.Word) (*Sketch, bool) {
+	root, ok := s.StateAt(w)
+	if !ok {
+		return nil, false
+	}
+	if root == 0 {
+		return s, true
+	}
+	// Extract the sub-automaton reachable from root.
+	remap := map[int]int{root: 0}
+	order := []int{root}
+	for i := 0; i < len(order); i++ {
+		for _, e := range s.States[order[i]].Edges {
+			if _, seen := remap[e.To]; !seen {
+				remap[e.To] = len(order)
+				order = append(order, e.To)
+			}
+		}
+	}
+	out := &Sketch{Lat: s.Lat, States: make([]State, len(order))}
+	for i, old := range order {
+		st := s.States[old]
+		ns := State{
+			Lower: st.Lower, Upper: st.Upper, Flags: st.Flags,
+			LowerSet: st.LowerSet, UpperSet: st.UpperSet,
+		}
+		if i == 0 {
+			ns.Variance = label.Covariant
+		} else {
+			ns.Variance = st.Variance // recomputed below
+		}
+		for _, e := range st.Edges {
+			ns.Edges = append(ns.Edges, Edge{Label: e.Label, To: remap[e.To]})
+		}
+		out.States[i] = ns
+	}
+	out.recomputeVariance()
+	return out, true
+}
+
+// recomputeVariance sets each state's variance from the root (states
+// reachable with both variances keep the first one found; such sketches
+// do not arise from shape inference, which splits states by variance).
+func (s *Sketch) recomputeVariance() {
+	seen := make([]bool, len(s.States))
+	type item struct {
+		st int
+		v  label.Variance
+	}
+	work := []item{{0, label.Covariant}}
+	seen[0] = true
+	s.States[0].Variance = label.Covariant
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range s.States[it.st].Edges {
+			if !seen[e.To] {
+				seen[e.To] = true
+				s.States[e.To].Variance = it.v.Mul(e.Label.Variance())
+				work = append(work, item{e.To, s.States[e.To].Variance})
+			}
+		}
+	}
+}
+
+// Size reports the number of states.
+func (s *Sketch) Size() int { return len(s.States) }
+
+// sortEdges normalizes edge order.
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool { return label.Compare(es[i].Label, es[j].Label) < 0 })
+}
+
+// Meet computes s ⊓ t: language union, with marks combined per
+// Figure 18 (covariant nodes: Lower meet-side combines with ∧ on the
+// primary mark; we combine Lower with ∨ and Upper with ∧ pointwise,
+// which realizes ν⊓ = ν∧ at covariant nodes via Upper and ν∨ at
+// contravariant nodes via Lower).
+func (s *Sketch) Meet(t *Sketch) *Sketch { return combine(s, t, true) }
+
+// Join computes s ⊔ t: language intersection with dual mark
+// combination.
+func (s *Sketch) Join(t *Sketch) *Sketch { return combine(s, t, false) }
+
+// combine implements the product construction for both lattice
+// operations. meet=true: union of languages (absent components behave
+// as neutral); meet=false: intersection.
+func combine(s, t *Sketch, meet bool) *Sketch {
+	lat := s.Lat
+	type pair struct{ a, b int } // -1 = absent
+	index := map[pair]int{}
+	out := &Sketch{Lat: lat}
+	var build func(p pair, v label.Variance) int
+	build = func(p pair, v label.Variance) int {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		id := len(out.States)
+		index[p] = id
+		out.States = append(out.States, State{Variance: v})
+
+		var sa, sb *State
+		if p.a >= 0 {
+			sa = &s.States[p.a]
+		}
+		if p.b >= 0 {
+			sb = &t.States[p.b]
+		}
+		st := State{Variance: v}
+		switch {
+		case sa != nil && sb != nil:
+			if meet {
+				// ⊓: more capable, lower in the order: Lower joins up,
+				// Upper meets down at covariant nodes (and dually the
+				// interval widens in the contravariant direction).
+				st.Lower = lat.Join(sa.Lower, sb.Lower)
+				st.Upper = lat.Meet(sa.Upper, sb.Upper)
+			} else {
+				st.Lower = lat.Meet(sa.Lower, sb.Lower)
+				st.Upper = lat.Join(sa.Upper, sb.Upper)
+			}
+			st.LowerSet = lat.Antichain(append(append([]lattice.Elem(nil), sa.LowerSet...), sb.LowerSet...))
+			st.UpperSet = lat.Antichain(append(append([]lattice.Elem(nil), sa.UpperSet...), sb.UpperSet...))
+			st.Flags = sa.Flags | sb.Flags
+		case sa != nil:
+			st.Lower, st.Upper, st.Flags = sa.Lower, sa.Upper, sa.Flags
+			st.LowerSet, st.UpperSet = sa.LowerSet, sa.UpperSet
+		case sb != nil:
+			st.Lower, st.Upper, st.Flags = sb.Lower, sb.Upper, sb.Flags
+			st.LowerSet, st.UpperSet = sb.LowerSet, sb.UpperSet
+		}
+
+		// Successor labels.
+		labels := map[label.Label]pair{}
+		if sa != nil {
+			for _, e := range sa.Edges {
+				labels[e.Label] = pair{e.To, -1}
+			}
+		}
+		if sb != nil {
+			for _, e := range sb.Edges {
+				if prev, ok := labels[e.Label]; ok {
+					labels[e.Label] = pair{prev.a, e.To}
+				} else {
+					labels[e.Label] = pair{-1, e.To}
+				}
+			}
+		}
+		var ls []label.Label
+		for l := range labels {
+			ls = append(ls, l)
+		}
+		label.SortLabels(ls)
+		var edges []Edge
+		for _, l := range ls {
+			np := labels[l]
+			if !meet && (np.a < 0 || np.b < 0) {
+				continue // intersection: both must step
+			}
+			edges = append(edges, Edge{Label: l, To: build(np, v.Mul(l.Variance()))})
+		}
+		st.Edges = edges
+		out.States[id] = st
+		return id
+	}
+	build(pair{0, 0}, label.Covariant)
+	return out
+}
+
+// Leq reports s ⊑ t in the sketch lattice: L(s) ⊇ L(t), and for every
+// shared word the bounds are ordered according to the word's variance.
+func (s *Sketch) Leq(t *Sketch) bool {
+	lat := s.Lat
+	type pair struct{ a, b int }
+	seen := map[pair]bool{}
+	var walk func(p pair, v label.Variance) bool
+	walk = func(p pair, v label.Variance) bool {
+		if seen[p] {
+			return true
+		}
+		seen[p] = true
+		sa, sb := &s.States[p.a], &t.States[p.b]
+		if v == label.Covariant {
+			if !lat.Leq(sa.Lower, sb.Lower) || !lat.Leq(sa.Upper, sb.Upper) {
+				return false
+			}
+		} else {
+			if !lat.Leq(sb.Lower, sa.Lower) || !lat.Leq(sb.Upper, sa.Upper) {
+				return false
+			}
+		}
+		for _, e := range sb.Edges {
+			na := sa.Lookup(e.Label)
+			if na < 0 {
+				return false // t has a capability s lacks: L(s) ⊉ L(t)
+			}
+			if !walk(pair{na, e.To}, v.Mul(e.Label.Variance())) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(pair{0, 0}, label.Covariant)
+}
+
+// Equal reports mutual Leq.
+func (s *Sketch) Equal(t *Sketch) bool { return s.Leq(t) && t.Leq(s) }
+
+// String renders the sketch as an indented tree, cutting off at
+// back-edges, for debugging and golden tests.
+func (s *Sketch) String() string {
+	var b strings.Builder
+	var walk func(st int, indent string, onPath map[int]bool)
+	walk = func(st int, indent string, onPath map[int]bool) {
+		node := s.States[st]
+		fmt.Fprintf(&b, "[%s,%s]", s.Lat.Name(node.Lower), s.Lat.Name(node.Upper))
+		if node.Flags&FlagPointer != 0 {
+			b.WriteString(" ptr")
+		}
+		if node.Flags&FlagInteger != 0 {
+			b.WriteString(" int")
+		}
+		b.WriteString("\n")
+		if onPath[st] {
+			return
+		}
+		onPath[st] = true
+		for _, e := range node.Edges {
+			fmt.Fprintf(&b, "%s.%s → ", indent, e.Label)
+			if onPath[e.To] {
+				fmt.Fprintf(&b, "↺ state %d\n", e.To)
+				continue
+			}
+			walk(e.To, indent+"  ", onPath)
+		}
+		delete(onPath, st)
+	}
+	walk(0, "", map[int]bool{})
+	return b.String()
+}

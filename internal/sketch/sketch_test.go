@@ -1,0 +1,258 @@
+package sketch
+
+import (
+	"testing"
+
+	"retypd/internal/constraints"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+)
+
+func shapesFor(t *testing.T, text string) (*Shapes, *lattice.Lattice) {
+	t.Helper()
+	cs, err := constraints.ParseSet(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := lattice.Default()
+	return InferShapes(cs, lat), lat
+}
+
+// TestShapesBasic: Theorem 3.1's quotient gives the capability
+// language of each variable.
+func TestShapesBasic(t *testing.T) {
+	sh, _ := shapesFor(t, `
+		F.in_stack0 <= p
+		p.load.σ32@0 <= q
+		q <= F.out_eax
+	`)
+	sk := sh.SketchFor("F", -1)
+	for _, w := range []label.Word{
+		{label.In("stack0")},
+		{label.In("stack0"), label.Load()},
+		{label.In("stack0"), label.Load(), label.Field(32, 0)},
+		{label.Out("eax")},
+	} {
+		if !sk.Accepts(w) {
+			t.Errorf("missing capability %s:\n%s", w, sk)
+		}
+	}
+	if sk.Accepts(label.Word{label.In("stack4")}) {
+		t.Error("invented capability in_stack4")
+	}
+}
+
+// TestShapesRecursive: a recursive constraint set yields a looping
+// sketch (infinite regular tree).
+func TestShapesRecursive(t *testing.T) {
+	sh, _ := shapesFor(t, `
+		F.in_stack0 <= t
+		t.load.σ32@0 <= t
+	`)
+	sk := sh.SketchFor("F", -1)
+	w := label.Word{label.In("stack0")}
+	for i := 0; i < 10; i++ {
+		w = w.Append(label.Load()).Append(label.Field(32, 0))
+	}
+	if !sk.Accepts(w) {
+		t.Error("recursive capability missing at depth 10")
+	}
+	// Depth-limited extraction models TIE's lack of recursive types.
+	cut := sh.SketchFor("F", 3)
+	if cut.Accepts(w) {
+		t.Error("depth-3 sketch should not accept depth-10 words")
+	}
+}
+
+// TestLoadStoreConflation: the S-POINTER congruence makes .load and
+// .store children share a class (Theorem 3.1's ℓ = .load, ℓ′ = .store
+// case).
+func TestLoadStoreConflation(t *testing.T) {
+	sh, lat := shapesFor(t, `
+		int <= p.store.σ32@0
+		p.load.σ32@0 <= x
+	`)
+	_ = lat
+	if !sh.HasCapability(constraints.DTV{Base: "p"}, label.Load()) {
+		t.Fatal("p must be loadable")
+	}
+	// x must be in the same class as the stored int.
+	skX := sh.SketchFor("x", -1)
+	_ = skX
+	dLoad, _ := constraints.ParseDTV("p.load.σ32@0")
+	dStore, _ := constraints.ParseDTV("p.store.σ32@0")
+	if sh.classOf(dLoad) != sh.classOf(dStore) {
+		t.Error("load/store targets must be conflated")
+	}
+}
+
+// TestFigure13AddSub exercises every inference rule column of
+// Figure 13.
+func TestFigure13AddSub(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		// queries: var → want pointer?
+		wantPtr map[string]bool
+		wantInt map[string]bool
+	}{
+		{
+			name:    "ADD c1: i+i⇒I",
+			text:    "x <= int\ny <= int\nint <= x\nint <= y\nAdd(x, y; z)",
+			wantInt: map[string]bool{"z": true},
+		},
+		{
+			name:    "ADD c3: p+?⇒P,I",
+			text:    "x.load.σ32@0 <= w\nAdd(x, y; z)\nint <= y0\ny0 <= y",
+			wantPtr: map[string]bool{"z": true},
+			wantInt: map[string]bool{"y": true},
+		},
+		{
+			name:    "ADD c4: Z=p,y=i⇒X=P",
+			text:    "z.load.σ32@0 <= w\nint <= y\ny <= int\nAdd(x, y; z)",
+			wantPtr: map[string]bool{"x": true},
+		},
+		{
+			name:    "SUB c10: y=p⇒X=P,Z=I",
+			text:    "y.store.σ32@0 <= w\nw <= y.store.σ32@0\nSub(x, y; z)",
+			wantPtr: map[string]bool{"x": true},
+			wantInt: map[string]bool{"z": true},
+		},
+		{
+			name:    "SUB c12: x=p,y=i⇒Z=P",
+			text:    "x.load.σ32@0 <= w\nint <= y\ny <= int\nSub(x, y; z)",
+			wantPtr: map[string]bool{"z": true},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sh, _ := shapesFor(t, c.text)
+			for v, want := range c.wantPtr {
+				sk := sh.SketchFor(constraints.Var(v), -1)
+				got := sk.States[0].Flags&FlagPointer != 0
+				if got != want {
+					t.Errorf("%s pointer flag = %v, want %v", v, got, want)
+				}
+			}
+			for v, want := range c.wantInt {
+				sk := sh.SketchFor(constraints.Var(v), -1)
+				got := sk.States[0].Flags&FlagInteger != 0
+				if got != want {
+					t.Errorf("%s integer flag = %v, want %v", v, got, want)
+				}
+			}
+		})
+	}
+}
+
+// mkSketch builds a small sketch by hand.
+func mkSketch(lat *lattice.Lattice, build func(s *Sketch)) *Sketch {
+	s := NewTop(lat)
+	build(s)
+	return s
+}
+
+// TestSketchLatticeOps checks Figure 18: meet takes the union of
+// languages, join the intersection.
+func TestSketchLatticeOps(t *testing.T) {
+	lat := lattice.Default()
+	a := mkSketch(lat, func(s *Sketch) {
+		s.States = append(s.States, State{Lower: lat.Bottom(), Upper: lat.Top(), Variance: label.Covariant})
+		s.States[0].Edges = []Edge{{Label: label.Load(), To: 1}}
+	})
+	b := mkSketch(lat, func(s *Sketch) {
+		s.States = append(s.States, State{Lower: lat.Bottom(), Upper: lat.Top(), Variance: label.Contravariant})
+		s.States[0].Edges = []Edge{{Label: label.Store(), To: 1}}
+	})
+	meet := a.Meet(b)
+	if !meet.Accepts(label.Word{label.Load()}) || !meet.Accepts(label.Word{label.Store()}) {
+		t.Errorf("meet must union capabilities:\n%s", meet)
+	}
+	join := a.Join(b)
+	if join.Accepts(label.Word{label.Load()}) || join.Accepts(label.Word{label.Store()}) {
+		t.Errorf("join must intersect capabilities:\n%s", join)
+	}
+
+	// Order: more capable ⊑ less capable.
+	if !meet.Leq(a) || !meet.Leq(b) {
+		t.Error("meet must be below both arguments")
+	}
+	if !a.Leq(join) || !b.Leq(join) {
+		t.Error("join must be above both arguments")
+	}
+	// Leq is reflexive.
+	if !a.Leq(a) || !a.Equal(a) {
+		t.Error("Leq must be reflexive")
+	}
+}
+
+// TestSketchBoundOrdering: bounds participate in the order with the
+// node's variance.
+func TestSketchBoundOrdering(t *testing.T) {
+	lat := lattice.Default()
+	intE := lat.MustElem("int")
+	a := NewTop(lat)
+	a.States[0].AddLower(lat, intE)
+	b := NewTop(lat)
+	// a has lower bound int, b is unconstrained: a's lower is higher,
+	// so a ⋢ b at a covariant root but b ⊑ a.
+	if !b.Leq(a) {
+		t.Error("unconstrained ⊑ lower-bounded at covariant root")
+	}
+	if a.Leq(b) {
+		t.Error("lower-bounded should not be ⊑ unconstrained")
+	}
+}
+
+// TestDescend extracts subtrees (u⁻¹S).
+func TestDescend(t *testing.T) {
+	sh, _ := shapesFor(t, `
+		F.in_stack0.load.σ32@4 <= int
+	`)
+	sk := sh.SketchFor("F", -1)
+	sub, ok := sk.Descend(label.Word{label.In("stack0")})
+	if !ok {
+		t.Fatal("descend failed")
+	}
+	if !sub.Accepts(label.Word{label.Load(), label.Field(32, 4)}) {
+		t.Errorf("subtree lost capabilities:\n%s", sub)
+	}
+}
+
+// TestSeedForUnify: unified constants become point intervals; conflicts
+// fall back to unconstrained.
+func TestSeedForUnify(t *testing.T) {
+	sh, lat := shapesFor(t, `
+		x <= int
+		int <= x
+	`)
+	sk := sh.SketchForUnify("x", 3)
+	if sk.States[0].Lower != lat.MustElem("int") || sk.States[0].Upper != lat.MustElem("int") {
+		t.Errorf("seeded point interval expected, got [%s,%s]",
+			lat.Name(sk.States[0].Lower), lat.Name(sk.States[0].Upper))
+	}
+	// int and str join to the generic machine word (SecondWrite's reg32
+	// fallback): still a defined point.
+	shMid, latMid := shapesFor(t, `
+		y <= int
+		int <= y
+		y <= str
+		str <= y
+	`)
+	skMid := shMid.SketchForUnify("y", 3)
+	if latMid.Name(skMid.States[0].Lower) != "num32" {
+		t.Errorf("int⊔str should fall back to num32, got %s", latMid.Name(skMid.States[0].Lower))
+	}
+	// A true conflict (FILE vs int joins to ⊤) becomes unconstrained.
+	sh2, lat2 := shapesFor(t, `
+		y <= int
+		int <= y
+		y <= FILE
+		FILE <= y
+	`)
+	sk2 := sh2.SketchForUnify("y", 3)
+	if sk2.States[0].Lower != lat2.Bottom() || sk2.States[0].Upper != lat2.Top() {
+		t.Errorf("conflicting seeds must become unconstrained, got [%s,%s]",
+			lat2.Name(sk2.States[0].Lower), lat2.Name(sk2.States[0].Upper))
+	}
+}

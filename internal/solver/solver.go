@@ -1,0 +1,246 @@
+// Package solver orchestrates whole-program type inference
+// (Noonan et al., PLDI 2016, §4.2 and Appendix F):
+//
+//  1. InferProcTypes (F.1): traverse the call graph's strongly
+//     connected components bottom-up; generate constraints for each
+//     SCC with callee schemes instantiated at callsites; simplify the
+//     SCC constraint set relative to each member procedure to obtain
+//     its polymorphic type scheme.
+//  2. InferTypes (F.2): solve each procedure's constraint set into
+//     sketches (shape inference + lattice-bound decoration).
+//  3. RefineParameters (F.3): specialize each procedure's formal
+//     sketches with the join of the actual sketches observed at its
+//     callsites, trading generality for types closer to the source
+//     (Example 4.3 / G.1).
+package solver
+
+import (
+	"fmt"
+	"strings"
+
+	"retypd/internal/absint"
+	"retypd/internal/asm"
+	"retypd/internal/cfg"
+	"retypd/internal/constraints"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
+	"retypd/internal/sketch"
+	"retypd/internal/summaries"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// Absint configures constraint generation; the zero value is the
+	// paper-faithful configuration.
+	Absint absint.Options
+	// MaxSketchDepth truncates sketch recursion when ≥ 0 (used by the
+	// TIE-style baseline, which lacks recursive types); -1 means
+	// unbounded.
+	MaxSketchDepth int
+	// NoSpecialize disables the F.3 parameter-refinement pass.
+	NoSpecialize bool
+	// KeepIntermediates retains per-procedure constraint sets and
+	// shapes in the result (tests and the CLI want them; the scaling
+	// harness does not).
+	KeepIntermediates bool
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{MaxSketchDepth: -1, KeepIntermediates: true}
+}
+
+// ProcResult collects everything inferred for one procedure.
+type ProcResult struct {
+	Name      string
+	FormalIns []cfg.Loc
+	HasOut    bool
+	// Scheme is the simplified polymorphic type scheme (Def. 3.4).
+	Scheme *constraints.Scheme
+	// Sketch is the solved sketch of the procedure's type variable;
+	// formal-in and out sketches hang off it under in_*/out_* edges.
+	Sketch *sketch.Sketch
+	// SpecializedIns maps formal location names to the F.3-refined
+	// parameter sketches (nil when no callsite evidence exists).
+	SpecializedIns map[string]*sketch.Sketch
+	// Constraints is the generated (unsimplified) constraint set, kept
+	// when Options.KeepIntermediates is set.
+	Constraints *constraints.Set
+	// Shapes is the quotient used for this procedure's sketches, kept
+	// when Options.KeepIntermediates is set.
+	Shapes *sketch.Shapes
+}
+
+// InSketch returns the sketch of the formal at location name
+// (specialized if available, otherwise the subtree of Sketch).
+func (pr *ProcResult) InSketch(loc string) (*sketch.Sketch, bool) {
+	if sk, ok := pr.SpecializedIns[loc]; ok && sk != nil {
+		return sk, true
+	}
+	if pr.Sketch == nil {
+		return nil, false
+	}
+	return pr.Sketch.Descend(label.Word{label.In(loc)})
+}
+
+// OutSketch returns the sketch of the return value.
+func (pr *ProcResult) OutSketch() (*sketch.Sketch, bool) {
+	if pr.Sketch == nil {
+		return nil, false
+	}
+	return pr.Sketch.Descend(label.Word{label.Out("eax")})
+}
+
+// Result is the whole-program inference result.
+type Result struct {
+	Prog  *asm.Program
+	Lat   *lattice.Lattice
+	Infos map[string]*cfg.ProcInfo
+	Procs map[string]*ProcResult
+	// SCCs is the bottom-up SCC order used.
+	SCCs [][]string
+}
+
+// Infer runs the full pipeline.
+func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) *Result {
+	if sums == nil {
+		sums = summaries.Default()
+	}
+	infos := cfg.AnalyzeProgram(prog)
+	cg := cfg.BuildCallGraph(prog)
+	isConst := func(v constraints.Var) bool {
+		_, ok := lat.Elem(string(v))
+		return ok
+	}
+
+	res := &Result{
+		Prog:  prog,
+		Lat:   lat,
+		Infos: infos,
+		Procs: map[string]*ProcResult{},
+		SCCs:  cg.SCCs,
+	}
+
+	// Phase 1 (F.1): bottom-up scheme inference.
+	schemes := map[string]*constraints.Scheme{}
+	genResults := map[string]*absint.Result{}
+	for _, scc := range cg.SCCs {
+		sccCs := constraints.NewSet()
+		for _, p := range scc {
+			gr := absint.Generate(infos[p], infos, schemes, sums, isConst, opts.Absint)
+			genResults[p] = gr
+			sccCs.InsertAll(gr.Constraints)
+		}
+		g := pgraph.Build(sccCs, lat)
+		g.Saturate()
+		for _, p := range scc {
+			root := constraints.Var(p)
+			simp := g.Simplify(func(v constraints.Var) bool { return v == root })
+			schemes[p] = &constraints.Scheme{
+				Root:        root,
+				Constraints: simp.Constraints,
+				Existential: simp.Existential,
+			}
+		}
+	}
+
+	// Phase 2 (F.2): sketches, processed top-down so that callsite
+	// actuals are available when their callee is refined (F.3).
+	type actualKey struct{ callee, loc string }
+	actuals := map[actualKey]*sketch.Sketch{}
+	joinActual := func(k actualKey, sk *sketch.Sketch) {
+		if prev, ok := actuals[k]; ok {
+			actuals[k] = prev.Join(sk)
+		} else {
+			actuals[k] = sk
+		}
+	}
+
+	for i := len(cg.SCCs) - 1; i >= 0; i-- {
+		for _, p := range cg.SCCs[i] {
+			pi := infos[p]
+			gr := genResults[p]
+			shapes := sketch.InferShapes(gr.Constraints, lat)
+			g := pgraph.Build(gr.Constraints, lat)
+			dec := sketch.NewDecorator(g)
+
+			sk := shapes.SketchFor(constraints.Var(p), opts.MaxSketchDepth)
+			dec.Decorate(sk, constraints.Var(p))
+
+			pr := &ProcResult{
+				Name:           p,
+				FormalIns:      pi.FormalIns,
+				HasOut:         pi.HasOut,
+				Scheme:         schemes[p],
+				Sketch:         sk,
+				SpecializedIns: map[string]*sketch.Sketch{},
+			}
+			if opts.KeepIntermediates {
+				pr.Constraints = gr.Constraints
+				pr.Shapes = shapes
+			}
+			res.Procs[p] = pr
+
+			// Record actual sketches at this procedure's callsites for
+			// the callees' later refinement.
+			if !opts.NoSpecialize {
+				for _, call := range gr.Calls {
+					ci, ok := infos[call.Callee]
+					if !ok {
+						continue
+					}
+					rootSk := shapes.SketchFor(call.Root, opts.MaxSketchDepth)
+					dec.Decorate(rootSk, call.Root)
+					for _, l := range ci.FormalIns {
+						if sub, ok := rootSk.Descend(label.Word{label.In(l.ParamName())}); ok {
+							joinActual(actualKey{call.Callee, l.ParamName()}, sub)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3 (F.3): refine formals with observed actuals.
+	if !opts.NoSpecialize {
+		for name, pr := range res.Procs {
+			for _, l := range pr.FormalIns {
+				k := actualKey{name, l.ParamName()}
+				joined, ok := actuals[k]
+				if !ok {
+					continue
+				}
+				if formal, ok := pr.Sketch.Descend(label.Word{label.In(l.ParamName())}); ok {
+					pr.SpecializedIns[l.ParamName()] = formal.Meet(joined)
+				} else {
+					pr.SpecializedIns[l.ParamName()] = joined
+				}
+			}
+		}
+	}
+	return res
+}
+
+// DumpSchemes renders all inferred schemes, sorted by name (CLI/test
+// helper).
+func (r *Result) DumpSchemes() string {
+	var names []string
+	for n := range r.Procs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s:\n  %s\n", n, r.Procs[n].Scheme)
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

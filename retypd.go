@@ -1,0 +1,245 @@
+// Package retypd is a from-scratch Go implementation of Retypd, the
+// machine-code type-inference system of Noonan, Loginov and Cok,
+// "Polymorphic Type Inference for Machine Code" (PLDI 2016).
+//
+// Retypd recovers high-level types from stripped machine code. It
+// infers recursively constrained polymorphic type schemes (∀τ.C ⇒ τ)
+// per procedure by encoding subtype-constraint entailment as an
+// unconstrained pushdown system, solves the constraints over the
+// lattice of sketches, and finally converts sketches to familiar C
+// types with a separate, heuristic display phase (const recovery,
+// unions, recursive struct typedefs).
+//
+// # Quick start
+//
+//	prog := retypd.MustParseAsm(src)      // the x86-like IR substrate
+//	res := retypd.Infer(prog, nil)        // default Λ, libc summaries
+//	for _, p := range res.ProcNames() {
+//	    fmt.Println(res.Scheme(p))        // ∀F. (∃τ. C) ⇒ F
+//	    fmt.Println(res.Signature(p))     // int close_last(const Struct_0 *);
+//	}
+//
+// The Config hooks expose the paper's design space: a custom lattice Λ
+// of atomic types and semantic tags (§2.8, §3.5), external function
+// summaries (§4.2), monomorphic/trace-restricted constraint generation
+// (the evaluation baselines), and the specialization policy (F.3).
+package retypd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"retypd/internal/absint"
+	"retypd/internal/asm"
+	"retypd/internal/constraints"
+	"retypd/internal/ctype"
+	"retypd/internal/label"
+	"retypd/internal/lattice"
+	"retypd/internal/sketch"
+	"retypd/internal/solver"
+	"retypd/internal/summaries"
+)
+
+// Re-exported substrate types, so that example programs and downstream
+// tools need only this package.
+type (
+	// Program is a parsed assembly module.
+	Program = asm.Program
+	// Lattice is the auxiliary lattice Λ of atomic types.
+	Lattice = lattice.Lattice
+	// LatticeBuilder declares custom Λ elements and subtyping.
+	LatticeBuilder = lattice.Builder
+	// Summaries maps external symbols to type schemes.
+	Summaries = summaries.Table
+	// Sketch is the solved type representation (§3.5).
+	Sketch = sketch.Sketch
+	// CType is the displayed C type AST.
+	CType = ctype.Type
+	// Scheme is a recursively constrained polymorphic type scheme.
+	Scheme = constraints.Scheme
+	// Signature is a rendered C procedure signature.
+	Signature = ctype.Signature
+)
+
+// Config customizes inference; the zero value selects the
+// paper-faithful configuration with the stock lattice and summaries.
+type Config struct {
+	// Lattice is the auxiliary lattice Λ (nil: lattice.Default()).
+	Lattice *Lattice
+	// Summaries models external functions (nil: summaries.Default()).
+	Summaries Summaries
+	// Monomorphic disables callsite-tagged scheme instantiation.
+	Monomorphic bool
+	// NoSpecialize disables the F.3 parameter-specialization policy.
+	NoSpecialize bool
+	// MaxSketchDepth truncates recursive sketches when ≥ 0 (-0 means
+	// unbounded when zero value is used; set to -1 explicitly for
+	// clarity).
+	MaxSketchDepth int
+}
+
+// Result is the inference outcome for a program.
+type Result struct {
+	inner *solver.Result
+	conv  *ctype.Converter
+}
+
+// ParseAsm parses the textual assembly substrate format.
+func ParseAsm(src string) (*Program, error) { return asm.Parse(src) }
+
+// MustParseAsm panics on parse errors.
+func MustParseAsm(src string) *Program { return asm.MustParse(src) }
+
+// NewLatticeBuilder returns the stock Λ as an extensible builder
+// (§2.8: end users may adjust the initial type hierarchy).
+func NewLatticeBuilder() *LatticeBuilder { return lattice.DefaultBuilder() }
+
+// Infer runs the full Retypd pipeline on prog.
+func Infer(prog *Program, cfg *Config) *Result {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	lat := cfg.Lattice
+	if lat == nil {
+		lat = lattice.Default()
+	}
+	opts := solver.DefaultOptions()
+	opts.Absint = absint.Options{MonomorphicCalls: cfg.Monomorphic}
+	opts.NoSpecialize = cfg.NoSpecialize
+	if cfg.MaxSketchDepth > 0 {
+		opts.MaxSketchDepth = cfg.MaxSketchDepth
+	}
+	res := solver.Infer(prog, lat, cfg.Summaries, opts)
+	return &Result{inner: res, conv: ctype.NewConverter(lat)}
+}
+
+// ProcNames lists the program's procedures, sorted.
+func (r *Result) ProcNames() []string {
+	var out []string
+	for n := range r.inner.Procs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scheme returns the inferred polymorphic type scheme for proc.
+func (r *Result) Scheme(proc string) *Scheme {
+	if p, ok := r.inner.Procs[proc]; ok {
+		return p.Scheme
+	}
+	return nil
+}
+
+// ProcSketch returns the solved sketch of proc's type variable.
+func (r *Result) ProcSketch(proc string) *Sketch {
+	if p, ok := r.inner.Procs[proc]; ok {
+		return p.Sketch
+	}
+	return nil
+}
+
+// ParamSketch returns the (specialized, if available) sketch of the
+// idx-th formal parameter.
+func (r *Result) ParamSketch(proc string, idx int) (*Sketch, bool) {
+	p, ok := r.inner.Procs[proc]
+	if !ok || idx >= len(p.FormalIns) {
+		return nil, false
+	}
+	return p.InSketch(p.FormalIns[idx].ParamName())
+}
+
+// Signature renders proc's C signature through the display policies of
+// §4.3.
+func (r *Result) Signature(proc string) *Signature {
+	p, ok := r.inner.Procs[proc]
+	if !ok {
+		return nil
+	}
+	sig := &Signature{Name: proc, Ret: ctype.Prim("void")}
+	for _, l := range p.FormalIns {
+		loc := l.ParamName()
+		sk, ok := p.InSketch(loc)
+		var t *CType
+		if ok {
+			t = r.conv.ConvertParam(sk)
+		} else {
+			t = ctype.Unknown()
+		}
+		sig.Params = append(sig.Params, ctype.Param{Loc: loc, Type: t})
+	}
+	if p.HasOut {
+		if sk, ok := p.OutSketch(); ok {
+			sig.Ret = r.conv.FromSketch(sk)
+		} else {
+			sig.Ret = ctype.Unknown()
+		}
+	}
+	return sig
+}
+
+// Typedefs returns the named struct typedefs created while rendering
+// signatures (recursive types, Figure 2's Struct_0).
+func (r *Result) Typedefs() []*CType { return r.conv.Structs }
+
+// NumParams reports the number of recovered formal parameters.
+func (r *Result) NumParams(proc string) int {
+	if p, ok := r.inner.Procs[proc]; ok {
+		return len(p.FormalIns)
+	}
+	return 0
+}
+
+// ParamLocs lists the recovered formal parameter locations.
+func (r *Result) ParamLocs(proc string) []string {
+	p, ok := r.inner.Procs[proc]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, l := range p.FormalIns {
+		out = append(out, l.ParamName())
+	}
+	return out
+}
+
+// HasOut reports whether proc returns a value.
+func (r *Result) HasOut(proc string) bool {
+	if p, ok := r.inner.Procs[proc]; ok {
+		return p.HasOut
+	}
+	return false
+}
+
+// IsConstParam reports whether the const-recovery policy (Example 4.1)
+// annotates the idx-th parameter: a pointer loaded through but never
+// stored through.
+func (r *Result) IsConstParam(proc string, idx int) bool {
+	sk, ok := r.ParamSketch(proc, idx)
+	if !ok {
+		return false
+	}
+	hasLoad := sk.Accepts(label.Word{label.Load()})
+	hasStore := sk.Accepts(label.Word{label.Store()})
+	return hasLoad && !hasStore
+}
+
+// Report renders a human-readable summary of all inferred types.
+func (r *Result) Report() string {
+	var b strings.Builder
+	for _, name := range r.ProcNames() {
+		fmt.Fprintf(&b, "%s\n", r.Signature(name))
+		fmt.Fprintf(&b, "  scheme: %s\n", r.Scheme(name))
+	}
+	if ts := r.Typedefs(); len(ts) > 0 {
+		b.WriteString("\ntypedefs:\n")
+		for _, t := range ts {
+			fmt.Fprintf(&b, "  %s;\n", t)
+		}
+	}
+	return b.String()
+}
+
+// Internal accessor for the evaluation harness.
+func (r *Result) Solver() *solver.Result { return r.inner }

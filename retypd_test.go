@@ -1,0 +1,70 @@
+package retypd
+
+import (
+	"strings"
+	"testing"
+)
+
+const closeLastAsm = `
+proc close_last
+    push ebp
+    mov ebp, esp
+    sub esp, 8
+    mov edx, [ebp+8]
+    jmp L2
+L1:
+    mov edx, eax
+L2:
+    mov eax, [edx]
+    test eax, eax
+    jnz L1
+    mov eax, [edx+4]
+    mov [ebp+8], eax
+    leave
+    jmp close
+endproc
+`
+
+// TestFigure2Signature checks the displayed C types of Figure 2:
+//
+//	typedef struct { Struct_0 *field_0; int field_4; } Struct_0;
+//	int close_last(const Struct_0 *);
+func TestFigure2Signature(t *testing.T) {
+	res := Infer(MustParseAsm(closeLastAsm), nil)
+	sig := res.Signature("close_last")
+	if sig == nil {
+		t.Fatal("no signature for close_last")
+	}
+	s := sig.String()
+	t.Logf("signature: %s", s)
+	t.Logf("report:\n%s", res.Report())
+
+	if len(sig.Params) != 1 {
+		t.Fatalf("want 1 parameter, got %d (%s)", len(sig.Params), s)
+	}
+	p := sig.Params[0]
+	if !p.Type.Const {
+		t.Errorf("parameter should be const (Example 4.1): %s", s)
+	}
+	if p.Type.Kind != 1 /* KPtr */ {
+		t.Errorf("parameter should be a pointer: %s", s)
+	}
+	if !strings.Contains(strings.ToLower(sig.Ret.String()), "int") {
+		t.Errorf("return should display int, got %s", sig.Ret)
+	}
+	if !strings.Contains(sig.Ret.String(), "#SuccessZ") {
+		t.Errorf("return should carry the #SuccessZ tag, got %s", sig.Ret)
+	}
+	// The recursive struct must have been rerolled into a named
+	// typedef whose field_0 points back to itself.
+	if len(res.Typedefs()) == 0 {
+		t.Fatalf("expected a recursive struct typedef, got none; sig=%s", s)
+	}
+	st := res.Typedefs()[0]
+	if len(st.Fields) != 2 || st.Fields[0].Off != 0 || st.Fields[1].Off != 4 {
+		t.Errorf("struct shape wrong: %s", st)
+	}
+	if !res.IsConstParam("close_last", 0) {
+		t.Error("IsConstParam should report the parameter const")
+	}
+}
