@@ -106,6 +106,33 @@ func BenchmarkInferWholeProgram(b *testing.B) {
 	}
 }
 
+// BenchmarkInferParallel sweeps the staged pipeline's worker count on
+// the same 4K-instruction program (Appendix F: per-SCC scheme inference
+// is embarrassingly parallel across independent call-graph components).
+// The legacy row replicates the pre-pipeline configuration — sequential
+// and without the simplification memo — so the speedup of workers=N
+// over legacy is the end-to-end win of this refactor; on a single-CPU
+// host the memo alone carries it.
+func BenchmarkInferParallel(b *testing.B) {
+	lat := lattice.Default()
+	run := func(workers int, noCache bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := solver.DefaultOptions()
+			opts.KeepIntermediates = false
+			opts.Workers = workers
+			opts.NoSchemeCache = noCache
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = solver.Infer(benchCorpus, lat, nil, opts)
+			}
+		}
+	}
+	b.Run("legacy", run(1, true))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), run(w, false))
+	}
+}
+
 // BenchmarkConstraintGen isolates Appendix A constraint generation.
 func BenchmarkConstraintGen(b *testing.B) {
 	lat := lattice.Default()

@@ -3,21 +3,27 @@
 //
 // Usage:
 //
-//	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|all] [-scale N] [-quick]
+//	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|par|all]
+//	            [-scale N] [-quick] [-j N] [-timings out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"retypd/internal/eval"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, fig12, const, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, fig12, const, par, all")
 	scale := flag.Int("scale", 0, "override corpus scale divisor (default from config)")
 	quick := flag.Bool("quick", false, "use the small smoke-test configuration")
+	workers := flag.Int("j", 0, "solver worker count for the scaling harness (0 = one per CPU)")
+	parSize := flag.Int("parsize", 4000, "program size (instructions) for the -exp par sweep")
+	timings := flag.String("timings", "", "write scaling/parallel measurements to this JSON file")
 	flag.Parse()
 
 	cfg := eval.DefaultConfig()
@@ -27,6 +33,7 @@ func main() {
 	if *scale > 0 {
 		cfg.Suite.Scale = *scale
 	}
+	cfg.Parallelism = *workers
 
 	needSuite := func(e string) bool {
 		switch e {
@@ -45,6 +52,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "running scaling sweep…")
 		scaling = eval.RunScaling(cfg)
 	}
+	var sweep []eval.ScalingPoint
+	if *exp == "par" || *exp == "all" {
+		fmt.Fprintln(os.Stderr, "running parallel worker sweep…")
+		counts := []int{1, 2, 4}
+		if n := runtime.GOMAXPROCS(0); n > 4 {
+			counts = append(counts, n)
+		}
+		sweep = eval.RunParallelSweep(*parSize, counts)
+	}
+
+	if *timings != "" {
+		// Non-nil so an experiment without timing points writes "[]",
+		// not JSON null.
+		points := []eval.ScalingPoint{}
+		points = append(append(points, scaling...), sweep...)
+		blob, err := json.MarshalIndent(points, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*timings, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retypd-eval: write timings:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *timings)
+	}
 
 	show := func(e string) {
 		switch e {
@@ -62,10 +94,12 @@ func main() {
 			fmt.Println(eval.Figure12(scaling))
 		case "const":
 			fmt.Println(eval.ConstReport(suite))
+		case "par":
+			fmt.Println(eval.FigureParallel(sweep))
 		}
 	}
 	if *exp == "all" {
-		for _, e := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "const"} {
+		for _, e := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "const", "par"} {
 			show(e)
 			fmt.Println()
 		}

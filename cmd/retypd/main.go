@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	retypd [-schemes] [-sketches] file.sasm
+//	retypd [-schemes] [-sketches] [-j N] file.sasm
 package main
 
 import (
@@ -19,6 +19,7 @@ func main() {
 	schemes := flag.Bool("schemes", true, "print inferred type schemes")
 	sketches := flag.Bool("sketches", false, "print solved sketches")
 	mono := flag.Bool("mono", false, "disable polymorphic callsite instantiation (baseline mode)")
+	workers := flag.Int("j", 0, "solver worker count (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: retypd [flags] file.sasm")
@@ -34,7 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "retypd:", err)
 		os.Exit(1)
 	}
-	res := retypd.Infer(prog, &retypd.Config{Monomorphic: *mono})
+	res := retypd.Infer(prog, &retypd.Config{Monomorphic: *mono, Workers: *workers})
 	for _, name := range res.ProcNames() {
 		fmt.Println(res.Signature(name))
 		if *schemes {

@@ -1,0 +1,3 @@
+module retypd
+
+go 1.22

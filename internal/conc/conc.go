@@ -1,0 +1,89 @@
+// Package conc provides the bounded fork/join primitive the solver
+// pipeline schedules on: an errgroup-style indexed ForEach, implemented
+// on the standard library only (the module has no external
+// dependencies).
+//
+// Panics raised inside workers are captured and re-raised on the waiting
+// goroutine, so a crash in one shard of a parallel phase surfaces with
+// its original message instead of deadlocking the pipeline.
+package conc
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPanic wraps a panic captured inside a ForEach worker: Value is
+// the original panic value (recover on this type and inspect Value to
+// handle typed panics), Stack the panicking worker's stack trace.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the original value and the worker's stack.
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("conc: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// Limit normalizes a worker-count knob: values ≤ 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS).
+func Limit(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach invokes f(i) for every i in [0, n), running at most
+// Limit(workers) invocations concurrently. It returns once all
+// invocations completed; worker panics are re-raised on the caller.
+// With workers == 1 (or n == 1) the calls run inline on the caller's
+// goroutine in index order, which keeps the sequential path allocation-
+// and scheduler-free.
+func ForEach(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Limit(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var once sync.Once
+	var pval *WorkerPanic
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { pval = &WorkerPanic{Value: r, Stack: debug.Stack()} })
+					next.Store(int64(n)) // stop handing out work
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
+	}
+}

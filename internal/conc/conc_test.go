@@ -1,0 +1,86 @@
+package conc
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		const n = 137
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("must not be called") })
+	ForEach(4, -3, func(int) { t.Fatal("must not be called") })
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("workers=1 must run in index order, got %v", order)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("panic value is %T, want *WorkerPanic", r)
+		}
+		if wp.Value != "boom" {
+			t.Fatalf("original panic value lost: %v", wp.Value)
+		}
+		if !strings.Contains(wp.Error(), "boom") || len(wp.Stack) == 0 {
+			t.Fatalf("worker stack/message lost: %v", wp.Error())
+		}
+	}()
+	ForEach(3, 50, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	var cur, peak atomic.Int32
+	ForEach(limit, 40, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", p, limit)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	if Limit(4) != 4 {
+		t.Errorf("Limit(4) = %d", Limit(4))
+	}
+	if Limit(0) < 1 || Limit(-1) < 1 {
+		t.Errorf("Limit must be ≥ 1 for auto values")
+	}
+}

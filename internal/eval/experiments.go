@@ -8,6 +8,7 @@ import (
 
 	"retypd/internal/asm"
 	"retypd/internal/baselines"
+	"retypd/internal/conc"
 	"retypd/internal/corpus"
 	"retypd/internal/lattice"
 	"retypd/internal/solver"
@@ -20,6 +21,9 @@ type Config struct {
 	// Fig11Sizes are the program sizes (instructions) swept by the
 	// scaling experiments.
 	Fig11Sizes []int
+	// Parallelism is the solver worker count used by the scaling
+	// harness (0 = one per CPU, 1 = sequential).
+	Parallelism int
 }
 
 // DefaultConfig is laptop-sized.
@@ -159,7 +163,11 @@ func Figure10(s *SuiteScores) string {
 
 // ScalingPoint is one measurement of the scaling sweep.
 type ScalingPoint struct {
-	Insts   int
+	Insts int
+	// Workers is the solver parallelism the point was measured at
+	// (resolved: 0-valued knobs are recorded as the actual CPU count).
+	Workers int
+	// Seconds is inference wall-clock time.
 	Seconds float64
 	// AllocBytes is total allocation during inference — the memory
 	// proxy for Figure 12 (the paper measured peak RSS; allocation
@@ -168,36 +176,56 @@ type ScalingPoint struct {
 }
 
 // RunScaling measures inference time and allocation across program
-// sizes (Figures 11 and 12).
+// sizes (Figures 11 and 12), at the parallelism cfg selects.
 func RunScaling(cfg Config) []ScalingPoint {
-	lat := lattice.Default()
 	var out []ScalingPoint
 	seed := int64(7)
 	for _, size := range cfg.Fig11Sizes {
 		seed++
-		b := corpus.Generate(fmt.Sprintf("scale%d", size), seed, size)
-		prog, err := asm.Parse(b.Source)
-		if err != nil {
-			panic(err)
-		}
-		opts := solver.DefaultOptions()
-		opts.KeepIntermediates = false
-
-		runtime.GC()
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		start := time.Now()
-		res := solver.Infer(prog, lat, nil, opts)
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&m1)
-		_ = res
-		out = append(out, ScalingPoint{
-			Insts:      b.Insts,
-			Seconds:    elapsed.Seconds(),
-			AllocBytes: float64(m1.TotalAlloc - m0.TotalAlloc),
-		})
+		out = append(out, measureScale(size, seed, cfg.Parallelism))
 	}
 	return out
+}
+
+// RunParallelSweep measures one program size at several worker counts —
+// the wall-clock speedup table behind the Appendix F parallelization
+// claim.
+func RunParallelSweep(size int, workerCounts []int) []ScalingPoint {
+	var out []ScalingPoint
+	for _, w := range workerCounts {
+		// Fixed seed: every worker count measures the same program.
+		out = append(out, measureScale(size, 8, w))
+	}
+	return out
+}
+
+// measureScale runs one (size, workers) inference, recording wall clock
+// and allocation.
+func measureScale(size int, seed int64, workers int) ScalingPoint {
+	lat := lattice.Default()
+	b := corpus.Generate(fmt.Sprintf("scale%d", size), seed, size)
+	prog, err := asm.Parse(b.Source)
+	if err != nil {
+		panic(err)
+	}
+	opts := solver.DefaultOptions()
+	opts.KeepIntermediates = false
+	opts.Workers = workers
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res := solver.Infer(prog, lat, nil, opts)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	_ = res
+	return ScalingPoint{
+		Insts:      b.Insts,
+		Workers:    conc.Limit(workers),
+		Seconds:    elapsed.Seconds(),
+		AllocBytes: float64(m1.TotalAlloc - m0.TotalAlloc),
+	}
 }
 
 // Figure11 renders the time-scaling fit (paper: t = 0.000725·N^1.098,
@@ -206,12 +234,12 @@ func Figure11(points []ScalingPoint) string {
 	var xs, ys []float64
 	t := &Table{
 		Title:   "Figure 11 — type-inference time vs program size",
-		Headers: []string{"instructions", "seconds"},
+		Headers: []string{"instructions", "workers", "wall seconds"},
 	}
 	for _, p := range points {
 		xs = append(xs, float64(p.Insts))
 		ys = append(ys, p.Seconds)
-		t.AddRow(fmt.Sprint(p.Insts), fmt.Sprintf("%.3f", p.Seconds))
+		t.AddRow(fmt.Sprint(p.Insts), fmt.Sprint(p.Workers), fmt.Sprintf("%.3f", p.Seconds))
 	}
 	fit := FitPower(xs, ys)
 	ll := FitPowerLogLog(xs, ys)
@@ -220,6 +248,36 @@ func Figure11(points []ScalingPoint) string {
 			fit.A, fit.B, fit.R2) +
 		fmt.Sprintf("log-log fit     : t = %.3g · N^%.3f   (R² = %.3f)   [§6.6 note comparison]\n",
 			ll.A, ll.B, ll.R2)
+}
+
+// FigureParallel renders the wall-clock speedup of the concurrent
+// solver pipeline at each worker count, against the workers=1 row
+// (Appendix F: per-SCC scheme inference is embarrassingly parallel
+// across independent call-graph components).
+func FigureParallel(points []ScalingPoint) string {
+	t := &Table{
+		Title:   "Parallel solver — wall-clock speedup vs worker count",
+		Headers: []string{"instructions", "workers", "wall seconds", "speedup"},
+	}
+	var base float64
+	if len(points) > 0 {
+		base = points[0].Seconds
+	}
+	for _, p := range points {
+		if p.Workers == 1 {
+			base = p.Seconds
+			break
+		}
+	}
+	for _, p := range points {
+		sp := "—"
+		if base > 0 && p.Seconds > 0 {
+			sp = fmt.Sprintf("%.2f×", base/p.Seconds)
+		}
+		t.AddRow(fmt.Sprint(p.Insts), fmt.Sprint(p.Workers),
+			fmt.Sprintf("%.3f", p.Seconds), sp)
+	}
+	return t.String()
 }
 
 // Figure12 renders the memory-scaling fit (paper: m = 0.037·N^0.846,

@@ -14,6 +14,9 @@
 package lattice
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -35,6 +38,9 @@ type Lattice struct {
 	// join and meet are dense n×n tables.
 	join []Elem
 	meet []Elem
+	// sig is a content hash of names + order, computed once by Build
+	// (the lattice is immutable afterwards); see Signature.
+	sig string
 }
 
 type bitset []uint64
@@ -182,8 +188,28 @@ func (b *Builder) Build() (*Lattice, error) {
 			l.meet[c*n+a] = m
 		}
 	}
+
+	// Content signature: element names plus the closed ≤ relation
+	// identify the lattice's semantics completely (join/meet tables are
+	// derived from them).
+	h := sha256.New()
+	for i, name := range l.names {
+		fmt.Fprintf(h, "%d=%s;", i, name)
+		for _, w := range l.leq[i] {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], w)
+			h.Write(buf[:])
+		}
+	}
+	l.sig = hex.EncodeToString(h.Sum(nil))
 	return l, nil
 }
+
+// Signature returns a content hash identifying the lattice: two
+// lattices with equal signatures have the same elements and ordering.
+// Caches keyed on constraint-set fingerprints mix it in so entries
+// computed under one lattice are never served to another.
+func (l *Lattice) Signature() string { return l.sig }
 
 // selectExtremum picks the element of the candidate set that is below
 // (w.r.t. rel) every other candidate, or fallback when no unique one

@@ -1,0 +1,275 @@
+package pgraph
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"sync"
+
+	"retypd/internal/constraints"
+	"retypd/internal/lattice"
+)
+
+// canonPrefix is the namespace of canonical variable names used by
+// fingerprinting. Program variables never contain it (procedure names
+// come from assembly symbols, internal solver variables use '!', '@'
+// and 'τ'); if one ever does, fingerprinting declines to canonicalize
+// rather than risk a collision.
+const canonPrefix = "¤" // ¤
+
+// FP is a canonical fingerprint of a constraint set: a content hash
+// that is invariant under renaming of the non-constant base variables.
+// Two constraint sets with the same fingerprint are isomorphic — they
+// differ at most in variable names — so the simplification of one is
+// the simplification of the other modulo the same renaming. This is
+// what lets duplicate leaf procedures across a corpus be simplified
+// once (BinSub observes simplification dominates end-to-end inference
+// cost; the paper's Appendix F notes the per-SCC structure that makes
+// the sharing sound).
+type FP struct {
+	ok     bool
+	sum    string
+	rename map[constraints.Var]constraints.Var
+}
+
+// Fingerprint canonicalizes cs: every base variable that is not a
+// lattice constant is renamed to ¤0, ¤1, … in order of first occurrence
+// over the set's (deterministic) insertion order, and the renamed
+// rendering is hashed. Returns an unusable FP (Usable() == false) when
+// canonicalization would be ambiguous.
+func Fingerprint(cs *constraints.Set, lat *lattice.Lattice) *FP {
+	fp := &FP{rename: map[constraints.Var]constraints.Var{}}
+	bad := false
+	canonVar := func(v constraints.Var) string {
+		if _, isConst := lat.Elem(string(v)); isConst {
+			return string(v)
+		}
+		if strings.Contains(string(v), canonPrefix) {
+			bad = true
+			return string(v)
+		}
+		cv, ok := fp.rename[v]
+		if !ok {
+			cv = constraints.Var(canonPrefix + strconv.Itoa(len(fp.rename)))
+			fp.rename[v] = cv
+		}
+		return string(cv)
+	}
+	var b strings.Builder
+	canonDTV := func(d constraints.DTV) {
+		b.WriteString(canonVar(d.Base))
+		if len(d.Path) > 0 {
+			b.WriteByte('.')
+			b.WriteString(d.Path.String())
+		}
+	}
+	for _, c := range cs.Constraints() {
+		switch c.Kind {
+		case constraints.KindSub:
+			canonDTV(c.L)
+			b.WriteString("<=")
+			canonDTV(c.R)
+		default:
+			if c.Kind == constraints.KindAdd {
+				b.WriteString("Add(")
+			} else {
+				b.WriteString("Sub(")
+			}
+			canonDTV(c.X)
+			b.WriteByte(',')
+			canonDTV(c.Y)
+			b.WriteByte(';')
+			canonDTV(c.Z)
+			b.WriteByte(')')
+		}
+		b.WriteByte('\n')
+	}
+	if bad {
+		return &FP{}
+	}
+	// Mix in the lattice identity: the same canonical constraint text
+	// saturates and simplifies differently under a different Λ, so a
+	// cache shared across Infer calls with different lattices must not
+	// cross-serve entries.
+	b.WriteString("\x00Λ=")
+	b.WriteString(lat.Signature())
+	h := sha256.Sum256([]byte(b.String()))
+	fp.ok = true
+	fp.sum = hex.EncodeToString(h[:])
+	return fp
+}
+
+// Usable reports whether the fingerprint can key a cache.
+func (f *FP) Usable() bool { return f.ok }
+
+// KeyFor returns the cache key for simplifying relative to root, or
+// false when root does not occur in the fingerprinted set.
+func (f *FP) KeyFor(root constraints.Var) (string, bool) {
+	if !f.ok {
+		return "", false
+	}
+	cv, ok := f.rename[root]
+	if !ok {
+		return "", false
+	}
+	return f.sum + "|" + string(cv), true
+}
+
+// canonicalRoot returns root's canonical name.
+func (f *FP) canonicalRoot(root constraints.Var) (constraints.Var, bool) {
+	cv, ok := f.rename[root]
+	return cv, ok
+}
+
+// DefaultSimplifyCacheCap is the entry bound of caches created by
+// NewSimplifyCache(0). One entry holds one simplified (small) scheme;
+// a few thousand covers the leaf-procedure population of corpora far
+// larger than the paper's.
+const DefaultSimplifyCacheCap = 4096
+
+// SimplifyCache is a thread-safe LRU memo of Simplify results keyed by
+// canonical constraint-set fingerprints. Entries are stored in
+// canonical form (the root renamed to its ¤k name) and rehydrated on
+// hit, so one entry serves every procedure with an isomorphic
+// constraint set.
+type SimplifyCache struct {
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *SimplifyResult // canonical form
+}
+
+// NewSimplifyCache returns an LRU cache bounded to capacity entries
+// (capacity ≤ 0 selects DefaultSimplifyCacheCap).
+func NewSimplifyCache(capacity int) *SimplifyCache {
+	if capacity <= 0 {
+		capacity = DefaultSimplifyCacheCap
+	}
+	return &SimplifyCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: map[string]*list.Element{},
+	}
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *SimplifyCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the current entry count.
+func (c *SimplifyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Simplify returns the simplification of the (fingerprinted) constraint
+// set relative to root, consulting the memo first. build must return
+// the saturated graph of the fingerprinted set; it is only invoked on a
+// cache miss (and may be shared across roots of one SCC). A nil cache
+// degrades to calling build().Simplify directly.
+func (c *SimplifyCache) Simplify(fp *FP, root constraints.Var, build func() *Graph) *SimplifyResult {
+	interesting := func(v constraints.Var) bool { return v == root }
+	if c == nil || fp == nil {
+		return build().Simplify(interesting)
+	}
+	key, ok := fp.KeyFor(root)
+	if !ok {
+		return build().Simplify(interesting)
+	}
+	if res, ok := c.lookup(key); ok {
+		canonRoot, _ := fp.canonicalRoot(root)
+		return rehydrate(res, canonRoot, root)
+	}
+	res := build().Simplify(interesting)
+	if canon, ok := canonicalize(res, root, fp); ok {
+		c.store(key, canon)
+	}
+	return res
+}
+
+func (c *SimplifyCache) lookup(key string) (*SimplifyResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *SimplifyCache) store(key string, res *SimplifyResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok { // concurrent miss raced us; keep first
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.byKey[key] = el
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// canonicalize rewrites res with root renamed to its canonical name.
+// Simplification relative to {root} only ever mentions root, lattice
+// constants, and the fresh existential variables it synthesized (whose
+// numbering depends only on graph structure, not on names); if anything
+// else appears the result is not safely shareable and we refuse to
+// cache it.
+func canonicalize(res *SimplifyResult, root constraints.Var, fp *FP) (*SimplifyResult, bool) {
+	canonRoot, ok := fp.canonicalRoot(root)
+	if !ok {
+		return nil, false
+	}
+	fresh := map[constraints.Var]bool{}
+	for _, v := range res.Existential {
+		fresh[v] = true
+	}
+	for _, c := range res.Constraints.Constraints() {
+		for _, d := range []constraints.DTV{c.L, c.R, c.X, c.Y, c.Z} {
+			v := d.Base
+			if v == "" || v == root || fresh[v] {
+				continue
+			}
+			if _, isFP := fp.rename[v]; isFP && v != root {
+				// A foreign program variable leaked into the result;
+				// renaming only the root would mis-share it.
+				return nil, false
+			}
+		}
+	}
+	return rehydrate(res, root, canonRoot), true
+}
+
+// rehydrate substitutes from → to in a stored result, copying the
+// existential list so cached state is never aliased mutably.
+func rehydrate(res *SimplifyResult, from, to constraints.Var) *SimplifyResult {
+	out := &SimplifyResult{
+		Constraints: res.Constraints.SubstituteBases(func(v constraints.Var) constraints.Var {
+			if v == from {
+				return to
+			}
+			return v
+		}),
+		Existential: append([]constraints.Var(nil), res.Existential...),
+	}
+	return out
+}

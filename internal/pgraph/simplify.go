@@ -281,7 +281,13 @@ func compact(cs *constraints.Set, fresh []constraints.Var) *constraints.Set {
 				next.Insert(c)
 			}
 		}
-		for v := range selected {
+		// Iterate cands (already sorted), not the selected map: the
+		// output set's insertion order must be deterministic — it feeds
+		// scheme instantiation and the fingerprint cache downstream.
+		for _, v := range cands {
+			if !selected[v] {
+				continue
+			}
 			o := occs[v]
 			for _, cin := range o.in {
 				for _, cout := range o.out {

@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"testing"
+
+	"retypd/internal/asm"
+	"retypd/internal/cfg"
+	"retypd/internal/corpus"
+	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
+)
+
+func cfgBuild(prog *asm.Program) *cfg.CallGraph { return cfg.BuildCallGraph(prog) }
+
+// parallelProg is a mid-sized generated program with enough independent
+// procedures to exercise every pipeline stage.
+func parallelProg(t testing.TB) *asm.Program {
+	t.Helper()
+	b := corpus.Generate("par", 99, 1500)
+	prog, err := asm.Parse(b.Source)
+	if err != nil {
+		t.Fatalf("corpus does not parse: %v", err)
+	}
+	return prog
+}
+
+// dump renders everything the pipeline infers that tests compare.
+func dump(res *Result) string {
+	return res.DumpSchemes() + "\n===\n" + res.DumpSpecialized()
+}
+
+// TestParallelMatchesSequential: the concurrent pipeline must produce
+// byte-identical schemes AND specialized parameter sketches for every
+// worker count, with and without the simplification memo.
+func TestParallelMatchesSequential(t *testing.T) {
+	prog := parallelProg(t)
+	lat := lattice.Default()
+
+	base := DefaultOptions()
+	base.Workers = 1
+	base.NoSchemeCache = true
+	want := dump(Infer(prog, lat, nil, base))
+
+	cases := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"workers=1+cache", func(o *Options) { o.Workers = 1 }},
+		{"workers=2", func(o *Options) { o.Workers = 2 }},
+		{"workers=4", func(o *Options) { o.Workers = 4 }},
+		{"workers=8+cache", func(o *Options) { o.Workers = 8 }},
+		{"workers=4-cache", func(o *Options) { o.Workers = 4; o.NoSchemeCache = true }},
+		{"workers=auto", func(o *Options) { o.Workers = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			tc.mod(&opts)
+			got := dump(Infer(prog, lat, nil, opts))
+			if got != want {
+				t.Errorf("output diverged from sequential/no-cache baseline (len %d vs %d)",
+					len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestInferDeterministic runs the full pipeline 20× (mixed worker
+// counts) and asserts byte-identical DumpSchemes and SpecializedIns
+// output every time — the F.2/F.3 join-order bugfix.
+func TestInferDeterministic(t *testing.T) {
+	prog := parallelProg(t)
+	lat := lattice.Default()
+	var want string
+	for i := 0; i < 20; i++ {
+		opts := DefaultOptions()
+		opts.Workers = 1 + i%4
+		got := dump(Infer(prog, lat, nil, opts))
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d (workers=%d) diverged from run 0", i, opts.Workers)
+		}
+	}
+}
+
+// TestSchemeCacheShared: a caller-provided cache is consulted across
+// Infer calls — the second run over the same program must be nearly
+// all hits.
+func TestSchemeCacheShared(t *testing.T) {
+	prog := parallelProg(t)
+	lat := lattice.Default()
+	cache := pgraph.NewSimplifyCache(0)
+
+	opts := DefaultOptions()
+	opts.KeepIntermediates = false
+	opts.SchemeCache = cache
+
+	r1 := Infer(prog, lat, nil, opts)
+	h1, m1 := cache.Stats()
+	r2 := Infer(prog, lat, nil, opts)
+	h2, _ := cache.Stats()
+
+	if h2 == h1 {
+		t.Errorf("second run over the same program produced no cache hits (hits %d→%d, misses after run1 %d)", h1, h2, m1)
+	}
+	if r1.DumpSchemes() != r2.DumpSchemes() {
+		t.Error("shared cache changed inferred schemes between runs")
+	}
+}
+
+// TestNoSchemeCacheWinsOverProvidedCache: NoSchemeCache must disable
+// memoization even when a shared cache was handed in — uncached
+// baseline measurements depend on it.
+func TestNoSchemeCacheWinsOverProvidedCache(t *testing.T) {
+	prog := parallelProg(t)
+	lat := lattice.Default()
+	cache := pgraph.NewSimplifyCache(0)
+
+	opts := DefaultOptions()
+	opts.KeepIntermediates = false
+	opts.SchemeCache = cache
+	opts.NoSchemeCache = true
+	res := Infer(prog, lat, nil, opts)
+
+	if h, m := cache.Stats(); h != 0 || m != 0 {
+		t.Errorf("provided cache was consulted despite NoSchemeCache (hits=%d misses=%d)", h, m)
+	}
+	if res.SchemeCacheHits != 0 || res.SchemeCacheMisses != 0 {
+		t.Errorf("result reports cache activity despite NoSchemeCache (%d/%d)",
+			res.SchemeCacheHits, res.SchemeCacheMisses)
+	}
+}
+
+// TestSCCLevelsPartition: every SCC appears in exactly one level, and
+// no two same-level SCCs are connected by a call edge.
+func TestSCCLevelsPartition(t *testing.T) {
+	prog := parallelProg(t)
+	cg := cfgBuild(prog)
+	levels := sccLevels(cg)
+
+	seen := map[int]int{} // scc index → level
+	for lv, idxs := range levels {
+		for _, i := range idxs {
+			if prev, dup := seen[i]; dup {
+				t.Fatalf("SCC %d in levels %d and %d", i, prev, lv)
+			}
+			seen[i] = lv
+		}
+	}
+	if len(seen) != len(cg.SCCs) {
+		t.Fatalf("levels cover %d SCCs, call graph has %d", len(seen), len(cg.SCCs))
+	}
+
+	sccOf := map[string]int{}
+	for i, scc := range cg.SCCs {
+		for _, p := range scc {
+			sccOf[p] = i
+		}
+	}
+	for i, scc := range cg.SCCs {
+		for _, p := range scc {
+			for _, callee := range cg.Callees[p] {
+				j, ok := sccOf[callee]
+				if !ok || j == i {
+					continue
+				}
+				if seen[i] <= seen[j] {
+					t.Errorf("call %s→%s crosses levels %d→%d (caller must be strictly higher)",
+						p, callee, seen[i], seen[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package solver
+
+import (
+	"retypd/internal/cfg"
+)
+
+// sccLevels computes the topological levels of the condensed call
+// graph: level(S) = 1 + max(level of S's callee SCCs), with leaf SCCs
+// at level 0. SCCs within one level have no call edges between them
+// (an edge always crosses to a strictly lower level), so the scheme
+// inference of Appendix F.1 may run every SCC of a level concurrently
+// once the previous levels finished — the "embarrassingly parallel
+// across independent call-graph components" structure the paper's
+// bottom-up traversal admits.
+//
+// The input cg.SCCs is in bottom-up (callee-first) order, so every call
+// edge from cg.SCCs[i] targets some cg.SCCs[j] with j < i and one
+// forward pass suffices. Each returned level lists SCC indices in
+// ascending order; concatenating the levels yields a valid bottom-up
+// order compatible with the sequential one.
+func sccLevels(cg *cfg.CallGraph) [][]int {
+	sccOf := map[string]int{}
+	for i, scc := range cg.SCCs {
+		for _, p := range scc {
+			sccOf[p] = i
+		}
+	}
+	level := make([]int, len(cg.SCCs))
+	maxLevel := -1
+	for i, scc := range cg.SCCs {
+		lv := 0
+		for _, p := range scc {
+			for _, callee := range cg.Callees[p] {
+				j, ok := sccOf[callee]
+				if !ok || j == i {
+					continue // external or intra-SCC edge
+				}
+				if l := level[j] + 1; l > lv {
+					lv = l
+				}
+			}
+		}
+		level[i] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	levels := make([][]int, maxLevel+1)
+	for i := range cg.SCCs {
+		levels[level[i]] = append(levels[level[i]], i)
+	}
+	return levels
+}

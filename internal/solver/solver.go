@@ -1,26 +1,45 @@
 // Package solver orchestrates whole-program type inference
-// (Noonan et al., PLDI 2016, §4.2 and Appendix F):
+// (Noonan et al., PLDI 2016, §4.2 and Appendix F) as a staged,
+// concurrent scheduling pipeline:
 //
 //  1. InferProcTypes (F.1): traverse the call graph's strongly
 //     connected components bottom-up; generate constraints for each
 //     SCC with callee schemes instantiated at callsites; simplify the
 //     SCC constraint set relative to each member procedure to obtain
-//     its polymorphic type scheme.
+//     its polymorphic type scheme. The condensed call graph is cut
+//     into topological levels (see sccLevels); SCCs of one level are
+//     independent and run on a bounded worker pool, with a level
+//     barrier before their schemes become visible to callers.
+//     Simplification — the dominant cost on realistic corpora — is
+//     memoized through a fingerprint-keyed LRU (pgraph.SimplifyCache),
+//     so duplicate leaf procedures are simplified once.
 //  2. InferTypes (F.2): solve each procedure's constraint set into
-//     sketches (shape inference + lattice-bound decoration).
+//     sketches (shape inference + lattice-bound decoration). Every
+//     procedure is independent here, so this phase fans out
+//     per-procedure; the callsite-actual sketches it observes are
+//     funneled into an accumulator and joined in a canonical order
+//     (callee, location, caller, callsite) so the result does not
+//     depend on scheduling.
 //  3. RefineParameters (F.3): specialize each procedure's formal
 //     sketches with the join of the actual sketches observed at its
 //     callsites, trading generality for types closer to the source
-//     (Example 4.3 / G.1).
+//     (Example 4.3 / G.1). Procedures are processed in sorted name
+//     order, again fanned out per procedure.
+//
+// Every phase is deterministic: for a fixed program and options the
+// pipeline produces byte-identical schemes and specialized sketches
+// regardless of Options.Workers.
 package solver
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"retypd/internal/absint"
 	"retypd/internal/asm"
 	"retypd/internal/cfg"
+	"retypd/internal/conc"
 	"retypd/internal/constraints"
 	"retypd/internal/label"
 	"retypd/internal/lattice"
@@ -44,6 +63,17 @@ type Options struct {
 	// shapes in the result (tests and the CLI want them; the scaling
 	// harness does not).
 	KeepIntermediates bool
+	// Workers bounds the concurrency of every pipeline phase: 1 runs
+	// fully sequentially on the calling goroutine, values ≤ 0 use one
+	// worker per available CPU. Output is identical for every value.
+	Workers int
+	// SchemeCache memoizes scheme simplification across procedures
+	// with isomorphic constraint sets (and across Infer calls when the
+	// caller shares one cache). Nil gives this Infer call a private
+	// cache; set NoSchemeCache to disable memoization entirely.
+	SchemeCache *pgraph.SimplifyCache
+	// NoSchemeCache disables the simplification memo.
+	NoSchemeCache bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -100,6 +130,9 @@ type Result struct {
 	Procs map[string]*ProcResult
 	// SCCs is the bottom-up SCC order used.
 	SCCs [][]string
+	// SchemeCacheHits and SchemeCacheMisses report the simplification
+	// memo's effectiveness for this run (both zero when disabled).
+	SchemeCacheHits, SchemeCacheMisses uint64
 }
 
 // Infer runs the full pipeline.
@@ -122,104 +155,273 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		SCCs:  cg.SCCs,
 	}
 
-	// Phase 1 (F.1): bottom-up scheme inference.
-	schemes := map[string]*constraints.Scheme{}
-	genResults := map[string]*absint.Result{}
-	for _, scc := range cg.SCCs {
-		sccCs := constraints.NewSet()
-		for _, p := range scc {
-			gr := absint.Generate(infos[p], infos, schemes, sums, isConst, opts.Absint)
-			genResults[p] = gr
-			sccCs.InsertAll(gr.Constraints)
-		}
-		g := pgraph.Build(sccCs, lat)
-		g.Saturate()
-		for _, p := range scc {
-			root := constraints.Var(p)
-			simp := g.Simplify(func(v constraints.Var) bool { return v == root })
-			schemes[p] = &constraints.Scheme{
-				Root:        root,
-				Constraints: simp.Constraints,
-				Existential: simp.Existential,
-			}
-		}
+	// NoSchemeCache wins over a provided cache: callers measuring the
+	// uncached baseline must actually get one.
+	cache := opts.SchemeCache
+	if opts.NoSchemeCache {
+		cache = nil
+	} else if cache == nil {
+		cache = pgraph.NewSimplifyCache(0)
 	}
 
-	// Phase 2 (F.2): sketches, processed top-down so that callsite
-	// actuals are available when their callee is refined (F.3).
-	type actualKey struct{ callee, loc string }
-	actuals := map[actualKey]*sketch.Sketch{}
-	joinActual := func(k actualKey, sk *sketch.Sketch) {
-		if prev, ok := actuals[k]; ok {
-			actuals[k] = prev.Join(sk)
-		} else {
-			actuals[k] = sk
-		}
+	pl := &pipeline{
+		lat:     lat,
+		infos:   infos,
+		sums:    sums,
+		isConst: isConst,
+		opts:    opts,
+		cache:   cache,
+		workers: conc.Limit(opts.Workers),
+		schemes: map[string]*constraints.Scheme{},
+		gens:    map[string]*absint.Result{},
 	}
 
-	for i := len(cg.SCCs) - 1; i >= 0; i-- {
-		for _, p := range cg.SCCs[i] {
-			pi := infos[p]
-			gr := genResults[p]
-			shapes := sketch.InferShapes(gr.Constraints, lat)
-			g := pgraph.Build(gr.Constraints, lat)
-			dec := sketch.NewDecorator(g)
-
-			sk := shapes.SketchFor(constraints.Var(p), opts.MaxSketchDepth)
-			dec.Decorate(sk, constraints.Var(p))
-
-			pr := &ProcResult{
-				Name:           p,
-				FormalIns:      pi.FormalIns,
-				HasOut:         pi.HasOut,
-				Scheme:         schemes[p],
-				Sketch:         sk,
-				SpecializedIns: map[string]*sketch.Sketch{},
-			}
-			if opts.KeepIntermediates {
-				pr.Constraints = gr.Constraints
-				pr.Shapes = shapes
-			}
-			res.Procs[p] = pr
-
-			// Record actual sketches at this procedure's callsites for
-			// the callees' later refinement.
-			if !opts.NoSpecialize {
-				for _, call := range gr.Calls {
-					ci, ok := infos[call.Callee]
-					if !ok {
-						continue
-					}
-					rootSk := shapes.SketchFor(call.Root, opts.MaxSketchDepth)
-					dec.Decorate(rootSk, call.Root)
-					for _, l := range ci.FormalIns {
-						if sub, ok := rootSk.Descend(label.Word{label.In(l.ParamName())}); ok {
-							joinActual(actualKey{call.Callee, l.ParamName()}, sub)
-						}
-					}
-				}
-			}
-		}
+	var hits0, misses0 uint64
+	if cache != nil {
+		hits0, misses0 = cache.Stats() // snapshot: report this run's delta
 	}
 
-	// Phase 3 (F.3): refine formals with observed actuals.
-	if !opts.NoSpecialize {
-		for name, pr := range res.Procs {
-			for _, l := range pr.FormalIns {
-				k := actualKey{name, l.ParamName()}
-				joined, ok := actuals[k]
-				if !ok {
-					continue
-				}
-				if formal, ok := pr.Sketch.Descend(label.Word{label.In(l.ParamName())}); ok {
-					pr.SpecializedIns[l.ParamName()] = formal.Meet(joined)
-				} else {
-					pr.SpecializedIns[l.ParamName()] = joined
-				}
-			}
-		}
+	pl.inferSchemes(cg)                  // Phase 1 (F.1)
+	actuals := pl.solveSketches(cg, res) // Phase 2 (F.2)
+	pl.refineParameters(res, actuals)    // Phase 3 (F.3)
+
+	if cache != nil {
+		h, m := cache.Stats()
+		res.SchemeCacheHits, res.SchemeCacheMisses = h-hits0, m-misses0
 	}
 	return res
+}
+
+// pipeline carries the shared read-mostly state of one Infer run.
+type pipeline struct {
+	lat     *lattice.Lattice
+	infos   map[string]*cfg.ProcInfo
+	sums    summaries.Table
+	isConst func(constraints.Var) bool
+	opts    Options
+	cache   *pgraph.SimplifyCache
+	workers int
+
+	// schemes and gens are written only at level barriers of Phase 1,
+	// then read concurrently by later stages.
+	schemes map[string]*constraints.Scheme
+	gens    map[string]*absint.Result
+}
+
+// sccResult is the output of scheme inference for one SCC.
+type sccResult struct {
+	gens    []*absint.Result      // parallel to the SCC's member slice
+	schemes []*constraints.Scheme // likewise
+}
+
+// inferSchemes is Phase 1 (F.1): bottom-up scheme inference over the
+// condensed call graph, parallel within each topological level.
+func (pl *pipeline) inferSchemes(cg *cfg.CallGraph) {
+	for _, level := range sccLevels(cg) {
+		outs := make([]*sccResult, len(level))
+		conc.ForEach(pl.workers, len(level), func(i int) {
+			outs[i] = pl.inferSCC(cg.SCCs[level[i]])
+		})
+		// Level barrier: publish this level's schemes in SCC order so
+		// the next level's constraint generation sees all of them.
+		for i, sccIdx := range level {
+			for j, p := range cg.SCCs[sccIdx] {
+				pl.gens[p] = outs[i].gens[j]
+				pl.schemes[p] = outs[i].schemes[j]
+			}
+		}
+	}
+}
+
+// inferSCC generates constraints for every member of one SCC and
+// simplifies the SCC set relative to each member (its type scheme).
+func (pl *pipeline) inferSCC(scc []string) *sccResult {
+	out := &sccResult{
+		gens:    make([]*absint.Result, len(scc)),
+		schemes: make([]*constraints.Scheme, len(scc)),
+	}
+	sccCs := constraints.NewSet()
+	for j, p := range scc {
+		gr := absint.Generate(pl.infos[p], pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint)
+		out.gens[j] = gr
+		sccCs.InsertAll(gr.Constraints)
+	}
+
+	// The saturated graph is shared by every member's simplification
+	// and built at most once per SCC — not at all when every member
+	// hits the memo.
+	var g *pgraph.Graph
+	build := func() *pgraph.Graph {
+		if g == nil {
+			g = pgraph.Build(sccCs, pl.lat)
+			g.Saturate()
+		}
+		return g
+	}
+	var fp *pgraph.FP
+	if pl.cache != nil {
+		fp = pgraph.Fingerprint(sccCs, pl.lat)
+	}
+	for j, p := range scc {
+		root := constraints.Var(p)
+		var simp *pgraph.SimplifyResult
+		if pl.cache != nil {
+			simp = pl.cache.Simplify(fp, root, build)
+		} else {
+			simp = build().Simplify(func(v constraints.Var) bool { return v == root })
+		}
+		out.schemes[j] = &constraints.Scheme{
+			Root:        root,
+			Constraints: simp.Constraints,
+			Existential: simp.Existential,
+		}
+	}
+	return out
+}
+
+// actualKey identifies one callee formal for F.3 joining.
+type actualKey struct{ callee, loc string }
+
+// actualObs is one observed callsite-actual sketch, tagged with its
+// origin so the join order can be canonicalized.
+type actualObs struct {
+	key    actualKey
+	caller string
+	inst   int
+	sk     *sketch.Sketch
+}
+
+// solveSketches is Phase 2 (F.2): per-procedure sketch solving, fanned
+// out over all procedures at once (each depends only on its own
+// generated constraints). Returns the joined callsite actuals per
+// callee formal, built in a canonical order.
+func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]*sketch.Sketch {
+	// Canonical procedure order: top-down SCC order, members in SCC
+	// slice order (the traversal the sequential pipeline used).
+	var order []string
+	for i := len(cg.SCCs) - 1; i >= 0; i-- {
+		order = append(order, cg.SCCs[i]...)
+	}
+
+	prs := make([]*ProcResult, len(order))
+	obs := make([][]actualObs, len(order))
+	conc.ForEach(pl.workers, len(order), func(i int) {
+		prs[i], obs[i] = pl.solveProc(order[i])
+	})
+	for i, p := range order {
+		res.Procs[p] = prs[i]
+	}
+
+	// Deterministic accumulation: flatten and sort all observations by
+	// (callee, location, caller, callsite) before joining, so the join
+	// order per callee/param key is stable no matter which worker got
+	// there first.
+	if pl.opts.NoSpecialize {
+		return nil
+	}
+	var all []actualObs
+	for _, o := range obs {
+		all = append(all, o...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.key.callee != b.key.callee {
+			return a.key.callee < b.key.callee
+		}
+		if a.key.loc != b.key.loc {
+			return a.key.loc < b.key.loc
+		}
+		if a.caller != b.caller {
+			return a.caller < b.caller
+		}
+		return a.inst < b.inst
+	})
+	actuals := map[actualKey]*sketch.Sketch{}
+	for _, o := range all {
+		if prev, ok := actuals[o.key]; ok {
+			actuals[o.key] = prev.Join(o.sk)
+		} else {
+			actuals[o.key] = o.sk
+		}
+	}
+	return actuals
+}
+
+// solveProc solves one procedure's sketch and records the actual
+// sketches at its callsites for the callees' later refinement.
+func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
+	pi := pl.infos[p]
+	gr := pl.gens[p]
+	shapes := sketch.InferShapes(gr.Constraints, pl.lat)
+	g := pgraph.Build(gr.Constraints, pl.lat)
+	dec := sketch.NewDecorator(g)
+
+	sk := shapes.SketchFor(constraints.Var(p), pl.opts.MaxSketchDepth)
+	dec.Decorate(sk, constraints.Var(p))
+
+	pr := &ProcResult{
+		Name:           p,
+		FormalIns:      pi.FormalIns,
+		HasOut:         pi.HasOut,
+		Scheme:         pl.schemes[p],
+		Sketch:         sk,
+		SpecializedIns: map[string]*sketch.Sketch{},
+	}
+	if pl.opts.KeepIntermediates {
+		pr.Constraints = gr.Constraints
+		pr.Shapes = shapes
+	}
+
+	var obs []actualObs
+	if !pl.opts.NoSpecialize {
+		for _, call := range gr.Calls {
+			ci, ok := pl.infos[call.Callee]
+			if !ok {
+				continue
+			}
+			rootSk := shapes.SketchFor(call.Root, pl.opts.MaxSketchDepth)
+			dec.Decorate(rootSk, call.Root)
+			for _, l := range ci.FormalIns {
+				if sub, ok := rootSk.Descend(label.Word{label.In(l.ParamName())}); ok {
+					obs = append(obs, actualObs{
+						key:    actualKey{call.Callee, l.ParamName()},
+						caller: p,
+						inst:   call.Inst,
+						sk:     sub,
+					})
+				}
+			}
+		}
+	}
+	return pr, obs
+}
+
+// refineParameters is Phase 3 (F.3): refine formals with the joined
+// observed actuals, per procedure in sorted name order.
+func (pl *pipeline) refineParameters(res *Result, actuals map[actualKey]*sketch.Sketch) {
+	if pl.opts.NoSpecialize {
+		return
+	}
+	names := make([]string, 0, len(res.Procs))
+	for n := range res.Procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	conc.ForEach(pl.workers, len(names), func(i int) {
+		pr := res.Procs[names[i]]
+		for _, l := range pr.FormalIns {
+			k := actualKey{names[i], l.ParamName()}
+			joined, ok := actuals[k]
+			if !ok {
+				continue
+			}
+			if formal, ok := pr.Sketch.Descend(label.Word{label.In(l.ParamName())}); ok {
+				pr.SpecializedIns[l.ParamName()] = formal.Meet(joined)
+			} else {
+				pr.SpecializedIns[l.ParamName()] = joined
+			}
+		}
+	})
 }
 
 // DumpSchemes renders all inferred schemes, sorted by name (CLI/test
@@ -229,7 +431,7 @@ func (r *Result) DumpSchemes() string {
 	for n := range r.Procs {
 		names = append(names, n)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
 		fmt.Fprintf(&b, "%s:\n  %s\n", n, r.Procs[n].Scheme)
@@ -237,10 +439,25 @@ func (r *Result) DumpSchemes() string {
 	return b.String()
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+// DumpSpecialized renders every F.3-specialized parameter sketch,
+// sorted by procedure and location (determinism tests and the CLI).
+func (r *Result) DumpSpecialized() string {
+	var names []string
+	for n := range r.Procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		pr := r.Procs[n]
+		var locs []string
+		for loc := range pr.SpecializedIns {
+			locs = append(locs, loc)
+		}
+		sort.Strings(locs)
+		for _, loc := range locs {
+			fmt.Fprintf(&b, "%s.%s:\n%s", n, loc, pr.SpecializedIns[loc])
 		}
 	}
+	return b.String()
 }

@@ -1,0 +1,116 @@
+package summaries
+
+import (
+	"strings"
+	"testing"
+
+	"retypd/internal/constraints"
+)
+
+// TestDefaultTableShape: every stock summary is internally consistent —
+// registered under its own name, constraints written over that name,
+// formal references within the declared formal list.
+func TestDefaultTableShape(t *testing.T) {
+	tab := Default()
+	if len(tab) == 0 {
+		t.Fatal("default table is empty")
+	}
+	for name, s := range tab {
+		if s.Name != name {
+			t.Errorf("summary %q registered under key %q", s.Name, name)
+		}
+		formals := map[string]bool{}
+		for _, f := range s.FormalIns {
+			formals[f] = true
+		}
+		for _, c := range s.Constraints.Subtypes() {
+			for _, d := range []constraints.DTV{c.L, c.R} {
+				if string(d.Base) != name {
+					continue
+				}
+				if len(d.Path) == 0 {
+					continue
+				}
+				head := d.Path[0].String()
+				switch {
+				case strings.HasPrefix(head, "in_"):
+					loc := strings.TrimPrefix(head, "in_")
+					if !formals[loc] {
+						t.Errorf("%s: constraint %s references undeclared formal %q (formals %v)",
+							name, c, loc, s.FormalIns)
+					}
+				case strings.HasPrefix(head, "out_"):
+					if !s.HasOut {
+						t.Errorf("%s: constraint %s writes an output but HasOut is false", name, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDefaultLookups spot-checks the §2.2/§3.5 models the paper's
+// examples rely on.
+func TestDefaultLookups(t *testing.T) {
+	tab := Default()
+	cases := []struct {
+		name    string
+		formals int
+		hasOut  bool
+		// entails is a constraint the summary must contain verbatim.
+		entails string
+	}{
+		{"close", 1, true, "close.in_stack0 <= #FileDescriptor"},
+		{"malloc", 1, true, "ptr <= malloc.out_eax"},
+		{"free", 1, false, ""},
+		{"memcpy", 3, true, "memcpy.in_stack0 <= memcpy.out_eax"},
+		{"signal", 2, true, "signal.in_stack0 <= #signal-number"},
+		{"strlen", 1, true, "size_t <= strlen.out_eax"},
+	}
+	for _, tc := range cases {
+		s, ok := tab[tc.name]
+		if !ok {
+			t.Errorf("missing summary for %q", tc.name)
+			continue
+		}
+		if len(s.FormalIns) != tc.formals {
+			t.Errorf("%s: %d formals, want %d", tc.name, len(s.FormalIns), tc.formals)
+		}
+		if s.HasOut != tc.hasOut {
+			t.Errorf("%s: HasOut = %v, want %v", tc.name, s.HasOut, tc.hasOut)
+		}
+		if tc.entails != "" {
+			c, err := constraints.ParseConstraint(tc.entails)
+			if err != nil {
+				t.Fatalf("bad test constraint %q: %v", tc.entails, err)
+			}
+			if !s.Constraints.Has(c) {
+				t.Errorf("%s: summary lacks %s\nhave:\n%s", tc.name, tc.entails, s.Constraints)
+			}
+		}
+	}
+}
+
+// TestMallocIsPolymorphic: malloc's summary must leave the pointee
+// unconstrained — the §2.2 let-polymorphism hinges on it.
+func TestMallocIsPolymorphic(t *testing.T) {
+	m := Default()["malloc"]
+	for _, c := range m.Constraints.Subtypes() {
+		for _, d := range []constraints.DTV{c.L, c.R} {
+			for _, l := range d.Path {
+				s := l.String()
+				if s == "load" || s == "store" {
+					t.Errorf("malloc summary constrains its pointee (%s) — breaks callsite polymorphism", c)
+				}
+			}
+		}
+	}
+}
+
+// TestUnknownLookup: absent symbols simply miss; the generator treats
+// them as unconstrained externals.
+func TestUnknownLookup(t *testing.T) {
+	if _, ok := Default()["definitely_not_libc"]; ok {
+		t.Error("unexpected summary for unknown symbol")
+	}
+}

@@ -77,6 +77,10 @@ type Config struct {
 	// unbounded when zero value is used; set to -1 explicitly for
 	// clarity).
 	MaxSketchDepth int
+	// Workers bounds the solver pipeline's concurrency: 1 is fully
+	// sequential, 0 (the default) uses one worker per CPU. Inference
+	// output is identical for every value.
+	Workers int
 }
 
 // Result is the inference outcome for a program.
@@ -107,6 +111,7 @@ func Infer(prog *Program, cfg *Config) *Result {
 	opts := solver.DefaultOptions()
 	opts.Absint = absint.Options{MonomorphicCalls: cfg.Monomorphic}
 	opts.NoSpecialize = cfg.NoSpecialize
+	opts.Workers = cfg.Workers
 	if cfg.MaxSketchDepth > 0 {
 		opts.MaxSketchDepth = cfg.MaxSketchDepth
 	}

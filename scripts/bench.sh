@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench.sh — record one perf-trajectory snapshot.
+#
+# Regenerates the benchmark corpus via cmd/benchgen (a build/run sanity
+# check for the generator CLI), runs the scaling + parallel-sweep
+# measurements, and writes them to BENCH_<n>.json in the repo root,
+# where <n> is one past the highest existing snapshot. CI and later PRs
+# compare these files to track the performance trend.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1-}"
+if [ -z "$out" ]; then
+  n=1
+  while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+  out="BENCH_${n}.json"
+fi
+
+corpus_dir="$(mktemp -d)"
+trap 'rm -rf "$corpus_dir"' EXIT
+
+echo "== generating benchmark corpus (cmd/benchgen) =="
+go run ./cmd/benchgen -o "$corpus_dir" -scale 300 >/dev/null
+
+# -exp all runs both timing experiments (the fig11 size-scaling sweep
+# and the parallel worker sweep); -timings collects every point into
+# one JSON array.
+echo "== measuring (size scaling + parallel worker sweep) =="
+go run ./cmd/retypd-eval -exp all -quick -parsize 4000 -timings "$out" >/dev/null
+
+echo "== snapshot =="
+cat "$out"
