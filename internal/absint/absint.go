@@ -221,7 +221,7 @@ func (g *gen) frmVar(l cfg.Loc) constraints.Var {
 	g.frmEmitted[l] = v
 	g.cs.AddSub(
 		constraints.MakeDTV(g.f, label.In(l.ParamName())),
-		constraints.DTV{Base: v},
+		constraints.BaseDTV(v),
 	)
 	return v
 }

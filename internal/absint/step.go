@@ -11,7 +11,7 @@ import (
 	"retypd/internal/label"
 )
 
-func bare(v constraints.Var) constraints.DTV { return constraints.DTV{Base: v} }
+func bare(v constraints.Var) constraints.DTV { return constraints.BaseDTV(v) }
 
 // copyInto emits the upcast constraints of a value copy into dst
 // (§A.1): one constraint per reaching candidate, with zero constants

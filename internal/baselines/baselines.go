@@ -26,6 +26,7 @@ import (
 	"retypd/internal/constraints"
 	"retypd/internal/label"
 	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
 	"retypd/internal/sketch"
 	"retypd/internal/solver"
 	"retypd/internal/summaries"
@@ -48,23 +49,37 @@ type System struct {
 }
 
 // Retypd is the paper's system (the main pipeline).
-func Retypd() System {
+func Retypd() System { return RetypdCached(nil) }
+
+// RetypdCached is Retypd with a caller-provided scheme-simplification
+// memo shared by every Run call (and with any other system holding the
+// same cache). Sharing is sound across programs and configurations —
+// see the contract on pgraph.SimplifyCache — and lets duplicate leaf
+// procedures across a whole benchmark suite be simplified once. A nil
+// cache gives each Run a private one.
+func RetypdCached(cache *pgraph.SimplifyCache) System {
 	return System{Name: "Retypd", Run: func(prog *asm.Program, lat *lattice.Lattice) *Outcome {
 		opts := solver.DefaultOptions()
 		opts.KeepIntermediates = false
+		opts.SchemeCache = cache
 		res := solver.Infer(prog, lat, nil, opts)
 		return outcomeFromSolver(res, lat)
 	}}
 }
 
 // TIEStyle is the monomorphic, recursion-free subtype baseline.
-func TIEStyle() System {
+func TIEStyle() System { return TIEStyleCached(nil) }
+
+// TIEStyleCached is TIEStyle with a shared scheme-simplification memo;
+// see RetypdCached.
+func TIEStyleCached(cache *pgraph.SimplifyCache) System {
 	return System{Name: "TIE*", Run: func(prog *asm.Program, lat *lattice.Lattice) *Outcome {
 		opts := solver.DefaultOptions()
 		opts.KeepIntermediates = false
 		opts.Absint = absint.Options{MonomorphicCalls: true, PolymorphicExternals: true}
 		opts.MaxSketchDepth = 3
 		opts.NoSpecialize = true
+		opts.SchemeCache = cache
 		res := solver.Infer(prog, lat, nil, opts)
 		return outcomeFromSolver(res, lat)
 	}}

@@ -3,6 +3,13 @@
 // (Definition 3.1), subtype and capability constraints (Definition 3.3),
 // the 3-place additive constraints of Appendix A.6/Figure 13, constraint
 // sets, and recursively constrained type schemes (Definition 3.4).
+//
+// Derived type variables are interned: a DTV is a 4-byte handle into
+// the process-wide symbol table of internal/intern, so DTV equality is
+// integer equality, DTVs key maps directly without rendering, and the
+// derivation step d ↦ d.ℓ is a hash-cons lookup instead of a slice
+// copy. Strings are materialized only at the serialization boundary
+// (String, the parsers, and the display pipeline).
 package constraints
 
 import (
@@ -10,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"retypd/internal/intern"
 	"retypd/internal/label"
 )
 
@@ -19,53 +27,84 @@ import (
 type Var string
 
 // DTV is a derived type variable: a base variable extended by a word of
-// field labels (Definition 3.1).
+// field labels (Definition 3.1). It is an interned handle — comparable,
+// 4 bytes, usable as a map key — whose parts live in the intern table.
+// The zero DTV is the empty derived type variable (empty base, ε path).
 type DTV struct {
-	Base Var
-	Path label.Word
+	ref intern.Ref
 }
 
 // MakeDTV builds Base.l1.l2...
 func MakeDTV(base Var, labels ...label.Label) DTV {
-	return DTV{Base: base, Path: label.Word(labels)}
+	return DTV{ref: intern.DTV(intern.Intern(string(base)), intern.Word(labels))}
+}
+
+// BaseDTV builds the label-free derived type variable of base.
+func BaseDTV(base Var) DTV {
+	return DTV{ref: intern.DTV(intern.Intern(string(base)), 0)}
 }
 
 // Append returns d.l as a fresh derived type variable.
 func (d DTV) Append(l label.Label) DTV {
-	return DTV{Base: d.Base, Path: d.Path.Append(l)}
+	return DTV{ref: intern.DTVAppend(d.ref, l)}
 }
 
 // Concat returns d.w.
 func (d DTV) Concat(w label.Word) DTV {
-	return DTV{Base: d.Base, Path: d.Path.Concat(w)}
+	out := d
+	for _, l := range w {
+		out = out.Append(l)
+	}
+	return out
+}
+
+// WithBase returns d with its base variable replaced and its path kept:
+// the substitution step of scheme instantiation and canonical renaming.
+func (d DTV) WithBase(base Var) DTV {
+	return DTV{ref: intern.DTVWithBase(d.ref, intern.Intern(string(base)))}
+}
+
+// withBaseSym is WithBase for an already-interned base.
+func (d DTV) withBaseSym(base intern.Sym) DTV {
+	return DTV{ref: intern.DTVWithBase(d.ref, base)}
 }
 
 // Parent returns the one-shorter prefix of d and reports whether d had
 // any labels to strip.
 func (d DTV) Parent() (DTV, label.Label, bool) {
-	if len(d.Path) == 0 {
-		return d, label.Label{}, false
-	}
-	last := d.Path[len(d.Path)-1]
-	return DTV{Base: d.Base, Path: d.Path[:len(d.Path)-1]}, last, true
+	p, l, ok := intern.DTVParent(d.ref)
+	return DTV{ref: p}, l, ok
 }
 
 // IsBase reports whether d carries no labels.
-func (d DTV) IsBase() bool { return len(d.Path) == 0 }
+func (d DTV) IsBase() bool { return intern.DTVDepth(d.ref) == 0 }
 
-// Variance reports ⟨path⟩, the variance of d's label word.
-func (d DTV) Variance() label.Variance { return d.Path.Variance() }
+// Base returns d's base variable, resolved from the intern table.
+func (d DTV) Base() Var { return Var(intern.StringOf(intern.DTVBase(d.ref))) }
 
-// Equal reports structural equality.
-func (d DTV) Equal(e DTV) bool { return d.Base == e.Base && d.Path.Equal(e.Path) }
+// BaseSym returns d's base variable as its interned symbol; hot paths
+// key maps by it without materializing the name.
+func (d DTV) BaseSym() intern.Sym { return intern.DTVBase(d.ref) }
+
+// Path materializes d's label word. The slice is fresh; mutating it
+// does not affect d.
+func (d DTV) Path() label.Word { return label.Word(intern.WordLabels(intern.DTVWord(d.ref))) }
+
+// PathLen reports the length of d's label word in O(1).
+func (d DTV) PathLen() int { return intern.DTVDepth(d.ref) }
+
+// PathRef reports d's label word as its interned id.
+func (d DTV) PathRef() intern.WordRef { return intern.DTVWord(d.ref) }
+
+// Variance reports ⟨path⟩, the variance of d's label word, precomputed
+// at intern time.
+func (d DTV) Variance() label.Variance { return intern.DTVVariance(d.ref) }
+
+// Equal reports structural equality; interning makes it d == e.
+func (d DTV) Equal(e DTV) bool { return d == e }
 
 // String renders "base.l1.l2" in the paper's notation.
-func (d DTV) String() string {
-	if len(d.Path) == 0 {
-		return string(d.Base)
-	}
-	return string(d.Base) + "." + d.Path.String()
-}
+func (d DTV) String() string { return intern.DTVString(d.ref) }
 
 // ParseDTV parses the String form. Base variable names may not contain
 // '.'.
@@ -74,13 +113,13 @@ func ParseDTV(s string) (DTV, error) {
 	if parts[0] == "" {
 		return DTV{}, fmt.Errorf("constraints: empty base variable in %q", s)
 	}
-	d := DTV{Base: Var(parts[0])}
+	d := BaseDTV(Var(parts[0]))
 	for _, p := range parts[1:] {
 		l, err := label.Parse(p)
 		if err != nil {
 			return DTV{}, err
 		}
-		d.Path = append(d.Path, l)
+		d = d.Append(l)
 	}
 	return d, nil
 }
@@ -88,7 +127,10 @@ func ParseDTV(s string) (DTV, error) {
 // Constraint is either a subtype constraint L ⊑ R, or an additive
 // constraint Add/Sub(X, Y; Z) (Appendix A.6). Capability constraints
 // VAR d are represented as d ⊑ d (reflexivity registers the derived
-// variable and all its prefixes with the solver).
+// variable and all its prefixes with the solver). Constraints are
+// comparable values (interned DTVs plus a kind tag) and key the
+// constraint-set dedup index directly; build them with the
+// constructors, which leave unused operands zero.
 type Constraint struct {
 	Kind ConstraintKind
 	// Sub constraint operands.
@@ -186,9 +228,11 @@ func ParseConstraint(s string) (Constraint, error) {
 
 // Set is a deduplicated constraint set over some collection of type
 // variables (Definition 3.3). The zero value is ready to use.
+// Deduplication keys the comparable Constraint value directly — no
+// rendering, no allocation per insert.
 type Set struct {
 	list []Constraint
-	seen map[string]struct{}
+	seen map[Constraint]struct{}
 }
 
 // NewSet returns an empty set.
@@ -225,13 +269,12 @@ func MustParseSet(text string) *Set {
 // Insert adds c if not already present and reports whether it was new.
 func (s *Set) Insert(c Constraint) bool {
 	if s.seen == nil {
-		s.seen = map[string]struct{}{}
+		s.seen = map[Constraint]struct{}{}
 	}
-	k := c.String()
-	if _, ok := s.seen[k]; ok {
+	if _, ok := s.seen[c]; ok {
 		return false
 	}
-	s.seen[k] = struct{}{}
+	s.seen[c] = struct{}{}
 	s.list = append(s.list, c)
 	return true
 }
@@ -269,6 +312,19 @@ func (s *Set) Subtypes() []Constraint {
 	return out
 }
 
+// EachSubtype invokes f on every subtype constraint in insertion order
+// without allocating (the hot-loop variant of Subtypes).
+func (s *Set) EachSubtype(f func(Constraint)) {
+	if s == nil {
+		return
+	}
+	for _, c := range s.list {
+		if c.Kind == KindSub {
+			f(c)
+		}
+	}
+}
+
 // Additive returns only the Add/Sub constraints.
 func (s *Set) Additive() []Constraint {
 	var out []Constraint
@@ -293,16 +349,16 @@ func (s *Set) Has(c Constraint) bool {
 	if s == nil || s.seen == nil {
 		return false
 	}
-	_, ok := s.seen[c.String()]
+	_, ok := s.seen[c]
 	return ok
 }
 
 // Vars returns the set of base variables mentioned, sorted.
 func (s *Set) Vars() []Var {
-	seen := map[Var]struct{}{}
+	seen := map[intern.Sym]struct{}{}
 	add := func(d DTV) {
-		if d.Base != "" {
-			seen[d.Base] = struct{}{}
+		if y := d.BaseSym(); y != 0 {
+			seen[y] = struct{}{}
 		}
 	}
 	for _, c := range s.list {
@@ -313,8 +369,8 @@ func (s *Set) Vars() []Var {
 		add(c.Z)
 	}
 	out := make([]Var, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+	for y := range seen {
+		out = append(out, Var(intern.StringOf(y)))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -328,10 +384,24 @@ func (s *Set) Clone() *Set {
 }
 
 // SubstituteBases rewrites every base variable through f (used for
-// callsite tagging and scheme instantiation, §A.4).
+// callsite tagging and scheme instantiation, §A.4). f's results are
+// memoized per base symbol, so the rename is computed once per variable
+// rather than once per occurrence.
 func (s *Set) SubstituteBases(f func(Var) Var) *Set {
 	out := NewSet()
-	sub := func(d DTV) DTV { return DTV{Base: f(d.Base), Path: d.Path} }
+	memo := map[intern.Sym]intern.Sym{}
+	sub := func(d DTV) DTV {
+		y := d.BaseSym()
+		ny, ok := memo[y]
+		if !ok {
+			ny = intern.Intern(string(f(Var(intern.StringOf(y)))))
+			memo[y] = ny
+		}
+		if ny == y {
+			return d
+		}
+		return d.withBaseSym(ny)
+	}
 	for _, c := range s.list {
 		switch c.Kind {
 		case KindSub:

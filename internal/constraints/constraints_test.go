@@ -40,7 +40,7 @@ func TestConstraintParse(t *testing.T) {
 	if err != nil || c.Kind != KindAdd {
 		t.Fatalf("add parse failed: %v %v", c, err)
 	}
-	if c.X.Base != "x" || c.Y.Base != "y" || c.Z.Base != "z" {
+	if c.X.Base() != "x" || c.Y.Base() != "y" || c.Z.Base() != "z" {
 		t.Errorf("add operands wrong: %v", c)
 	}
 	if _, err := ParseConstraint("nonsense"); err == nil {

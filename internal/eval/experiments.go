@@ -11,6 +11,7 @@ import (
 	"retypd/internal/conc"
 	"retypd/internal/corpus"
 	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
 	"retypd/internal/solver"
 )
 
@@ -50,13 +51,19 @@ type SuiteScores struct {
 	Order     []string
 }
 
-// RunSuite generates the corpus and scores all systems.
+// RunSuite generates the corpus and scores all systems. One
+// scheme-simplification memo is shared across every Infer run of the
+// suite (all benchmarks, all solver-based systems): the cache is keyed
+// by canonical constraint-set fingerprints (see the sharing contract on
+// pgraph.SimplifyCache), so duplicate leaf procedures are simplified
+// once for the whole suite instead of once per benchmark.
 func RunSuite(cfg Config) *SuiteScores {
 	lat := lattice.Default()
 	benches := corpus.GenerateSuite(cfg.Suite)
+	cache := pgraph.NewSimplifyCache(0)
 	systems := []baselines.System{
-		baselines.Retypd(),
-		baselines.TIEStyle(),
+		baselines.RetypdCached(cache),
+		baselines.TIEStyleCached(cache),
 		baselines.RewardsStyle(0.6),
 		baselines.Unify(),
 	}

@@ -1,0 +1,411 @@
+// Package intern is the process-wide symbol table backing the interned
+// derived-type-variable core.
+//
+// Profiling showed whole-program inference to be allocation-bound:
+// derived type variables were passed around as freshly rendered strings
+// and every hot index (constraint-set dedup, constraint-graph nodes,
+// shape-inference classes, fingerprint canonicalization) was a
+// map[string] keyed by those renderings. This package replaces that
+// representation with hash-consing: strings, label words over Σ, and
+// (base, word) derived-type-variable pairs are interned once into a
+// concurrency-safe table and thereafter identified by dense uint32 ids.
+// Equality becomes integer comparison, map keys become small comparable
+// structs, and the per-use rendering cost disappears — strings are
+// resolved only at the serialization boundary.
+//
+// Three id kinds are issued:
+//
+//   - Sym interns a string (base type-variable names, and any other
+//     identifier worth a dense id, such as lattice signatures);
+//   - WordRef interns a word over the field-label alphabet Σ as a node
+//     of a trie: a word is (parent word, last label), so appending a
+//     label is a single lookup and the word's length and variance are
+//     precomputed at creation;
+//   - Ref interns a derived type variable as a (base Sym, path WordRef)
+//     pair. The Ref table is prefix-closed — interning x.u.ℓ also
+//     interns x.u — so Parent lookups are reads, never writes.
+//
+// Id 0 of each kind is reserved for the empty value ("" / ε / the zero
+// derived type variable), which keeps zero values of wrapper types
+// meaningful.
+//
+// The table is append-only and process-global (like the ids handed out
+// by the runtime's own symbol interning, entries are never evicted);
+// memory grows with the number of distinct names a process infers over,
+// which is bounded by corpus size. All methods are safe for concurrent
+// use: lookups take a read lock, and only a first-time intern of a new
+// symbol/word/pair takes the write lock.
+package intern
+
+import (
+	"strings"
+	"sync"
+
+	"retypd/internal/label"
+)
+
+// Sym is a dense id for an interned string. Sym 0 is "".
+type Sym uint32
+
+// WordRef is a dense id for an interned label word. WordRef 0 is ε.
+type WordRef uint32
+
+// Ref is a dense id for an interned (base, path) derived type variable.
+// Ref 0 is the zero derived type variable ("", ε).
+type Ref uint32
+
+// wordKey identifies a word as a trie step from its prefix.
+type wordKey struct {
+	parent WordRef
+	last   label.Label
+}
+
+// wordEntry stores a word's trie link plus the derived attributes that
+// hot paths need in O(1): length and variance.
+type wordEntry struct {
+	parent   WordRef
+	last     label.Label
+	depth    uint32
+	variance label.Variance
+}
+
+// dtvKey identifies a derived type variable by its parts.
+type dtvKey struct {
+	base Sym
+	word WordRef
+}
+
+// dtvEntry stores a derived type variable's parts plus its parent Ref
+// (valid when depth > 0), so Parent is one slice read.
+type dtvEntry struct {
+	base   Sym
+	word   WordRef
+	parent Ref
+}
+
+// Table is a concurrency-safe symbol table issuing dense ids for
+// strings, label words, and derived-type-variable pairs. The zero value
+// is not ready to use; call NewTable. Most callers want the
+// process-global table reached through the package-level functions.
+type Table struct {
+	mu    sync.RWMutex
+	syms  map[string]Sym
+	strs  []string
+	words map[wordKey]WordRef
+	wents []wordEntry
+	dtvs  map[dtvKey]Ref
+	dents []dtvEntry
+}
+
+// NewTable returns a table pre-seeded with the empty string, the empty
+// word, and the zero derived type variable at id 0.
+func NewTable() *Table {
+	t := &Table{
+		syms:  map[string]Sym{"": 0},
+		strs:  []string{""},
+		words: map[wordKey]WordRef{},
+		wents: []wordEntry{{variance: label.Covariant}},
+		dtvs:  map[dtvKey]Ref{{}: 0},
+		dents: []dtvEntry{{}},
+	}
+	return t
+}
+
+// global is the process-wide table used by the package-level functions
+// (and, through them, by constraints.DTV).
+var global = NewTable()
+
+// Sym interns s.
+func (t *Table) Sym(s string) Sym {
+	t.mu.RLock()
+	id, ok := t.syms[s]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.syms[s]; ok {
+		return id
+	}
+	id = Sym(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.syms[s] = id
+	return id
+}
+
+// StringOf resolves an interned string.
+func (t *Table) StringOf(y Sym) string {
+	t.mu.RLock()
+	s := t.strs[y]
+	t.mu.RUnlock()
+	return s
+}
+
+// appendWordLocked interns (w, l); the write lock must be held.
+func (t *Table) appendWordLocked(w WordRef, l label.Label) WordRef {
+	k := wordKey{parent: w, last: l}
+	if id, ok := t.words[k]; ok {
+		return id
+	}
+	pe := t.wents[w]
+	id := WordRef(len(t.wents))
+	t.wents = append(t.wents, wordEntry{
+		parent:   w,
+		last:     l,
+		depth:    pe.depth + 1,
+		variance: pe.variance.Mul(l.Variance()),
+	})
+	t.words[k] = id
+	return id
+}
+
+// AppendLabel interns the word w·l.
+func (t *Table) AppendLabel(w WordRef, l label.Label) WordRef {
+	k := wordKey{parent: w, last: l}
+	t.mu.RLock()
+	id, ok := t.words[k]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.appendWordLocked(w, l)
+}
+
+// Word interns a label slice as a word.
+func (t *Table) Word(ls []label.Label) WordRef {
+	w := WordRef(0)
+	for _, l := range ls {
+		w = t.AppendLabel(w, l)
+	}
+	return w
+}
+
+// WordLen reports |w|.
+func (t *Table) WordLen(w WordRef) int {
+	t.mu.RLock()
+	n := t.wents[w].depth
+	t.mu.RUnlock()
+	return int(n)
+}
+
+// WordVariance reports ⟨w⟩, precomputed at intern time.
+func (t *Table) WordVariance(w WordRef) label.Variance {
+	t.mu.RLock()
+	v := t.wents[w].variance
+	t.mu.RUnlock()
+	return v
+}
+
+// WordLabels materializes the labels of w, front to back. The returned
+// slice is fresh and owned by the caller; it is nil for ε.
+func (t *Table) WordLabels(w WordRef) []label.Label {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.wents[w].depth
+	if n == 0 {
+		return nil
+	}
+	out := make([]label.Label, n)
+	for i := int(n) - 1; i >= 0; i-- {
+		e := t.wents[w]
+		out[i] = e.last
+		w = e.parent
+	}
+	return out
+}
+
+// internDTVLocked interns (base, w) and, recursively, every prefix pair
+// so that Parent never has to write; the write lock must be held.
+func (t *Table) internDTVLocked(base Sym, w WordRef) Ref {
+	k := dtvKey{base: base, word: w}
+	if id, ok := t.dtvs[k]; ok {
+		return id
+	}
+	var parent Ref
+	if t.wents[w].depth > 0 {
+		parent = t.internDTVLocked(base, t.wents[w].parent)
+	}
+	id := Ref(len(t.dents))
+	t.dents = append(t.dents, dtvEntry{base: base, word: w, parent: parent})
+	t.dtvs[k] = id
+	return id
+}
+
+// DTV interns the derived type variable (base, w).
+func (t *Table) DTV(base Sym, w WordRef) Ref {
+	k := dtvKey{base: base, word: w}
+	t.mu.RLock()
+	id, ok := t.dtvs[k]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.internDTVLocked(base, w)
+}
+
+// DTVAppend interns d.ℓ from an interned d — the hot derivation step —
+// with a single read-locked lookup pair on the warm path.
+func (t *Table) DTVAppend(d Ref, l label.Label) Ref {
+	t.mu.RLock()
+	e := t.dents[d]
+	if w, ok := t.words[wordKey{parent: e.word, last: l}]; ok {
+		if id, ok := t.dtvs[dtvKey{base: e.base, word: w}]; ok {
+			t.mu.RUnlock()
+			return id
+		}
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.appendWordLocked(e.word, l)
+	return t.internDTVLocked(e.base, w)
+}
+
+// DTVWithBase interns (base, path of d): the base-substitution step of
+// scheme instantiation and canonical renaming.
+func (t *Table) DTVWithBase(d Ref, base Sym) Ref {
+	t.mu.RLock()
+	w := t.dents[d].word
+	id, ok := t.dtvs[dtvKey{base: base, word: w}]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.internDTVLocked(base, w)
+}
+
+// DTVBase reports d's base symbol.
+func (t *Table) DTVBase(d Ref) Sym {
+	t.mu.RLock()
+	b := t.dents[d].base
+	t.mu.RUnlock()
+	return b
+}
+
+// DTVWord reports d's path word.
+func (t *Table) DTVWord(d Ref) WordRef {
+	t.mu.RLock()
+	w := t.dents[d].word
+	t.mu.RUnlock()
+	return w
+}
+
+// DTVDepth reports the length of d's path.
+func (t *Table) DTVDepth(d Ref) int {
+	t.mu.RLock()
+	n := t.wents[t.dents[d].word].depth
+	t.mu.RUnlock()
+	return int(n)
+}
+
+// DTVVariance reports ⟨path⟩ of d in O(1).
+func (t *Table) DTVVariance(d Ref) label.Variance {
+	t.mu.RLock()
+	v := t.wents[t.dents[d].word].variance
+	t.mu.RUnlock()
+	return v
+}
+
+// DTVParent returns d's one-shorter prefix and the stripped label,
+// reporting false for base variables. It never writes: the Ref table is
+// prefix-closed by construction.
+func (t *Table) DTVParent(d Ref) (Ref, label.Label, bool) {
+	t.mu.RLock()
+	e := t.dents[d]
+	we := t.wents[e.word]
+	t.mu.RUnlock()
+	if we.depth == 0 {
+		return d, label.Label{}, false
+	}
+	return e.parent, we.last, true
+}
+
+// DTVString renders "base.l1.l2" in the paper's notation.
+func (t *Table) DTVString(d Ref) string {
+	t.mu.RLock()
+	e := t.dents[d]
+	base := t.strs[e.base]
+	n := t.wents[e.word].depth
+	if n == 0 {
+		t.mu.RUnlock()
+		return base
+	}
+	parts := make([]string, n+1)
+	parts[0] = base
+	w := e.word
+	for i := int(n); i >= 1; i-- {
+		we := t.wents[w]
+		parts[i] = we.last.String()
+		w = we.parent
+	}
+	t.mu.RUnlock()
+	return strings.Join(parts, ".")
+}
+
+// Stats reports the table's population (symbols, words, derived type
+// variables) — observability for tests and tuning.
+func (t *Table) Stats() (syms, words, dtvs int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.strs), len(t.wents), len(t.dents)
+}
+
+// Package-level functions delegate to the process-global table.
+
+// Intern interns s in the global table.
+func Intern(s string) Sym { return global.Sym(s) }
+
+// StringOf resolves y from the global table.
+func StringOf(y Sym) string { return global.StringOf(y) }
+
+// AppendLabel interns w·l in the global table.
+func AppendLabel(w WordRef, l label.Label) WordRef { return global.AppendLabel(w, l) }
+
+// Word interns a label slice in the global table.
+func Word(ls []label.Label) WordRef { return global.Word(ls) }
+
+// WordLen reports |w| from the global table.
+func WordLen(w WordRef) int { return global.WordLen(w) }
+
+// WordVariance reports ⟨w⟩ from the global table.
+func WordVariance(w WordRef) label.Variance { return global.WordVariance(w) }
+
+// WordLabels materializes w's labels from the global table.
+func WordLabels(w WordRef) []label.Label { return global.WordLabels(w) }
+
+// DTV interns (base, w) in the global table.
+func DTV(base Sym, w WordRef) Ref { return global.DTV(base, w) }
+
+// DTVAppend interns d.ℓ in the global table.
+func DTVAppend(d Ref, l label.Label) Ref { return global.DTVAppend(d, l) }
+
+// DTVWithBase interns (base, path of d) in the global table.
+func DTVWithBase(d Ref, base Sym) Ref { return global.DTVWithBase(d, base) }
+
+// DTVBase reports d's base symbol from the global table.
+func DTVBase(d Ref) Sym { return global.DTVBase(d) }
+
+// DTVWord reports d's path word from the global table.
+func DTVWord(d Ref) WordRef { return global.DTVWord(d) }
+
+// DTVDepth reports d's path length from the global table.
+func DTVDepth(d Ref) int { return global.DTVDepth(d) }
+
+// DTVVariance reports ⟨path⟩ of d from the global table.
+func DTVVariance(d Ref) label.Variance { return global.DTVVariance(d) }
+
+// DTVParent returns d's prefix and last label from the global table.
+func DTVParent(d Ref) (Ref, label.Label, bool) { return global.DTVParent(d) }
+
+// DTVString renders d from the global table.
+func DTVString(d Ref) string { return global.DTVString(d) }
+
+// GlobalStats reports the global table's population.
+func GlobalStats() (syms, words, dtvs int) { return global.Stats() }

@@ -21,6 +21,8 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+
+	"retypd/internal/intern"
 )
 
 // Elem is an element of a Lattice, valid only with the Lattice that
@@ -29,8 +31,12 @@ type Elem int32
 
 // Lattice is a finite lattice of atomic types.
 type Lattice struct {
-	names  []string
-	index  map[string]Elem
+	names []string
+	index map[string]Elem
+	// symIdx mirrors index keyed by interned symbol, so hot paths that
+	// already hold a Sym can test constant-ness without materializing
+	// the name.
+	symIdx map[intern.Sym]Elem
 	top    Elem
 	bottom Elem
 	// leq[a] is a bitset over elements b with a ≤ b.
@@ -41,6 +47,10 @@ type Lattice struct {
 	// sig is a content hash of names + order, computed once by Build
 	// (the lattice is immutable afterwards); see Signature.
 	sig string
+	// sigSym is sig interned in the process symbol table, so identity
+	// checks and fingerprint mixing cost one uint32 instead of a
+	// 64-byte string; see SigSym.
+	sigSym intern.Sym
 }
 
 type bitset []uint64
@@ -121,11 +131,13 @@ func (b *Builder) Below(sub, super string) *Builder {
 func (b *Builder) Build() (*Lattice, error) {
 	n := len(b.names)
 	l := &Lattice{
-		names: append([]string(nil), b.names...),
-		index: make(map[string]Elem, n),
+		names:  append([]string(nil), b.names...),
+		index:  make(map[string]Elem, n),
+		symIdx: make(map[intern.Sym]Elem, n),
 	}
 	for i, name := range l.names {
 		l.index[name] = Elem(i)
+		l.symIdx[intern.Intern(name)] = Elem(i)
 	}
 	l.bottom = l.index["⊥"]
 	l.top = l.index["⊤"]
@@ -202,6 +214,7 @@ func (b *Builder) Build() (*Lattice, error) {
 		}
 	}
 	l.sig = hex.EncodeToString(h.Sum(nil))
+	l.sigSym = intern.Intern(l.sig)
 	return l, nil
 }
 
@@ -210,6 +223,11 @@ func (b *Builder) Build() (*Lattice, error) {
 // Caches keyed on constraint-set fingerprints mix it in so entries
 // computed under one lattice are never served to another.
 func (l *Lattice) Signature() string { return l.sig }
+
+// SigSym returns the signature as its interned symbol: a dense id with
+// the same identification power as Signature within one process.
+// Fingerprints mix it into cache keys instead of the hex string.
+func (l *Lattice) SigSym() intern.Sym { return l.sigSym }
 
 // selectExtremum picks the element of the candidate set that is below
 // (w.r.t. rel) every other candidate, or fallback when no unique one
@@ -258,6 +276,13 @@ func (l *Lattice) Size() int { return len(l.names) }
 // Elem interns name, reporting whether it is present.
 func (l *Lattice) Elem(name string) (Elem, bool) {
 	e, ok := l.index[name]
+	return e, ok
+}
+
+// ElemSym is Elem for an already-interned name: the constant test used
+// by the solver's hot paths, with no string materialization.
+func (l *Lattice) ElemSym(y intern.Sym) (Elem, bool) {
+	e, ok := l.symIdx[y]
 	return e, ok
 }
 

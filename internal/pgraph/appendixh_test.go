@@ -77,11 +77,11 @@ func TestAppendixH(t *testing.T) {
 	// Internal variables must all be eliminated.
 	for _, c := range res.Constraints.Subtypes() {
 		for _, d := range []constraints.DTV{c.L, c.R} {
-			switch string(d.Base) {
+			switch string(d.Base()) {
 			case "close_last", "int", "#FileDescriptor", "#SuccessZ":
 			default:
-				if !strings.HasPrefix(string(d.Base), "τ") {
-					t.Errorf("unexpected variable %q in simplification: %s", d.Base, c)
+				if !strings.HasPrefix(string(d.Base()), "τ") {
+					t.Errorf("unexpected variable %q in simplification: %s", d.Base(), c)
 				}
 			}
 		}

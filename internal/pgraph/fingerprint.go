@@ -3,12 +3,14 @@ package pgraph
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"strconv"
 	"strings"
 	"sync"
 
 	"retypd/internal/constraints"
+	"retypd/internal/intern"
 	"retypd/internal/lattice"
 )
 
@@ -16,7 +18,7 @@ import (
 // fingerprinting. Program variables never contain it (procedure names
 // come from assembly symbols, internal solver variables use '!', '@'
 // and 'τ'); if one ever does, fingerprinting declines to canonicalize
-// rather than risk a collision.
+// rather than risk a collision in the cached (renamed) schemes.
 const canonPrefix = "¤" // ¤
 
 // FP is a canonical fingerprint of a constraint set: a content hash
@@ -28,77 +30,111 @@ const canonPrefix = "¤" // ¤
 // once (BinSub observes simplification dominates end-to-end inference
 // cost; the paper's Appendix F notes the per-SCC structure that makes
 // the sharing sound).
+//
+// The hash is computed over interned ids, not rendered strings: each
+// non-constant base symbol is mapped to a dense canonical index in
+// order of first occurrence, constants and label words contribute their
+// (process-stable) intern ids, and the lattice's identity is mixed in.
+// No canonical string rendering of the set is ever materialized.
 type FP struct {
 	ok     bool
-	sum    string
-	rename map[constraints.Var]constraints.Var
+	sum    [sha256.Size]byte
+	rename map[intern.Sym]uint32
 }
 
+// Key is the comparable cache key of one (fingerprint, root) pair.
+type Key struct {
+	sum  [sha256.Size]byte
+	root uint32
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string {
+	return hex.EncodeToString(k.sum[:]) + "|" + canonPrefix + strconv.FormatUint(uint64(k.root), 10)
+}
+
+// fpBufPool recycles the scratch buffers fingerprint hashing is
+// accumulated into.
+var fpBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// Operand-class tags mixed into the hash so constant and renamed
+// variables can never collide.
+const (
+	fpConst   = 0x01
+	fpRenamed = 0x02
+)
+
 // Fingerprint canonicalizes cs: every base variable that is not a
-// lattice constant is renamed to ¤0, ¤1, … in order of first occurrence
-// over the set's (deterministic) insertion order, and the renamed
-// rendering is hashed. Returns an unusable FP (Usable() == false) when
-// canonicalization would be ambiguous.
+// lattice constant is mapped to canonical index 0, 1, … in order of
+// first occurrence over the set's (deterministic) insertion order, and
+// the id-level rendering is hashed. Returns an unusable FP
+// (Usable() == false) when canonicalization would be ambiguous.
 func Fingerprint(cs *constraints.Set, lat *lattice.Lattice) *FP {
-	fp := &FP{rename: map[constraints.Var]constraints.Var{}}
+	fp := &FP{rename: map[intern.Sym]uint32{}}
+	// consts caches the per-symbol constant test (one name resolution
+	// per distinct base variable, not one per occurrence).
+	consts := map[intern.Sym]bool{}
 	bad := false
-	canonVar := func(v constraints.Var) string {
-		if _, isConst := lat.Elem(string(v)); isConst {
-			return string(v)
-		}
-		if strings.Contains(string(v), canonPrefix) {
-			bad = true
-			return string(v)
-		}
-		cv, ok := fp.rename[v]
-		if !ok {
-			cv = constraints.Var(canonPrefix + strconv.Itoa(len(fp.rename)))
-			fp.rename[v] = cv
-		}
-		return string(cv)
-	}
-	var b strings.Builder
+
+	bufp := fpBufPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+
 	canonDTV := func(d constraints.DTV) {
-		b.WriteString(canonVar(d.Base))
-		if len(d.Path) > 0 {
-			b.WriteByte('.')
-			b.WriteString(d.Path.String())
+		y := d.BaseSym()
+		isConst, seen := consts[y]
+		if !seen {
+			_, isConst = lat.ElemSym(y)
+			consts[y] = isConst
+			// Only non-constants get renamed, so only they need the
+			// canonical-namespace collision check (which is the one
+			// place a name string is materialized here).
+			if !isConst && strings.Contains(intern.StringOf(y), canonPrefix) {
+				bad = true
+			}
 		}
+		if isConst {
+			buf = append(buf, fpConst)
+			buf = binary.AppendUvarint(buf, uint64(y))
+		} else {
+			idx, ok := fp.rename[y]
+			if !ok {
+				idx = uint32(len(fp.rename))
+				fp.rename[y] = idx
+			}
+			buf = append(buf, fpRenamed)
+			buf = binary.AppendUvarint(buf, uint64(idx))
+		}
+		buf = binary.AppendUvarint(buf, uint64(d.PathRef()))
 	}
 	for _, c := range cs.Constraints() {
+		buf = append(buf, byte(c.Kind))
 		switch c.Kind {
 		case constraints.KindSub:
 			canonDTV(c.L)
-			b.WriteString("<=")
 			canonDTV(c.R)
 		default:
-			if c.Kind == constraints.KindAdd {
-				b.WriteString("Add(")
-			} else {
-				b.WriteString("Sub(")
-			}
 			canonDTV(c.X)
-			b.WriteByte(',')
 			canonDTV(c.Y)
-			b.WriteByte(';')
 			canonDTV(c.Z)
-			b.WriteByte(')')
 		}
-		b.WriteByte('\n')
 	}
-	if bad {
-		return &FP{}
+	// Mix in the lattice identity: the same canonical constraint
+	// structure saturates and simplifies differently under a different
+	// Λ, so a cache shared across Infer calls with different lattices
+	// must not cross-serve entries.
+	buf = append(buf, 0x00)
+	buf = binary.AppendUvarint(buf, uint64(lat.SigSym()))
+
+	if !bad {
+		fp.ok = true
+		fp.sum = sha256.Sum256(buf)
 	}
-	// Mix in the lattice identity: the same canonical constraint text
-	// saturates and simplifies differently under a different Λ, so a
-	// cache shared across Infer calls with different lattices must not
-	// cross-serve entries.
-	b.WriteString("\x00Λ=")
-	b.WriteString(lat.Signature())
-	h := sha256.Sum256([]byte(b.String()))
-	fp.ok = true
-	fp.sum = hex.EncodeToString(h[:])
-	return fp
+	*bufp = buf
+	fpBufPool.Put(bufp)
+	if !bad {
+		return fp
+	}
+	return &FP{}
 }
 
 // Usable reports whether the fingerprint can key a cache.
@@ -106,21 +142,32 @@ func (f *FP) Usable() bool { return f.ok }
 
 // KeyFor returns the cache key for simplifying relative to root, or
 // false when root does not occur in the fingerprinted set.
-func (f *FP) KeyFor(root constraints.Var) (string, bool) {
+func (f *FP) KeyFor(root constraints.Var) (Key, bool) {
 	if !f.ok {
-		return "", false
+		return Key{}, false
 	}
-	cv, ok := f.rename[root]
+	idx, ok := f.rename[intern.Intern(string(root))]
+	if !ok {
+		return Key{}, false
+	}
+	return Key{sum: f.sum, root: idx}, true
+}
+
+// canonicalRoot returns root's canonical name ("¤k" for canonical
+// index k), used to store and rehydrate cached schemes.
+func (f *FP) canonicalRoot(root constraints.Var) (constraints.Var, bool) {
+	idx, ok := f.rename[intern.Intern(string(root))]
 	if !ok {
 		return "", false
 	}
-	return f.sum + "|" + string(cv), true
+	return constraints.Var(canonPrefix + strconv.FormatUint(uint64(idx), 10)), true
 }
 
-// canonicalRoot returns root's canonical name.
-func (f *FP) canonicalRoot(root constraints.Var) (constraints.Var, bool) {
-	cv, ok := f.rename[root]
-	return cv, ok
+// renamed reports whether v is one of the fingerprinted (non-constant)
+// program variables.
+func (f *FP) renamed(y intern.Sym) bool {
+	_, ok := f.rename[y]
+	return ok
 }
 
 // DefaultSimplifyCacheCap is the entry bound of caches created by
@@ -134,17 +181,31 @@ const DefaultSimplifyCacheCap = 4096
 // canonical form (the root renamed to its ¤k name) and rehydrated on
 // hit, so one entry serves every procedure with an isomorphic
 // constraint set.
+//
+// Sharing contract: one cache may be shared by any number of
+// goroutines and across any number of Infer runs — including runs over
+// different programs, different solver options, and different lattices.
+// Safety comes from the key, not the caller: entries are keyed by the
+// canonical fingerprint, which covers the full constraint structure
+// and the lattice identity (lattice.Signature), and results are stored
+// root-canonicalized, so a hit can only be served to an isomorphic set
+// under the same Λ. Callers therefore should share one cache as widely
+// as possible (e.g. one cache for a whole evaluation suite) to
+// maximize cross-program reuse of duplicate leaf procedures; the only
+// cost of sharing is LRU pressure on the capacity bound. Hit/miss
+// counters are cumulative across all sharers; callers wanting per-run
+// numbers snapshot Stats before and after (as solver.Infer does).
 type SimplifyCache struct {
 	mu     sync.Mutex
 	cap    int
 	order  *list.List // front = most recently used
-	byKey  map[string]*list.Element
+	byKey  map[Key]*list.Element
 	hits   uint64
 	misses uint64
 }
 
 type cacheEntry struct {
-	key string
+	key Key
 	res *SimplifyResult // canonical form
 }
 
@@ -157,7 +218,7 @@ func NewSimplifyCache(capacity int) *SimplifyCache {
 	return &SimplifyCache{
 		cap:   capacity,
 		order: list.New(),
-		byKey: map[string]*list.Element{},
+		byKey: map[Key]*list.Element{},
 	}
 }
 
@@ -200,7 +261,7 @@ func (c *SimplifyCache) Simplify(fp *FP, root constraints.Var, build func() *Gra
 	return res
 }
 
-func (c *SimplifyCache) lookup(key string) (*SimplifyResult, bool) {
+func (c *SimplifyCache) lookup(key Key) (*SimplifyResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -212,7 +273,7 @@ func (c *SimplifyCache) lookup(key string) (*SimplifyResult, bool) {
 	return nil, false
 }
 
-func (c *SimplifyCache) store(key string, res *SimplifyResult) {
+func (c *SimplifyCache) store(key Key, res *SimplifyResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok { // concurrent miss raced us; keep first
@@ -239,17 +300,18 @@ func canonicalize(res *SimplifyResult, root constraints.Var, fp *FP) (*SimplifyR
 	if !ok {
 		return nil, false
 	}
-	fresh := map[constraints.Var]bool{}
+	rootSym := intern.Intern(string(root))
+	fresh := map[intern.Sym]bool{}
 	for _, v := range res.Existential {
-		fresh[v] = true
+		fresh[intern.Intern(string(v))] = true
 	}
 	for _, c := range res.Constraints.Constraints() {
 		for _, d := range []constraints.DTV{c.L, c.R, c.X, c.Y, c.Z} {
-			v := d.Base
-			if v == "" || v == root || fresh[v] {
+			y := d.BaseSym()
+			if y == 0 || y == rootSym || fresh[y] {
 				continue
 			}
-			if _, isFP := fp.rename[v]; isFP && v != root {
+			if fp.renamed(y) {
 				// A foreign program variable leaked into the result;
 				// renaming only the root would mis-share it.
 				return nil, false

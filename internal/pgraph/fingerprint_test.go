@@ -138,7 +138,7 @@ func TestSimplifyCacheHitEqualsFreshSimplify(t *testing.T) {
 	// And the hit must actually be renamed: no procA variable may leak.
 	for _, c := range b.Constraints.Subtypes() {
 		for _, d := range []constraints.DTV{c.L, c.R} {
-			if d.Base == "procA" {
+			if d.Base() == "procA" {
 				t.Errorf("procA leaked into procB's scheme: %s", c)
 			}
 		}

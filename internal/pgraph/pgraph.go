@@ -26,10 +26,19 @@
 // variance, so a reaching-push recorded at (q,⊖) is transferred, with
 // the label dualized, to (q,⊕). That variance flip is exactly what
 // produces the dashed x.store⊕ → y.load⊕ edge of Figure 14.
+//
+// Nodes are indexed by their interned (DTV, variance) pair — a 5-byte
+// comparable key — and the Graph itself is pooled: Build draws a
+// recycled Graph whose node/edge storage and saturation scratch retain
+// their previous capacity, and Release returns it once the caller is
+// done. The solver releases one graph per SCC (phase F.1) and one per
+// procedure (phase F.2), so a steady-state inference run allocates
+// graph storage only while the high-water mark still grows.
 package pgraph
 
 import (
 	"sort"
+	"sync"
 
 	"retypd/internal/constraints"
 	"retypd/internal/label"
@@ -45,6 +54,12 @@ type Node struct {
 	Var label.Variance
 }
 
+// nodeKey is the interned identity of (dtv, variance).
+type nodeKey struct {
+	d constraints.DTV
+	v label.Variance
+}
+
 // edge is a labeled pop/push edge.
 type edge struct {
 	lbl label.Label
@@ -56,7 +71,7 @@ type Graph struct {
 	lat *lattice.Lattice
 
 	nodes []Node
-	index map[string]NodeID
+	index map[nodeKey]NodeID
 
 	eps    [][]NodeID // ε successors
 	epsSet map[int64]struct{}
@@ -68,14 +83,63 @@ type Graph struct {
 	constOf map[NodeID]lattice.Elem
 
 	saturated bool
+
+	// Saturation scratch, retained across pool cycles.
+	satReach []map[reach]struct{}
+	satWork  []NodeID
+	satIn    []bool
 }
 
-// nodeKey renders the identity of (dtv, variance).
-func nodeKey(d constraints.DTV, v label.Variance) string {
-	if v == label.Covariant {
-		return d.String() + "⁺"
+// graphPool recycles Graphs between Build/Release cycles.
+var graphPool = sync.Pool{New: func() any {
+	return &Graph{
+		index:   map[nodeKey]NodeID{},
+		epsSet:  map[int64]struct{}{},
+		constOf: map[NodeID]lattice.Elem{},
 	}
-	return d.String() + "⁻"
+}}
+
+// resetNested truncates a slice-of-slices while keeping every inner
+// slice's capacity available for reuse.
+func resetNested[T any](s [][]T) [][]T {
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s[:0]
+}
+
+// growNested extends a reset slice-of-slices by one empty entry,
+// re-exposing a recycled inner slice when capacity allows.
+func growNested[T any](s [][]T) [][]T {
+	if n := len(s); n < cap(s) {
+		return s[:n+1]
+	}
+	return append(s, nil)
+}
+
+// reset prepares a pooled graph for a fresh Build.
+func (g *Graph) reset(lat *lattice.Lattice) {
+	g.lat = lat
+	g.nodes = g.nodes[:0]
+	clear(g.index)
+	clear(g.epsSet)
+	clear(g.constOf)
+	g.eps = resetNested(g.eps)
+	g.pops = resetNested(g.pops)
+	g.pushes = resetNested(g.pushes)
+	g.saturated = false
+	for _, m := range g.satReach {
+		clear(m)
+	}
+	g.satWork = g.satWork[:0]
+}
+
+// Release returns the graph to the package pool for reuse by a later
+// Build. The caller must not use g (or anything aliasing its node
+// storage) afterwards. Releasing is optional — an unreleased graph is
+// simply collected — and must happen at most once.
+func (g *Graph) Release() {
+	graphPool.Put(g)
 }
 
 // Build constructs the (unsaturated) graph for cs. Type constants are
@@ -84,21 +148,17 @@ func nodeKey(d constraints.DTV, v label.Variance) string {
 // node α.load exists, α.store is added too (and vice versa), matching
 // the unconditional ∆ptr rule family of Definition D.3.
 func Build(cs *constraints.Set, lat *lattice.Lattice) *Graph {
-	g := &Graph{
-		lat:     lat,
-		index:   map[string]NodeID{},
-		epsSet:  map[int64]struct{}{},
-		constOf: map[NodeID]lattice.Elem{},
-	}
-	for _, c := range cs.Subtypes() {
+	g := graphPool.Get().(*Graph)
+	g.reset(lat)
+	cs.EachSubtype(func(c constraints.Constraint) {
 		l, r := c.L, c.R
 		g.registerDTV(l)
 		g.registerDTV(r)
-		if !l.Equal(r) {
+		if l != r {
 			g.addEps(g.node(l, label.Covariant), g.node(r, label.Covariant))
 			g.addEps(g.node(r, label.Contravariant), g.node(l, label.Contravariant))
 		}
-	}
+	})
 	return g
 }
 
@@ -115,16 +175,16 @@ func (g *Graph) registerDTV(d constraints.DTV) {
 // node interns (d, v), creating prefix nodes and pop/push edges on the
 // way, plus pointer-sibling nodes for load/store.
 func (g *Graph) node(d constraints.DTV, v label.Variance) NodeID {
-	key := nodeKey(d, v)
+	key := nodeKey{d: d, v: v}
 	if id, ok := g.index[key]; ok {
 		return id
 	}
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{DTV: d, Var: v})
 	g.index[key] = id
-	g.eps = append(g.eps, nil)
-	g.pops = append(g.pops, nil)
-	g.pushes = append(g.pushes, nil)
+	g.eps = growNested(g.eps)
+	g.pops = growNested(g.pops)
+	g.pushes = growNested(g.pushes)
 
 	if parent, last, ok := d.Parent(); ok {
 		// Wire pop/push edges between (parent, v·⟨last⟩) and (d, v):
@@ -139,7 +199,7 @@ func (g *Graph) node(d constraints.DTV, v label.Variance) NodeID {
 			g.node(parent.Append(last.PointerDual()), v.Mul(label.Contravariant))
 		}
 	} else if v == label.Covariant {
-		if e, ok := g.lat.Elem(string(d.Base)); ok {
+		if e, ok := g.lat.ElemSym(d.BaseSym()); ok {
 			g.constOf[id] = e
 		}
 	}
@@ -148,7 +208,7 @@ func (g *Graph) node(d constraints.DTV, v label.Variance) NodeID {
 
 // NodeOf looks up (d, v) without creating it.
 func (g *Graph) NodeOf(d constraints.DTV, v label.Variance) (NodeID, bool) {
-	id, ok := g.index[nodeKey(d, v)]
+	id, ok := g.index[nodeKey{d: d, v: v}]
 	return id, ok
 }
 
@@ -196,13 +256,19 @@ func (g *Graph) Saturate() {
 	g.saturated = true
 
 	n := len(g.nodes)
-	r := make([]map[reach]struct{}, n)
-	for i := range r {
-		r[i] = map[reach]struct{}{}
+	for len(g.satReach) < n {
+		g.satReach = append(g.satReach, map[reach]struct{}{})
 	}
+	r := g.satReach[:n]
 
-	var work []NodeID
-	inWork := make([]bool, n)
+	work := g.satWork[:0]
+	if cap(g.satIn) < n {
+		g.satIn = make([]bool, n)
+	}
+	inWork := g.satIn[:n]
+	for i := range inWork {
+		inWork[i] = false
+	}
 	enqueue := func(id NodeID) {
 		if !inWork[id] {
 			inWork[id] = true
@@ -265,6 +331,7 @@ func (g *Graph) Saturate() {
 		inWork[id] = false
 		process(id)
 	}
+	g.satWork = work[:0]
 }
 
 // EpsSucc returns the ε successors of id (shared slice; do not mutate).
@@ -305,13 +372,14 @@ func (g *Graph) ConstElem(id NodeID) (lattice.Elem, bool) {
 // for a canonical pop*·ε*·push* path from (l.Base, ⟨l.Path⟩) to
 // (r.Base, ⟨r.Path⟩) in the saturated graph (Theorem D.1).
 func (g *Graph) Proves(l, r constraints.DTV) bool {
-	if l.Equal(r) {
+	if l == r {
 		return true // S-REFL
 	}
 	g.Saturate()
+	lPath, rPath := l.Path(), r.Path()
 
 	// Phase 0: consume l.Path via pop edges, ε edges allowed anywhere.
-	start, ok := g.NodeOf(constraints.DTV{Base: l.Base}, l.Path.Variance())
+	start, ok := g.NodeOf(constraints.BaseDTV(l.Base()), lPath.Variance())
 	if !ok {
 		return false
 	}
@@ -332,14 +400,14 @@ func (g *Graph) Proves(l, r constraints.DTV) bool {
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if s.i == len(l.Path) {
+		if s.i == len(lPath) {
 			frontier = append(frontier, s.n)
 		}
 		for _, succ := range g.eps[s.n] {
 			push0(popState{succ, s.i})
 		}
-		if s.i < len(l.Path) {
-			want := l.Path[s.i]
+		if s.i < len(lPath) {
+			want := lPath[s.i]
 			for _, e := range g.pops[s.n] {
 				if e.lbl == want {
 					push0(popState{e.to, s.i + 1})
@@ -353,7 +421,7 @@ func (g *Graph) Proves(l, r constraints.DTV) bool {
 
 	// Phase 1: emit r.Path via push edges; push edges emit the word
 	// back-to-front (deepest label last stripped), so k counts down.
-	goal, ok := g.NodeOf(constraints.DTV{Base: r.Base}, r.Path.Variance())
+	goal, ok := g.NodeOf(constraints.BaseDTV(r.Base()), rPath.Variance())
 	if !ok {
 		return false
 	}
@@ -370,7 +438,7 @@ func (g *Graph) Proves(l, r constraints.DTV) bool {
 		}
 	}
 	for _, n := range frontier {
-		push1(pushState{n, len(r.Path)})
+		push1(pushState{n, len(rPath)})
 	}
 	for len(stack1) > 0 {
 		s := stack1[len(stack1)-1]
@@ -382,7 +450,7 @@ func (g *Graph) Proves(l, r constraints.DTV) bool {
 			push1(pushState{succ, s.k})
 		}
 		if s.k > 0 {
-			want := r.Path[s.k-1]
+			want := rPath[s.k-1]
 			for _, e := range g.pushes[s.n] {
 				if e.lbl == want {
 					push1(pushState{e.to, s.k - 1})

@@ -209,9 +209,9 @@ func TestSimplifyEliminatesInternals(t *testing.T) {
 
 	for _, c := range res.Constraints.Subtypes() {
 		for _, d := range []constraints.DTV{c.L, c.R} {
-			switch string(d.Base) {
+			switch string(d.Base()) {
 			case "a", "b", "c":
-				t.Errorf("internal variable %s leaked into simplification: %s", d.Base, c)
+				t.Errorf("internal variable %s leaked into simplification: %s", d.Base(), c)
 			}
 		}
 	}

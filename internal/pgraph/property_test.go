@@ -39,9 +39,9 @@ func randomConstraintSet(r *rand.Rand, nvars, ncons int) *constraints.Set {
 	for i := 0; i < ncons; i++ {
 		switch r.Intn(10) {
 		case 0: // upper-bound constant
-			cs.AddSub(randDTV(vars[r.Intn(len(vars))]), constraints.DTV{Base: constraints.Var(consts[r.Intn(len(consts))])})
+			cs.AddSub(randDTV(vars[r.Intn(len(vars))]), constraints.BaseDTV(constraints.Var(consts[r.Intn(len(consts))])))
 		case 1: // lower-bound constant
-			cs.AddSub(constraints.DTV{Base: constraints.Var(consts[r.Intn(len(consts))])}, randDTV(vars[r.Intn(len(vars))]))
+			cs.AddSub(constraints.BaseDTV(constraints.Var(consts[r.Intn(len(consts))])), randDTV(vars[r.Intn(len(vars))]))
 		default:
 			cs.AddSub(randDTV(vars[r.Intn(len(vars))]), randDTV(vars[r.Intn(len(vars))]))
 		}

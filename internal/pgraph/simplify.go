@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"retypd/internal/constraints"
+	"retypd/internal/intern"
 	"retypd/internal/label"
 )
 
@@ -42,7 +43,7 @@ func (g *Graph) Simplify(interesting func(constraints.Var) bool) *SimplifyResult
 	// Anchor states: base-variable nodes of interesting variables.
 	var anchors []NodeID
 	for id, n := range g.nodes {
-		if n.DTV.IsBase() && isAnchor(n.DTV.Base) {
+		if n.DTV.IsBase() && isAnchor(n.DTV.Base()) {
 			anchors = append(anchors, NodeID(id))
 		}
 	}
@@ -131,9 +132,9 @@ func (g *Graph) Simplify(interesting func(constraints.Var) bool) *SimplifyResult
 	// variable: every emitted constraint is a judgement derivable from
 	// C about that base variable, in either derivation polarity, so the
 	// merge is entailment-preserving.
-	freshIdx := map[constraints.Var]constraints.Var{}
+	freshIdx := map[intern.Sym]constraints.Var{}
 	var existential []constraints.Var
-	freshFor := func(base constraints.Var) constraints.Var {
+	freshFor := func(base intern.Sym) constraints.Var {
 		if tv, ok := freshIdx[base]; ok {
 			return tv
 		}
@@ -144,10 +145,10 @@ func (g *Graph) Simplify(interesting func(constraints.Var) bool) *SimplifyResult
 	}
 	nameOf := func(id NodeID) constraints.DTV {
 		nd := g.nodes[id]
-		if isAnchor(nd.DTV.Base) {
+		if isAnchor(nd.DTV.Base()) {
 			return nd.DTV
 		}
-		return constraints.DTV{Base: freshFor(nd.DTV.Base), Path: nd.DTV.Path}
+		return nd.DTV.WithBase(freshFor(nd.DTV.BaseSym()))
 	}
 
 	out := constraints.NewSet()
@@ -184,8 +185,8 @@ func (g *Graph) Simplify(interesting func(constraints.Var) bool) *SimplifyResult
 	// Recompute the existential list: compaction may eliminate some.
 	used := map[constraints.Var]bool{}
 	for _, c := range res.Constraints.Subtypes() {
-		used[c.L.Base] = true
-		used[c.R.Base] = true
+		used[c.L.Base()] = true
+		used[c.R.Base()] = true
 	}
 	for _, tv := range existential {
 		if used[tv] {
@@ -224,17 +225,17 @@ func compact(cs *constraints.Set, fresh []constraints.Var) *constraints.Set {
 			return o
 		}
 		for _, c := range cur.Subtypes() {
-			if isFresh[c.L.Base] {
-				o := get(c.L.Base)
-				if len(c.L.Path) > 0 {
+			if isFresh[c.L.Base()] {
+				o := get(c.L.Base())
+				if c.L.PathLen() > 0 {
 					o.labeled = true
 				} else {
 					o.out = append(o.out, c)
 				}
 			}
-			if isFresh[c.R.Base] {
-				o := get(c.R.Base)
-				if len(c.R.Path) > 0 {
+			if isFresh[c.R.Base()] {
+				o := get(c.R.Base())
+				if c.R.PathLen() > 0 {
 					o.labeled = true
 				} else {
 					o.in = append(o.in, c)
@@ -254,12 +255,12 @@ func compact(cs *constraints.Set, fresh []constraints.Var) *constraints.Set {
 		selected := map[constraints.Var]bool{}
 		adjacentSelected := func(o *occ) bool {
 			for _, c := range o.in {
-				if len(c.L.Path) == 0 && selected[c.L.Base] {
+				if c.L.PathLen() == 0 && selected[c.L.Base()] {
 					return true
 				}
 			}
 			for _, c := range o.out {
-				if len(c.R.Path) == 0 && selected[c.R.Base] {
+				if c.R.PathLen() == 0 && selected[c.R.Base()] {
 					return true
 				}
 			}
@@ -275,8 +276,8 @@ func compact(cs *constraints.Set, fresh []constraints.Var) *constraints.Set {
 		}
 		next := constraints.NewSet()
 		for _, c := range cur.Subtypes() {
-			lElim := len(c.L.Path) == 0 && selected[c.L.Base]
-			rElim := len(c.R.Path) == 0 && selected[c.R.Base]
+			lElim := c.L.PathLen() == 0 && selected[c.L.Base()]
+			rElim := c.R.PathLen() == 0 && selected[c.R.Base()]
 			if !lElim && !rElim {
 				next.Insert(c)
 			}

@@ -1,6 +1,8 @@
 package sketch
 
 import (
+	"sync"
+
 	"retypd/internal/constraints"
 	"retypd/internal/label"
 	"retypd/internal/lattice"
@@ -12,6 +14,12 @@ import (
 // of the subtype relation, computed Steensgaard-style with union-find
 // and label congruence (conflating .load/.store children as required by
 // the S-POINTER rule).
+//
+// Classes are indexed by the interned DTV handle, and Shapes values are
+// pooled: InferShapes draws a recycled Shapes whose union-find arrays
+// and edge maps retain their previous capacity, and Release returns it.
+// The solver releases one Shapes per procedure when intermediates are
+// not kept.
 type Shapes struct {
 	lat    *lattice.Lattice
 	parent []int32
@@ -19,14 +27,61 @@ type Shapes struct {
 	edges  []map[label.Label]int32 // valid on representatives
 	flags  []Flags                 // valid on representatives
 	seeds  []lattice.Elem          // join of constants unioned in (repr)
-	nodeOf map[string]int32
+	nodeOf map[constraints.DTV]int32
 	dtvs   []constraints.DTV
+	// freeMaps holds cleared edge maps harvested on reset and on
+	// union-find merges, handed back out by newEdgeMap.
+	freeMaps []map[label.Label]int32
+}
+
+// shapesPool recycles Shapes between InferShapes/Release cycles.
+var shapesPool = sync.Pool{New: func() any {
+	return &Shapes{nodeOf: map[constraints.DTV]int32{}}
+}}
+
+// reset prepares a pooled Shapes for a fresh inference.
+func (sh *Shapes) reset(lat *lattice.Lattice) {
+	sh.lat = lat
+	sh.parent = sh.parent[:0]
+	sh.rank = sh.rank[:0]
+	sh.flags = sh.flags[:0]
+	sh.seeds = sh.seeds[:0]
+	sh.dtvs = sh.dtvs[:0]
+	clear(sh.nodeOf)
+	for i, m := range sh.edges {
+		if m != nil {
+			clear(m)
+			sh.freeMaps = append(sh.freeMaps, m)
+			sh.edges[i] = nil
+		}
+	}
+	sh.edges = sh.edges[:0]
+}
+
+// Release returns the Shapes to the package pool. The caller must not
+// use sh (or query sketches against it) afterwards, and must not
+// release a Shapes it has handed out (e.g. in a kept ProcResult).
+func (sh *Shapes) Release() {
+	shapesPool.Put(sh)
+}
+
+// newEdgeMap hands out a cleared recycled edge map when one is
+// available.
+func (sh *Shapes) newEdgeMap() map[label.Label]int32 {
+	if n := len(sh.freeMaps); n > 0 {
+		m := sh.freeMaps[n-1]
+		sh.freeMaps[n-1] = nil
+		sh.freeMaps = sh.freeMaps[:n-1]
+		return m
+	}
+	return map[label.Label]int32{}
 }
 
 // InferShapes builds the quotient graph for cs, applies the additive
 // constraints of Figure 13, and returns the resulting Shapes.
 func InferShapes(cs *constraints.Set, lat *lattice.Lattice) *Shapes {
-	sh := &Shapes{lat: lat, nodeOf: map[string]int32{}}
+	sh := shapesPool.Get().(*Shapes)
+	sh.reset(lat)
 
 	// Register all derived type variables (prefix closed).
 	for _, c := range cs.Constraints() {
@@ -51,9 +106,9 @@ func InferShapes(cs *constraints.Set, lat *lattice.Lattice) *Shapes {
 		if !d.IsBase() {
 			return 0, false
 		}
-		return lat.Elem(string(d.Base))
+		return lat.ElemSym(d.BaseSym())
 	}
-	for _, c := range cs.Subtypes() {
+	cs.EachSubtype(func(c constraints.Constraint) {
 		le, lConst := constElem(c.L)
 		re, rConst := constElem(c.R)
 		switch {
@@ -68,7 +123,7 @@ func InferShapes(cs *constraints.Set, lat *lattice.Lattice) *Shapes {
 		default:
 			sh.union(sh.node(c.L), sh.node(c.R))
 		}
-	}
+	})
 	// Additive constraints: Figure 13 fixpoint over class flags.
 	sh.applyAdditive(cs)
 	return sh
@@ -76,8 +131,7 @@ func InferShapes(cs *constraints.Set, lat *lattice.Lattice) *Shapes {
 
 // node interns d and its prefixes, wiring labeled edges parent→child.
 func (sh *Shapes) node(d constraints.DTV) int32 {
-	key := d.String()
-	if id, ok := sh.nodeOf[key]; ok {
+	if id, ok := sh.nodeOf[d]; ok {
 		return id
 	}
 	id := int32(len(sh.parent))
@@ -86,13 +140,13 @@ func (sh *Shapes) node(d constraints.DTV) int32 {
 	sh.edges = append(sh.edges, nil)
 	sh.flags = append(sh.flags, 0)
 	sh.seeds = append(sh.seeds, sh.lat.Bottom())
-	sh.nodeOf[key] = id
+	sh.nodeOf[d] = id
 	sh.dtvs = append(sh.dtvs, d)
 
 	if parent, last, ok := d.Parent(); ok {
 		pid := sh.find(sh.node(parent))
 		if sh.edges[pid] == nil {
-			sh.edges[pid] = map[label.Label]int32{}
+			sh.edges[pid] = sh.newEdgeMap()
 		}
 		if prev, exists := sh.edges[pid][last]; exists {
 			sh.union(prev, id)
@@ -106,7 +160,7 @@ func (sh *Shapes) node(d constraints.DTV) int32 {
 				}
 			}
 		}
-	} else if e, ok := sh.lat.Elem(string(d.Base)); ok {
+	} else if e, ok := sh.lat.ElemSym(d.BaseSym()); ok {
 		sh.seeds[id] = e
 	}
 	return id
@@ -144,7 +198,9 @@ func (sh *Shapes) union(a, b int32) {
 		loser := sh.edges[rb]
 		sh.edges[rb] = nil
 		if len(loser) > 0 && sh.edges[ra] == nil {
-			sh.edges[ra] = map[label.Label]int32{}
+			// The winner had no edges: adopt the loser's map wholesale.
+			sh.edges[ra] = loser
+			loser = nil
 		}
 		for l, t := range loser {
 			if prev, ok := sh.edges[ra][l]; ok {
@@ -152,6 +208,10 @@ func (sh *Shapes) union(a, b int32) {
 			} else {
 				sh.edges[ra][l] = t
 			}
+		}
+		if loser != nil {
+			clear(loser)
+			sh.freeMaps = append(sh.freeMaps, loser)
 		}
 		// Pointer conflation on the merged class.
 		if m := sh.edges[ra]; m != nil {
@@ -167,7 +227,7 @@ func (sh *Shapes) union(a, b int32) {
 // classOf returns the representative of d's class, or -1 if d was never
 // seen.
 func (sh *Shapes) classOf(d constraints.DTV) int32 {
-	if id, ok := sh.nodeOf[d.String()]; ok {
+	if id, ok := sh.nodeOf[d]; ok {
 		return sh.find(id)
 	}
 	return -1
@@ -301,7 +361,7 @@ func (sh *Shapes) applyAdditive(cs *constraints.Set) {
 // (⊥ when unconstrained; incomparable constants collapse toward ⊤,
 // modeling the over-unification loss of §2.5).
 func (sh *Shapes) SeedFor(v constraints.Var) lattice.Elem {
-	c := sh.classOf(constraints.DTV{Base: v})
+	c := sh.classOf(constraints.BaseDTV(v))
 	if c < 0 {
 		return sh.lat.Bottom()
 	}
@@ -325,7 +385,7 @@ func (sh *Shapes) SketchFor(v constraints.Var, maxDepth int) *Sketch {
 }
 
 func (sh *Shapes) sketchFor(v constraints.Var, maxDepth int, unifyMarks bool) *Sketch {
-	root := sh.classOf(constraints.DTV{Base: v})
+	root := sh.classOf(constraints.BaseDTV(v))
 	if root < 0 {
 		return NewTop(sh.lat)
 	}
@@ -411,7 +471,7 @@ func NewDecorator(g *pgraph.Graph) *Decorator {
 // Decorate fills in Lower and Upper for every state of sk, where sk is
 // the sketch of base variable root.
 func (d *Decorator) Decorate(sk *Sketch, root constraints.Var) {
-	base := constraints.DTV{Base: root}
+	base := constraints.BaseDTV(root)
 	var starts []pgraph.NodeID
 	if n, ok := d.g.NodeOf(base, label.Covariant); ok {
 		starts = append(starts, n)

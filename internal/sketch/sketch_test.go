@@ -73,7 +73,7 @@ func TestLoadStoreConflation(t *testing.T) {
 		p.load.σ32@0 <= x
 	`)
 	_ = lat
-	if !sh.HasCapability(constraints.DTV{Base: "p"}, label.Load()) {
+	if !sh.HasCapability(constraints.BaseDTV("p"), label.Load()) {
 		t.Fatal("p must be loadable")
 	}
 	// x must be in the same class as the stored int.

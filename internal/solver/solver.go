@@ -29,6 +29,15 @@
 // Every phase is deterministic: for a fixed program and options the
 // pipeline produces byte-identical schemes and specialized sketches
 // regardless of Options.Workers.
+//
+// Two allocation-discipline layers keep the pipeline off the garbage
+// collector's hot path (see docs/ARCHITECTURE.md): derived type
+// variables are interned handles (internal/intern) so constraint sets,
+// graph nodes and shape classes index by dense ids instead of rendered
+// strings, and the per-SCC constraint graphs plus per-procedure shape
+// quotients are drawn from sync.Pools (pgraph.Graph.Release,
+// sketch.Shapes.Release) so the fan-out reuses their storage across
+// procedures.
 package solver
 
 import (
@@ -249,7 +258,7 @@ func (pl *pipeline) inferSCC(scc []string) *sccResult {
 
 	// The saturated graph is shared by every member's simplification
 	// and built at most once per SCC — not at all when every member
-	// hits the memo.
+	// hits the memo — and recycled through the pgraph pool afterwards.
 	var g *pgraph.Graph
 	build := func() *pgraph.Graph {
 		if g == nil {
@@ -275,6 +284,9 @@ func (pl *pipeline) inferSCC(scc []string) *sccResult {
 			Constraints: simp.Constraints,
 			Existential: simp.Existential,
 		}
+	}
+	if g != nil {
+		g.Release()
 	}
 	return out
 }
@@ -355,6 +367,15 @@ func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
 	shapes := sketch.InferShapes(gr.Constraints, pl.lat)
 	g := pgraph.Build(gr.Constraints, pl.lat)
 	dec := sketch.NewDecorator(g)
+	// The graph and (when intermediates are dropped) the shape quotient
+	// are per-procedure scratch: recycle them through their pools so the
+	// fan-out reuses allocations across procedures.
+	defer func() {
+		g.Release()
+		if !pl.opts.KeepIntermediates {
+			shapes.Release()
+		}
+	}()
 
 	sk := shapes.SketchFor(constraints.Var(p), pl.opts.MaxSketchDepth)
 	dec.Decorate(sk, constraints.Var(p))

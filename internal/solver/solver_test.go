@@ -90,7 +90,7 @@ func TestFigure2Scheme(t *testing.T) {
 	// The scheme must not leak internal variables.
 	for _, c := range cs.Subtypes() {
 		for _, d := range []constraints.DTV{c.L, c.R} {
-			name := string(d.Base)
+			name := string(d.Base())
 			if strings.Contains(name, "!") || strings.Contains(name, "@") {
 				t.Errorf("internal variable %q leaked into scheme: %s", name, c)
 			}

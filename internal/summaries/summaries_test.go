@@ -25,13 +25,13 @@ func TestDefaultTableShape(t *testing.T) {
 		}
 		for _, c := range s.Constraints.Subtypes() {
 			for _, d := range []constraints.DTV{c.L, c.R} {
-				if string(d.Base) != name {
+				if string(d.Base()) != name {
 					continue
 				}
-				if len(d.Path) == 0 {
+				if d.PathLen() == 0 {
 					continue
 				}
-				head := d.Path[0].String()
+				head := d.Path()[0].String()
 				switch {
 				case strings.HasPrefix(head, "in_"):
 					loc := strings.TrimPrefix(head, "in_")
@@ -97,7 +97,7 @@ func TestMallocIsPolymorphic(t *testing.T) {
 	m := Default()["malloc"]
 	for _, c := range m.Constraints.Subtypes() {
 		for _, d := range []constraints.DTV{c.L, c.R} {
-			for _, l := range d.Path {
+			for _, l := range d.Path() {
 				s := l.String()
 				if s == "load" || s == "store" {
 					t.Errorf("malloc summary constrains its pointee (%s) — breaks callsite polymorphism", c)

@@ -36,6 +36,7 @@ import (
 	"retypd/internal/ctype"
 	"retypd/internal/label"
 	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
 	"retypd/internal/sketch"
 	"retypd/internal/solver"
 	"retypd/internal/summaries"
@@ -60,27 +61,62 @@ type (
 	Scheme = constraints.Scheme
 	// Signature is a rendered C procedure signature.
 	Signature = ctype.Signature
+	// SimplifyCache is a shareable memo of scheme simplifications; see
+	// NewSimplifyCache and Config.SchemeCache.
+	SimplifyCache = pgraph.SimplifyCache
 )
+
+// NewSimplifyCache returns a scheme-simplification memo bounded to
+// capacity entries (capacity ≤ 0 selects a default of a few thousand).
+// One cache may be shared across any number of concurrent Infer calls,
+// programs, and lattices: entries are keyed by a canonical
+// constraint-set fingerprint that includes the lattice identity, so a
+// hit is only ever served to an isomorphic constraint set. Share one
+// cache across a batch of Infer calls to simplify duplicate leaf
+// procedures once per batch.
+func NewSimplifyCache(capacity int) *SimplifyCache {
+	return pgraph.NewSimplifyCache(capacity)
+}
 
 // Config customizes inference; the zero value selects the
 // paper-faithful configuration with the stock lattice and summaries.
 type Config struct {
-	// Lattice is the auxiliary lattice Λ (nil: lattice.Default()).
+	// Lattice is the auxiliary lattice Λ of atomic types and semantic
+	// tags (§2.8, §3.5). Nil selects the stock lattice
+	// (lattice.Default()); build custom ones with NewLatticeBuilder.
 	Lattice *Lattice
-	// Summaries models external functions (nil: summaries.Default()).
+	// Summaries models external functions as type schemes (§4.2). Nil
+	// selects the built-in libc-style table (summaries.Default()).
 	Summaries Summaries
-	// Monomorphic disables callsite-tagged scheme instantiation.
+	// Monomorphic disables callsite-tagged scheme instantiation
+	// (Example A.4): callee interface variables are shared by all
+	// callers, as in the monomorphic evaluation baselines.
 	Monomorphic bool
-	// NoSpecialize disables the F.3 parameter-specialization policy.
+	// NoSpecialize disables the F.3 parameter-specialization policy
+	// (Example 4.3): formals keep their most-general inferred sketches
+	// instead of being met with the join of observed callsite actuals.
 	NoSpecialize bool
-	// MaxSketchDepth truncates recursive sketches when ≥ 0 (-0 means
-	// unbounded when zero value is used; set to -1 explicitly for
-	// clarity).
+	// MaxSketchDepth truncates recursive sketches when > 0, modeling
+	// systems without recursive types (the TIE-style baseline). The
+	// zero value means unbounded.
 	MaxSketchDepth int
-	// Workers bounds the solver pipeline's concurrency: 1 is fully
-	// sequential, 0 (the default) uses one worker per CPU. Inference
-	// output is identical for every value.
+	// Workers bounds the solver pipeline's concurrency across all three
+	// phases: 1 runs fully sequentially on the calling goroutine, 0
+	// (the default) uses one worker per CPU, and any other positive
+	// value caps the worker pool at that size. Inference output is
+	// deterministic and byte-identical for every value.
 	Workers int
+	// SchemeCache, when non-nil, memoizes scheme simplification across
+	// procedures with isomorphic constraint sets — including across
+	// Infer calls that share the cache (see NewSimplifyCache for the
+	// sharing contract). Nil gives this Infer call a private cache, so
+	// duplicates are still shared within the call. The cache never
+	// changes inference output, only how often simplification runs.
+	SchemeCache *SimplifyCache
+	// NoSchemeCache disables simplification memoization entirely, even
+	// when SchemeCache is set — the knob used to measure the uncached
+	// baseline.
+	NoSchemeCache bool
 }
 
 // Result is the inference outcome for a program.
@@ -100,6 +136,13 @@ func MustParseAsm(src string) *Program { return asm.MustParse(src) }
 func NewLatticeBuilder() *LatticeBuilder { return lattice.DefaultBuilder() }
 
 // Infer runs the full Retypd pipeline on prog.
+//
+// Memory model: type-variable names and field-label paths are interned
+// into a process-wide append-only symbol table (internal/intern), so
+// re-inferring a program is free of new interning but the table grows
+// with the number of distinct names ever seen and is not reclaimed.
+// For a service inferring an unbounded stream of distinct programs,
+// run batches in separate processes to bound table growth.
 func Infer(prog *Program, cfg *Config) *Result {
 	if cfg == nil {
 		cfg = &Config{}
@@ -112,6 +155,8 @@ func Infer(prog *Program, cfg *Config) *Result {
 	opts.Absint = absint.Options{MonomorphicCalls: cfg.Monomorphic}
 	opts.NoSpecialize = cfg.NoSpecialize
 	opts.Workers = cfg.Workers
+	opts.SchemeCache = cfg.SchemeCache
+	opts.NoSchemeCache = cfg.NoSchemeCache
 	if cfg.MaxSketchDepth > 0 {
 		opts.MaxSketchDepth = cfg.MaxSketchDepth
 	}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# check_alloc.sh — allocation-regression gate.
+#
+# Runs the CI-gated benchmark (BenchmarkInferParallel at workers=1,
+# one whole-program inference over the 4000-instruction corpus) with
+# -benchmem and compares its B/op against a threshold derived from the
+# checked-in perf snapshot: 1.5× the largest AllocBytes measurement in
+# BENCH_2.json (the same 4000-instruction, workers=1 inference as
+# recorded by scripts/bench.sh). A regression back toward the
+# pre-interning allocation volume (~4× today's) fails the gate; the
+# 1.5× margin absorbs hardware and Go-version noise.
+#
+# Usage: scripts/check_alloc.sh [baseline.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+base="${1-BENCH_2.json}"
+if [ ! -f "$base" ]; then
+  echo "check_alloc: baseline $base missing" >&2
+  exit 1
+fi
+
+thresh=$(awk -F':' '/"AllocBytes"/ {
+    v = $2 + 0
+    if (v > m) m = v
+  } END {
+    if (m == 0) exit 1
+    printf "%.0f", m * 1.5
+  }' "$base")
+
+echo "== allocation gate: B/op must stay below $thresh (1.5 x $base max) =="
+out=$(go test -run '^$' -bench 'BenchmarkInferParallel/workers=1$' -benchmem -benchtime=3x)
+echo "$out"
+
+bop=$(echo "$out" | awk '/BenchmarkInferParallel/ {
+    for (i = 1; i <= NF; i++) if ($i == "B/op") print $(i-1)
+  }' | head -1)
+if [ -z "$bop" ]; then
+  echo "check_alloc: could not parse B/op from benchmark output" >&2
+  exit 1
+fi
+
+if [ "$bop" -ge "$thresh" ]; then
+  echo "check_alloc: FAIL — $bop B/op >= threshold $thresh" >&2
+  exit 1
+fi
+echo "check_alloc: OK — $bop B/op < threshold $thresh"
