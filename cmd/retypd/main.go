@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	retypd [-schemes] [-sketches] [-j N] file.sasm
+//	retypd [-schemes] [-sketches] [-j N] [-nocache] [-cachestats] file.sasm
 package main
 
 import (
@@ -20,6 +20,8 @@ func main() {
 	sketches := flag.Bool("sketches", false, "print solved sketches")
 	mono := flag.Bool("mono", false, "disable polymorphic callsite instantiation (baseline mode)")
 	workers := flag.Int("j", 0, "solver worker count (0 = one per CPU, 1 = sequential)")
+	nocache := flag.Bool("nocache", false, "disable the scheme and shape memo caches (uncached baseline)")
+	cachestats := flag.Bool("cachestats", false, "print memo-cache hit/miss counts to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: retypd [flags] file.sasm")
@@ -35,7 +37,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "retypd:", err)
 		os.Exit(1)
 	}
-	res := retypd.Infer(prog, &retypd.Config{Monomorphic: *mono, Workers: *workers})
+	res := retypd.Infer(prog, &retypd.Config{
+		Monomorphic:   *mono,
+		Workers:       *workers,
+		NoSchemeCache: *nocache,
+		NoShapeCache:  *nocache,
+	})
+	if *cachestats {
+		sh, sm, ph, pm := res.CacheStats()
+		fmt.Fprintf(os.Stderr, "scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses\n",
+			sh, sm, ph, pm)
+	}
 	for _, name := range res.ProcNames() {
 		fmt.Println(res.Signature(name))
 		if *schemes {

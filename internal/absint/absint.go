@@ -23,12 +23,12 @@
 package absint
 
 import (
-	"fmt"
 	"sort"
 
 	"retypd/internal/asm"
 	"retypd/internal/cfg"
 	"retypd/internal/constraints"
+	"retypd/internal/intern"
 	"retypd/internal/label"
 	"retypd/internal/summaries"
 )
@@ -117,10 +117,22 @@ type gen struct {
 	// address is taken; regionEnd[i] is the exclusive upper bound of
 	// region i.
 	regionBases []int32
-	mergeVars   map[string]constraints.Var
+	mergeVars   map[mergeKey]constraints.Var
 	frmEmitted  map[cfg.Loc]constraints.Var
 	regionVars  map[int32]constraints.Var
 	freshN      int
+	// nb composes every minted variable name (definition sites, merge
+	// intermediates, region/formal variables, callsite tags) through
+	// the symbol table instead of fmt — one of the ROADMAP-listed
+	// allocation hot spots.
+	nb intern.NameBuilder
+}
+
+// mergeKey identifies one use-site merge intermediate (instruction
+// index plus operand role) without rendering a string key.
+type mergeKey struct {
+	idx int
+	key string
 }
 
 type defKey struct {
@@ -149,7 +161,7 @@ func Generate(pi *cfg.ProcInfo, infos map[string]*cfg.ProcInfo,
 		cs:         constraints.NewSet(),
 		f:          constraints.Var(pi.Proc.Name),
 		defAval:    map[defKey]aval{},
-		mergeVars:  map[string]constraints.Var{},
+		mergeVars:  map[mergeKey]constraints.Var{},
 		frmEmitted: map[cfg.Loc]constraints.Var{},
 		regionVars: map[int32]constraints.Var{},
 	}
@@ -206,7 +218,7 @@ func (g *gen) regionVar(base int32) constraints.Var {
 	if v, ok := g.regionVars[base]; ok {
 		return v
 	}
-	v := constraints.Var(fmt.Sprintf("%s!rgn%d", g.pi.Proc.Name, -base))
+	v := constraints.Var(g.nb.Begin(g.pi.Proc.Name).Str("!rgn").Int(int(-base)).String())
 	g.regionVars[base] = v
 	return v
 }
@@ -217,7 +229,7 @@ func (g *gen) frmVar(l cfg.Loc) constraints.Var {
 	if v, ok := g.frmEmitted[l]; ok {
 		return v
 	}
-	v := constraints.Var(fmt.Sprintf("%s!frm!%s", g.pi.Proc.Name, l.ParamName()))
+	v := constraints.Var(g.nb.Begin(g.pi.Proc.Name).Str("!frm!").Str(l.ParamName()).String())
 	g.frmEmitted[l] = v
 	g.cs.AddSub(
 		constraints.MakeDTV(g.f, label.In(l.ParamName())),
@@ -227,19 +239,18 @@ func (g *gen) frmVar(l cfg.Loc) constraints.Var {
 }
 
 func (g *gen) defVar(idx int, l cfg.Loc) constraints.Var {
-	return constraints.Var(fmt.Sprintf("%s!%s@%d", g.pi.Proc.Name, locToken(l), idx))
-}
-
-func locToken(l cfg.Loc) string {
+	nb := g.nb.Begin(g.pi.Proc.Name).Byte('!')
 	if l.IsSlot {
-		return fmt.Sprintf("s%d", l.Slot)
+		nb.Byte('s').Int(int(l.Slot))
+	} else {
+		nb.Str(l.Reg.String())
 	}
-	return l.Reg.String()
+	return constraints.Var(nb.Byte('@').Int(idx).String())
 }
 
 func (g *gen) fresh(hint string) constraints.Var {
 	g.freshN++
-	return constraints.Var(fmt.Sprintf("%s!%s%d", g.pi.Proc.Name, hint, g.freshN))
+	return constraints.Var(g.nb.Begin(g.pi.Proc.Name).Byte('!').Str(hint).Int(g.freshN).String())
 }
 
 // zeroPseudo is the shared variable that models what happens WITHOUT

@@ -1,7 +1,6 @@
 package absint
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -57,10 +56,10 @@ func (g *gen) mergeOne(idx int, key string, rv resolved) (constraints.Var, int32
 	if len(rv.vals) == 1 {
 		return rv.vals[0].base, rv.vals[0].off, true
 	}
-	mk := fmt.Sprintf("%d!%s", idx, key)
+	mk := mergeKey{idx: idx, key: key}
 	u, ok := g.mergeVars[mk]
 	if !ok {
-		u = constraints.Var(fmt.Sprintf("%s!u%s", g.pi.Proc.Name, mk))
+		u = constraints.Var(g.nb.Begin(g.pi.Proc.Name).Str("!u").Int(idx).Byte('!').Str(key).String())
 		g.mergeVars[mk] = u
 	}
 	for _, v := range rv.vals {
@@ -417,7 +416,7 @@ func (g *gen) emitCall(i int, st *state, tail bool) {
 	_, isProgramProc := g.infos[target]
 	tag := ""
 	if !g.opts.MonomorphicCalls || (g.opts.PolymorphicExternals && !isProgramProc) {
-		tag = fmt.Sprintf("@%s!%d", g.pi.Proc.Name, i)
+		tag = g.nb.Begin("@").Str(g.pi.Proc.Name).Byte('!').Int(i).String()
 	}
 
 	var formalNames []string

@@ -49,37 +49,42 @@ type System struct {
 }
 
 // Retypd is the paper's system (the main pipeline).
-func Retypd() System { return RetypdCached(nil) }
+func Retypd() System { return RetypdCached(nil, nil) }
 
-// RetypdCached is Retypd with a caller-provided scheme-simplification
-// memo shared by every Run call (and with any other system holding the
-// same cache). Sharing is sound across programs and configurations —
-// see the contract on pgraph.SimplifyCache — and lets duplicate leaf
-// procedures across a whole benchmark suite be simplified once. A nil
-// cache gives each Run a private one.
-func RetypdCached(cache *pgraph.SimplifyCache) System {
+// RetypdCached is Retypd with caller-provided scheme-simplification
+// and shape memos shared by every Run call (and with any other system
+// holding the same caches). Sharing is sound across programs and
+// configurations — see the contracts on pgraph.SimplifyCache and
+// sketch.ShapeCache — and lets duplicate leaf procedures across a
+// whole benchmark suite be simplified and shape-solved once. Nil
+// caches give each Run private ones.
+func RetypdCached(schemes *pgraph.SimplifyCache, shapes *sketch.ShapeCache) System {
 	return System{Name: "Retypd", Run: func(prog *asm.Program, lat *lattice.Lattice) *Outcome {
 		opts := solver.DefaultOptions()
 		opts.KeepIntermediates = false
-		opts.SchemeCache = cache
+		opts.SchemeCache = schemes
+		opts.ShapeCache = shapes
 		res := solver.Infer(prog, lat, nil, opts)
 		return outcomeFromSolver(res, lat)
 	}}
 }
 
 // TIEStyle is the monomorphic, recursion-free subtype baseline.
-func TIEStyle() System { return TIEStyleCached(nil) }
+func TIEStyle() System { return TIEStyleCached(nil, nil) }
 
-// TIEStyleCached is TIEStyle with a shared scheme-simplification memo;
-// see RetypdCached.
-func TIEStyleCached(cache *pgraph.SimplifyCache) System {
+// TIEStyleCached is TIEStyle with shared scheme/shape memos; see
+// RetypdCached. Sharing one ShapeCache with Retypd is sound even
+// though TIE* truncates sketch depth — the depth bound is part of the
+// cache key.
+func TIEStyleCached(schemes *pgraph.SimplifyCache, shapes *sketch.ShapeCache) System {
 	return System{Name: "TIE*", Run: func(prog *asm.Program, lat *lattice.Lattice) *Outcome {
 		opts := solver.DefaultOptions()
 		opts.KeepIntermediates = false
 		opts.Absint = absint.Options{MonomorphicCalls: true, PolymorphicExternals: true}
 		opts.MaxSketchDepth = 3
 		opts.NoSpecialize = true
-		opts.SchemeCache = cache
+		opts.SchemeCache = schemes
+		opts.ShapeCache = shapes
 		res := solver.Infer(prog, lat, nil, opts)
 		return outcomeFromSolver(res, lat)
 	}}
@@ -164,7 +169,7 @@ func runUnify(prog *asm.Program, lat *lattice.Lattice, covered func(string, int)
 		global.InsertAll(gr.Constraints)
 	}
 	// The quotient IS unification: subtype edges become equalities.
-	shapes := sketch.InferShapes(global, lat)
+	shapes := sketch.NewBuilder(global, lat)
 
 	o := &Outcome{
 		Lat:     lat,

@@ -274,11 +274,10 @@ func (c *Converter) FromSketch(sk *sketch.Sketch) *Type {
 // and the returned node is a copy so that const does not leak into
 // other references to a shared recursive type.
 func (c *Converter) ConvertParam(sk *sketch.Sketch) *Type {
-	if len(sk.States) > 0 {
-		saved := sk.States[0].Variance
-		sk.States[0].Variance = label.Contravariant
-		defer func() { sk.States[0].Variance = saved }()
-	}
+	// Copy-on-write: sk may be shared (a cache-served sketch is sealed
+	// and read concurrently), so the contravariant root view is a fresh
+	// derivation, never an in-place flip-and-restore.
+	sk = sk.WithRootVariance(label.Contravariant)
 	t := c.FromSketch(sk)
 	probe := *t
 	c.applyConst(sk, 0, &probe)

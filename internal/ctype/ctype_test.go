@@ -16,7 +16,7 @@ func sketchOf(t *testing.T, text string, v string) (*sketch.Sketch, *lattice.Lat
 		t.Fatal(err)
 	}
 	lat := lattice.Default()
-	sh := sketch.InferShapes(cs, lat)
+	sh := sketch.NewBuilder(cs, lat)
 	return sh.SketchFor(constraints.Var(v), -1), lat
 }
 

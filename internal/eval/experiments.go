@@ -12,6 +12,7 @@ import (
 	"retypd/internal/corpus"
 	"retypd/internal/lattice"
 	"retypd/internal/pgraph"
+	"retypd/internal/sketch"
 	"retypd/internal/solver"
 )
 
@@ -49,21 +50,27 @@ type SuiteScores struct {
 	// PerSystem maps system name to per-benchmark scores.
 	PerSystem map[string][]BenchScore
 	Order     []string
+	// SchemeCacheHits/Misses and ShapeCacheHits/Misses report the
+	// suite-wide effectiveness of the two shared memo caches.
+	SchemeCacheHits, SchemeCacheMisses uint64
+	ShapeCacheHits, ShapeCacheMisses   uint64
 }
 
 // RunSuite generates the corpus and scores all systems. One
-// scheme-simplification memo is shared across every Infer run of the
-// suite (all benchmarks, all solver-based systems): the cache is keyed
-// by canonical constraint-set fingerprints (see the sharing contract on
-// pgraph.SimplifyCache), so duplicate leaf procedures are simplified
-// once for the whole suite instead of once per benchmark.
+// scheme-simplification memo and one shape memo are shared across
+// every Infer run of the suite (all benchmarks, all solver-based
+// systems): both caches are keyed by canonical constraint-set
+// fingerprints (see the sharing contracts on pgraph.SimplifyCache and
+// sketch.ShapeCache), so duplicate leaf procedures are simplified and
+// shape-solved once for the whole suite instead of once per benchmark.
 func RunSuite(cfg Config) *SuiteScores {
 	lat := lattice.Default()
 	benches := corpus.GenerateSuite(cfg.Suite)
-	cache := pgraph.NewSimplifyCache(0)
+	schemes := pgraph.NewSimplifyCache(0)
+	shapes := sketch.NewShapeCache(0)
 	systems := []baselines.System{
-		baselines.RetypdCached(cache),
-		baselines.TIEStyleCached(cache),
+		baselines.RetypdCached(schemes, shapes),
+		baselines.TIEStyleCached(schemes, shapes),
 		baselines.RewardsStyle(0.6),
 		baselines.Unify(),
 	}
@@ -74,6 +81,8 @@ func RunSuite(cfg Config) *SuiteScores {
 		out.PerSystem[sys.Name] = scores
 		out.Order = append(out.Order, sys.Name)
 	}
+	out.SchemeCacheHits, out.SchemeCacheMisses = schemes.Stats()
+	out.ShapeCacheHits, out.ShapeCacheMisses = shapes.Stats()
 	return out
 }
 

@@ -21,3 +21,22 @@ func TestCorpusSmoke(t *testing.T) {
 	res := solver.Infer(prog, lattice.Default(), nil, solver.DefaultOptions())
 	t.Logf("procs=%d elapsed=%v", len(res.Procs), time.Since(start))
 }
+
+// TestCacheEffectivenessSmoke: the duplicate-leaf-heavy synthetic
+// corpus must actually exercise both memo layers — a suite run with
+// the shared caches has to report a nonzero scheme AND shape hit rate,
+// or the phase-2 memo has silently stopped firing.
+func TestCacheEffectivenessSmoke(t *testing.T) {
+	s := RunSuite(QuickConfig())
+	t.Logf("scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses",
+		s.SchemeCacheHits, s.SchemeCacheMisses, s.ShapeCacheHits, s.ShapeCacheMisses)
+	if s.SchemeCacheHits == 0 {
+		t.Error("suite run produced no scheme-cache hits")
+	}
+	if s.ShapeCacheHits == 0 {
+		t.Error("suite run produced no shape-cache hits on the duplicate-leaf corpus")
+	}
+	if s.ShapeCacheHits+s.ShapeCacheMisses == 0 {
+		t.Error("shape cache was never consulted")
+	}
+}

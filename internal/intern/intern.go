@@ -115,6 +115,20 @@ func NewTable() *Table {
 // (and, through them, by constraints.DTV).
 var global = NewTable()
 
+// SymBytes interns the string contents of b. On the warm path — the
+// symbol already exists — no string is allocated: the map probe uses
+// the compiler's no-copy []byte→string conversion. Only a first-time
+// intern materializes the string.
+func (t *Table) SymBytes(b []byte) Sym {
+	t.mu.RLock()
+	id, ok := t.syms[string(b)]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	return t.Sym(string(b))
+}
+
 // Sym interns s.
 func (t *Table) Sym(s string) Sym {
 	t.mu.RLock()

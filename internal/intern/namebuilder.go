@@ -1,0 +1,51 @@
+package intern
+
+import "strconv"
+
+// NameBuilder composes derived variable names from parts — base name,
+// separators, counters — and interns the result, without going through
+// fmt. The constraint generator mints a name per definition site, per
+// fresh intermediate and per callsite tag, which made fmt.Sprintf one
+// of the last allocation hot spots of the pipeline: every call
+// allocated the argument box, the scratch state and the result string.
+// A NameBuilder reuses one scratch buffer across Build calls, and
+// String resolves through the symbol table, so a name that was ever
+// built before costs zero allocations.
+//
+// A NameBuilder is not safe for concurrent use; give each producer its
+// own (the zero value is ready).
+type NameBuilder struct {
+	buf []byte
+}
+
+// Begin resets the builder to base and returns it for chaining.
+func (nb *NameBuilder) Begin(base string) *NameBuilder {
+	nb.buf = append(nb.buf[:0], base...)
+	return nb
+}
+
+// Str appends s.
+func (nb *NameBuilder) Str(s string) *NameBuilder {
+	nb.buf = append(nb.buf, s...)
+	return nb
+}
+
+// Byte appends a single byte (separators like '!' and '@').
+func (nb *NameBuilder) Byte(c byte) *NameBuilder {
+	nb.buf = append(nb.buf, c)
+	return nb
+}
+
+// Int appends the decimal rendering of n.
+func (nb *NameBuilder) Int(n int) *NameBuilder {
+	nb.buf = strconv.AppendInt(nb.buf, int64(n), 10)
+	return nb
+}
+
+// Sym interns the composed name in the global table.
+func (nb *NameBuilder) Sym() Sym { return global.SymBytes(nb.buf) }
+
+// String interns the composed name and returns the table's canonical
+// string for it — allocation-free whenever the name was interned
+// before (by this builder or anyone else).
+func (nb *NameBuilder) String() string { return global.StringOf(nb.Sym()) }

@@ -1,0 +1,88 @@
+// Package lru is the bounded, thread-safe LRU memo underlying the
+// solver's fingerprint-keyed caches (pgraph.SimplifyCache and
+// sketch.ShapeCache). Both caches share the same mechanics — move-to-
+// front on hit, keep-first when two concurrent misses race to store
+// the same key, eviction from the back past the capacity bound, and
+// cumulative hit/miss counters — so they share this one implementation
+// and only differ in key and value types.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one key/value pair on the recency list.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Cache is a bounded LRU map from K to V, safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recently used
+	byKey  map[K]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+// New returns a cache bounded to capacity entries (capacity must be
+// positive; callers apply their own defaults).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{
+		cap:   capacity,
+		order: list.New(),
+		byKey: map[K]*list.Element{},
+	}
+}
+
+// Get returns the value stored under key, marking it most recently
+// used. Every call counts as a hit or a miss.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add stores val under key unless the key is already present (two
+// concurrent misses may race to store; the first stays — both values
+// are equivalent by construction in the memo use case). Past the
+// capacity bound the least recently used entries are evicted.
+func (c *Cache[K, V]) Add(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&entry[K, V]{key: key, val: val})
+	c.byKey[key] = el
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Stats reports cumulative hit/miss counts across all sharers.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the current entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

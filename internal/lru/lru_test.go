@@ -1,0 +1,58 @@
+package lru
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEvictionOrderAndStats(t *testing.T) {
+	c := New[int, string](2)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	c.Add(3, "c") // evicts 2 (1 was refreshed by the Get)
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("1 should have survived (most recently used)")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if h, m := c.Stats(); h != 2 || m != 1 {
+		t.Errorf("stats = %d/%d, want 2 hits / 1 miss", h, m)
+	}
+}
+
+func TestAddKeepsFirstOnDuplicate(t *testing.T) {
+	c := New[string, int](4)
+	c.Add("k", 1)
+	c.Add("k", 2) // racing second miss: first stays
+	if v, _ := c.Get("k"); v != 1 {
+		t.Errorf("duplicate Add replaced the stored value: got %d", v)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 100
+				if _, ok := c.Get(k); !ok {
+					c.Add(k, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len %d exceeds capacity", c.Len())
+	}
+}

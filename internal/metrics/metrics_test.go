@@ -65,7 +65,7 @@ func TestPointerLevels(t *testing.T) {
 		p.load.σ32@0 <= int
 		x <= p
 	`)
-	sh := sketch.InferShapes(cs, lat)
+	sh := sketch.NewBuilder(cs, lat)
 	sk := sh.SketchFor("x", -1)
 
 	// Truth int*: 1 level, matched.
@@ -97,7 +97,7 @@ func TestConstScoring(t *testing.T) {
 		p.load.σ32@0 <= int
 		x <= p
 	`)
-	sh := sketch.InferShapes(cs, lat)
+	sh := sketch.NewBuilder(cs, lat)
 	sk := sh.SketchFor("x", -1)
 	if !sk.Accepts(label.Word{label.Load()}) {
 		t.Fatal("sketch should be loadable")

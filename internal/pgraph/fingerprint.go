@@ -1,7 +1,6 @@
 package pgraph
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -12,6 +11,7 @@ import (
 	"retypd/internal/constraints"
 	"retypd/internal/intern"
 	"retypd/internal/lattice"
+	"retypd/internal/lru"
 )
 
 // canonPrefix is the namespace of canonical variable names used by
@@ -40,6 +40,9 @@ type FP struct {
 	ok     bool
 	sum    [sha256.Size]byte
 	rename map[intern.Sym]uint32
+	// locals is the inverse of rename: locals[idx] is the local base
+	// symbol assigned canonical index idx (first-occurrence order).
+	locals []intern.Sym
 }
 
 // Key is the comparable cache key of one (fingerprint, root) pair.
@@ -100,6 +103,7 @@ func Fingerprint(cs *constraints.Set, lat *lattice.Lattice) *FP {
 			if !ok {
 				idx = uint32(len(fp.rename))
 				fp.rename[y] = idx
+				fp.locals = append(fp.locals, y)
 			}
 			buf = append(buf, fpRenamed)
 			buf = binary.AppendUvarint(buf, uint64(idx))
@@ -139,6 +143,33 @@ func Fingerprint(cs *constraints.Set, lat *lattice.Lattice) *FP {
 
 // Usable reports whether the fingerprint can key a cache.
 func (f *FP) Usable() bool { return f.ok }
+
+// CanonicalIndex returns the canonical index assigned to the local base
+// symbol y, or false when y is not one of the fingerprinted
+// (non-constant) variables. Together with LocalOf it exposes the full
+// rename bijection for cached results that DO mention variables and
+// need per-hit translation back to local names. The phase-2 shape memo
+// itself only needs the local→canonical direction (KeyFor): sketches
+// mention no variable names, so its hits are served without any
+// rehydration.
+func (f *FP) CanonicalIndex(y intern.Sym) (uint32, bool) {
+	idx, ok := f.rename[y]
+	return idx, ok
+}
+
+// LocalOf returns the local base symbol assigned canonical index idx
+// (the canonical→local direction of the rename bijection), or false
+// when idx is out of range.
+func (f *FP) LocalOf(idx uint32) (intern.Sym, bool) {
+	if int(idx) >= len(f.locals) {
+		return 0, false
+	}
+	return f.locals[idx], true
+}
+
+// RenameLen reports the number of renamed (non-constant) base
+// variables the fingerprint canonicalized.
+func (f *FP) RenameLen() int { return len(f.rename) }
 
 // KeyFor returns the cache key for simplifying relative to root, or
 // false when root does not occur in the fingerprinted set.
@@ -196,17 +227,7 @@ const DefaultSimplifyCacheCap = 4096
 // counters are cumulative across all sharers; callers wanting per-run
 // numbers snapshot Stats before and after (as solver.Infer does).
 type SimplifyCache struct {
-	mu     sync.Mutex
-	cap    int
-	order  *list.List // front = most recently used
-	byKey  map[Key]*list.Element
-	hits   uint64
-	misses uint64
-}
-
-type cacheEntry struct {
-	key Key
-	res *SimplifyResult // canonical form
+	lru *lru.Cache[Key, *SimplifyResult]
 }
 
 // NewSimplifyCache returns an LRU cache bounded to capacity entries
@@ -215,26 +236,14 @@ func NewSimplifyCache(capacity int) *SimplifyCache {
 	if capacity <= 0 {
 		capacity = DefaultSimplifyCacheCap
 	}
-	return &SimplifyCache{
-		cap:   capacity,
-		order: list.New(),
-		byKey: map[Key]*list.Element{},
-	}
+	return &SimplifyCache{lru: lru.New[Key, *SimplifyResult](capacity)}
 }
 
 // Stats reports cumulative hit/miss counts.
-func (c *SimplifyCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
+func (c *SimplifyCache) Stats() (hits, misses uint64) { return c.lru.Stats() }
 
 // Len reports the current entry count.
-func (c *SimplifyCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
-}
+func (c *SimplifyCache) Len() int { return c.lru.Len() }
 
 // Simplify returns the simplification of the (fingerprinted) constraint
 // set relative to root, consulting the memo first. build must return
@@ -250,43 +259,15 @@ func (c *SimplifyCache) Simplify(fp *FP, root constraints.Var, build func() *Gra
 	if !ok {
 		return build().Simplify(interesting)
 	}
-	if res, ok := c.lookup(key); ok {
+	if res, ok := c.lru.Get(key); ok {
 		canonRoot, _ := fp.canonicalRoot(root)
 		return rehydrate(res, canonRoot, root)
 	}
 	res := build().Simplify(interesting)
 	if canon, ok := canonicalize(res, root, fp); ok {
-		c.store(key, canon)
+		c.lru.Add(key, canon)
 	}
 	return res
-}
-
-func (c *SimplifyCache) lookup(key Key) (*SimplifyResult, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry).res, true
-	}
-	c.misses++
-	return nil, false
-}
-
-func (c *SimplifyCache) store(key Key, res *SimplifyResult) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok { // concurrent miss raced us; keep first
-		c.order.MoveToFront(el)
-		return
-	}
-	el := c.order.PushFront(&cacheEntry{key: key, res: res})
-	c.byKey[key] = el
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-	}
 }
 
 // canonicalize rewrites res with root renamed to its canonical name.

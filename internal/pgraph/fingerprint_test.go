@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"retypd/internal/constraints"
+	"retypd/internal/intern"
 	"retypd/internal/lattice"
 )
 
@@ -185,5 +186,49 @@ func TestNilCacheFallsBack(t *testing.T) {
 	})
 	if res == nil || res.Constraints.Len() == 0 {
 		t.Fatal("nil cache lost the simplification result")
+	}
+}
+
+// TestRenameMapExposure: the canonical↔local rename bijection exposed
+// for the phase-2 shape memo — isomorphic sets assign the same
+// canonical index to corresponding variables, CanonicalIndex/LocalOf
+// invert each other, and constants are never renamed.
+func TestRenameMapExposure(t *testing.T) {
+	lat := lattice.Default()
+	fa := Fingerprint(leafSet("alpha"), lat)
+	fb := Fingerprint(leafSet("beta"), lat)
+	if !fa.Usable() || !fb.Usable() {
+		t.Fatal("fingerprints unusable")
+	}
+	if fa.RenameLen() != fb.RenameLen() {
+		t.Fatalf("isomorphic sets renamed %d vs %d variables", fa.RenameLen(), fb.RenameLen())
+	}
+	if fa.RenameLen() == 0 {
+		t.Fatal("no variables renamed")
+	}
+	// Corresponding variables get the same canonical index.
+	pairs := [][2]string{
+		{"alpha", "beta"},
+		{"alpha!frm!stack0", "beta!frm!stack0"},
+		{"alpha!v1", "beta!v1"},
+		{"alpha!v2", "beta!v2"},
+	}
+	for _, p := range pairs {
+		ia, oka := fa.CanonicalIndex(intern.Intern(p[0]))
+		ib, okb := fb.CanonicalIndex(intern.Intern(p[1]))
+		if !oka || !okb || ia != ib {
+			t.Errorf("canonical index of %q (%d,%v) != %q (%d,%v)", p[0], ia, oka, p[1], ib, okb)
+		}
+		// LocalOf inverts CanonicalIndex.
+		if y, ok := fa.LocalOf(ia); !ok || y != intern.Intern(p[0]) {
+			t.Errorf("LocalOf(%d) = %v, want %q", ia, y, p[0])
+		}
+	}
+	// Constants are not in the rename map; out-of-range indices fail.
+	if _, ok := fa.CanonicalIndex(intern.Intern("int")); ok {
+		t.Error("lattice constant was renamed")
+	}
+	if _, ok := fa.LocalOf(uint32(fa.RenameLen())); ok {
+		t.Error("LocalOf accepted an out-of-range index")
 	}
 }

@@ -60,9 +60,12 @@ type nodeKey struct {
 	v label.Variance
 }
 
-// edge is a labeled pop/push edge.
+// edge is a labeled pop/push edge. lid is the label's dense per-graph
+// id (see labelID), which is what the saturation fixpoint compares and
+// packs into reach keys instead of the full Label value.
 type edge struct {
 	lbl label.Label
+	lid uint32
 	to  NodeID
 }
 
@@ -84,10 +87,23 @@ type Graph struct {
 
 	saturated bool
 
-	// Saturation scratch, retained across pool cycles.
-	satReach []map[reach]struct{}
-	satWork  []NodeID
-	satIn    []bool
+	// lblOf/lbls assign dense per-graph ids to the labels appearing on
+	// pop/push edges, reset per Build so ids are deterministic for a
+	// given constraint set. Ids 0 and 1 are always .load and .store, so
+	// the saturation loop tests pointer-access labels and flips duals
+	// with integer arithmetic.
+	lblOf map[label.Label]uint32
+	lbls  []label.Label
+
+	// Saturation scratch, retained across pool cycles. satReach[n] is
+	// the node's reach set as a sorted slice of packed
+	// (label id << 32 | origin node) keys with binary-search
+	// membership — the former per-node map[reach]struct{}, now flat,
+	// allocation-light and cache-friendly.
+	satReach   [][]uint64
+	satScratch []uint64 // merge buffer, swapped with grown sets
+	satWork    []NodeID
+	satIn      []bool
 }
 
 // graphPool recycles Graphs between Build/Release cycles.
@@ -96,6 +112,7 @@ var graphPool = sync.Pool{New: func() any {
 		index:   map[nodeKey]NodeID{},
 		epsSet:  map[int64]struct{}{},
 		constOf: map[NodeID]lattice.Elem{},
+		lblOf:   map[label.Label]uint32{},
 	}
 }}
 
@@ -128,10 +145,26 @@ func (g *Graph) reset(lat *lattice.Lattice) {
 	g.pops = resetNested(g.pops)
 	g.pushes = resetNested(g.pushes)
 	g.saturated = false
-	for _, m := range g.satReach {
-		clear(m)
+	for i := range g.satReach {
+		g.satReach[i] = g.satReach[i][:0]
 	}
 	g.satWork = g.satWork[:0]
+	clear(g.lblOf)
+	g.lbls = append(g.lbls[:0], label.Load(), label.Store())
+	g.lblOf[label.Load()] = 0
+	g.lblOf[label.Store()] = 1
+}
+
+// labelID returns l's dense per-graph id, assigning the next one on
+// first use. Ids 0/1 are pre-assigned to .load/.store by reset.
+func (g *Graph) labelID(l label.Label) uint32 {
+	if id, ok := g.lblOf[l]; ok {
+		return id
+	}
+	id := uint32(len(g.lbls))
+	g.lbls = append(g.lbls, l)
+	g.lblOf[l] = id
+	return id
 }
 
 // Release returns the graph to the package pool for reuse by a later
@@ -191,8 +224,9 @@ func (g *Graph) node(d constraints.DTV, v label.Variance) NodeID {
 		// pop: (parent, pv) → (d, pv·⟨last⟩) with pv·⟨last⟩ = v.
 		pv := v.Mul(last.Variance())
 		pid := g.node(parent, pv)
-		g.pops[pid] = append(g.pops[pid], edge{lbl: last, to: id})
-		g.pushes[id] = append(g.pushes[id], edge{lbl: last, to: pid})
+		lid := g.labelID(last)
+		g.pops[pid] = append(g.pops[pid], edge{lbl: last, lid: lid, to: id})
+		g.pushes[id] = append(g.pushes[id], edge{lbl: last, lid: lid, to: pid})
 		if last.IsPointerAccess() {
 			// Pointer-sibling completion: α.load ⇒ α.store and vice
 			// versa, in the dual variance (load is ⊕, store is ⊖).
@@ -241,11 +275,78 @@ func (g *Graph) HasEps(from, to NodeID) bool {
 	return ok
 }
 
-// reach is a (label, origin-node) pair: "a push of lbl starting at org
-// reaches this node through ε edges".
-type reach struct {
-	lbl label.Label
-	org NodeID
+// A reach key is a packed (label id, origin node) pair: "a push of the
+// label starting at org reaches this node through ε edges". Keys are
+// ordered by label id first, so all origins of one label form a
+// contiguous run that the pop-shortcut rule scans with one binary
+// search.
+func packReach(lid uint32, org NodeID) uint64 {
+	return uint64(lid)<<32 | uint64(uint32(org))
+}
+
+func reachParts(rk uint64) (lid uint32, org NodeID) {
+	return uint32(rk >> 32), NodeID(uint32(rk))
+}
+
+// insertReach inserts rk into the sorted set s, reporting whether it
+// was new. Membership is a binary search; insertion shifts the tail.
+// Used for the single-key inserts (seeding, pointer-dual transfer);
+// whole-set ε propagation goes through mergeReach instead, which is
+// linear rather than per-key.
+func insertReach(s []uint64, rk uint64) ([]uint64, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= rk })
+	if i < len(s) && s[i] == rk {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = rk
+	return s, true
+}
+
+// mergeReach merges the sorted set src into the sorted set dst in
+// O(|dst|+|src|), reporting whether dst grew. The merged result is
+// assembled in *scratch; when dst grew, the old dst storage is
+// recycled as the next scratch, so steady-state saturation merges
+// allocate nothing. dst, src and *scratch must be distinct slices.
+func mergeReach(dst, src []uint64, scratch *[]uint64) ([]uint64, bool) {
+	if len(src) == 0 {
+		return dst, false
+	}
+	if len(dst) == 0 {
+		out := append((*scratch)[:0], src...)
+		*scratch = dst
+		return out, true
+	}
+	out := (*scratch)[:0]
+	i, j := 0, 0
+	grew := false
+	for i < len(dst) && j < len(src) {
+		switch {
+		case dst[i] < src[j]:
+			out = append(out, dst[i])
+			i++
+		case dst[i] > src[j]:
+			out = append(out, src[j])
+			j++
+			grew = true
+		default:
+			out = append(out, dst[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, dst[i:]...)
+	if j < len(src) {
+		out = append(out, src[j:]...)
+		grew = true
+	}
+	if !grew {
+		*scratch = out[:0] // keep any capacity the merge grew
+		return dst, false
+	}
+	*scratch = dst[:0]
+	return out, true
 }
 
 // Saturate runs Algorithm D.2 to fixpoint. It is idempotent.
@@ -257,7 +358,7 @@ func (g *Graph) Saturate() {
 
 	n := len(g.nodes)
 	for len(g.satReach) < n {
-		g.satReach = append(g.satReach, map[reach]struct{}{})
+		g.satReach = append(g.satReach, nil)
 	}
 	r := g.satReach[:n]
 
@@ -276,9 +377,10 @@ func (g *Graph) Saturate() {
 		}
 	}
 
-	addReach := func(id NodeID, rc reach) {
-		if _, ok := r[id][rc]; !ok {
-			r[id][rc] = struct{}{}
+	addReach := func(id NodeID, rk uint64) {
+		set, added := insertReach(r[id], rk)
+		r[id] = set
+		if added {
 			enqueue(id)
 		}
 	}
@@ -287,7 +389,7 @@ func (g *Graph) Saturate() {
 	// to.
 	for from := range g.pushes {
 		for _, e := range g.pushes[from] {
-			addReach(e.to, reach{lbl: e.lbl, org: NodeID(from)})
+			addReach(e.to, packReach(e.lid, NodeID(from)))
 		}
 	}
 
@@ -295,30 +397,48 @@ func (g *Graph) Saturate() {
 	//   (a) propagation along outgoing ε edges,
 	//   (b) the lazy S-POINTER transfer when id has variance ⊖,
 	//   (c) the shortcut rule on outgoing pop edges.
+	//
+	// Iterating r[id] by index while addReach runs is safe: every
+	// target set belongs to a different node (ε edges and pointer duals
+	// are never self-loops), so r[id] is not reallocated mid-loop.
 	process := func(id NodeID) {
 		node := g.nodes[id]
 		// (b) first, so (c) sees the transferred labels on the dual node.
+		// Pointer-access labels are ids 0 (.load) and 1 (.store); the
+		// dual flips the low bit. They sort first, so the scan stops at
+		// the first non-pointer key.
 		if node.Var == label.Contravariant {
 			dualID, ok := g.NodeOf(node.DTV, label.Covariant)
 			if ok {
-				for rc := range r[id] {
-					if rc.lbl.IsPointerAccess() {
-						addReach(dualID, reach{lbl: rc.lbl.PointerDual(), org: rc.org})
+				for _, rk := range r[id] {
+					lid, org := reachParts(rk)
+					if lid > 1 {
+						break
 					}
+					addReach(dualID, packReach(lid^1, org))
 				}
 			}
 		}
 		for _, succ := range g.eps[id] {
-			for rc := range r[id] {
-				addReach(succ, rc)
+			merged, grew := mergeReach(r[succ], r[id], &g.satScratch)
+			if grew {
+				r[succ] = merged
+				enqueue(succ)
 			}
 		}
 		for _, pe := range g.pops[id] {
-			for rc := range r[id] {
-				if rc.lbl == pe.lbl && rc.org != pe.to {
-					if g.addEps(rc.org, pe.to) {
+			// All reaches of pe's label form one contiguous run.
+			set := r[id]
+			lo := sort.Search(len(set), func(i int) bool { return set[i] >= packReach(pe.lid, 0) })
+			for _, rk := range set[lo:] {
+				lid, org := reachParts(rk)
+				if lid != pe.lid {
+					break
+				}
+				if org != pe.to {
+					if g.addEps(org, pe.to) {
 						// New ε edge: its source must re-propagate.
-						enqueue(rc.org)
+						enqueue(org)
 					}
 				}
 			}

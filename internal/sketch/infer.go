@@ -9,18 +9,22 @@ import (
 	"retypd/internal/pgraph"
 )
 
-// Shapes is the result of shape inference (Theorem 3.1 / Algorithm E.1):
-// a quotient of the derived-type-variable graph by the symmetrization ∼
-// of the subtype relation, computed Steensgaard-style with union-find
-// and label congruence (conflating .load/.store children as required by
-// the S-POINTER rule).
+// Builder is the mutable shape-inference workspace (Theorem 3.1 /
+// Algorithm E.1): a quotient of the derived-type-variable graph by the
+// symmetrization ∼ of the subtype relation, computed Steensgaard-style
+// with union-find and label congruence (conflating .load/.store
+// children as required by the S-POINTER rule).
 //
-// Classes are indexed by the interned DTV handle, and Shapes values are
-// pooled: InferShapes draws a recycled Shapes whose union-find arrays
-// and edge maps retain their previous capacity, and Release returns it.
-// The solver releases one Shapes per procedure when intermediates are
-// not kept.
-type Shapes struct {
+// Builder is one half of the phase-2 split between mutable scratch and
+// immutable results: the Builder owns all pooled storage (classes are
+// indexed by the interned DTV handle; NewBuilder draws a recycled
+// Builder whose union-find arrays and edge maps retain their previous
+// capacity, and Release returns it), while the sketches it extracts
+// (SketchFor) share none of that storage and become the immutable,
+// cache-shareable result once sealed (Sketch.Seal). The solver releases
+// one Builder per procedure; nothing pooled ever escapes into a
+// ProcResult or a ShapeCache entry.
+type Builder struct {
 	lat    *lattice.Lattice
 	parent []int32
 	rank   []int8
@@ -34,13 +38,13 @@ type Shapes struct {
 	freeMaps []map[label.Label]int32
 }
 
-// shapesPool recycles Shapes between InferShapes/Release cycles.
-var shapesPool = sync.Pool{New: func() any {
-	return &Shapes{nodeOf: map[constraints.DTV]int32{}}
+// builderPool recycles Builders between NewBuilder/Release cycles.
+var builderPool = sync.Pool{New: func() any {
+	return &Builder{nodeOf: map[constraints.DTV]int32{}}
 }}
 
-// reset prepares a pooled Shapes for a fresh inference.
-func (sh *Shapes) reset(lat *lattice.Lattice) {
+// reset prepares a pooled Builder for a fresh inference.
+func (sh *Builder) reset(lat *lattice.Lattice) {
 	sh.lat = lat
 	sh.parent = sh.parent[:0]
 	sh.rank = sh.rank[:0]
@@ -58,16 +62,17 @@ func (sh *Shapes) reset(lat *lattice.Lattice) {
 	sh.edges = sh.edges[:0]
 }
 
-// Release returns the Shapes to the package pool. The caller must not
-// use sh (or query sketches against it) afterwards, and must not
-// release a Shapes it has handed out (e.g. in a kept ProcResult).
-func (sh *Shapes) Release() {
-	shapesPool.Put(sh)
+// Release returns the Builder to the package pool. The caller must not
+// use sh (or query sketches against it) afterwards; sketches already
+// extracted with SketchFor stay valid — they share no storage with the
+// Builder.
+func (sh *Builder) Release() {
+	builderPool.Put(sh)
 }
 
 // newEdgeMap hands out a cleared recycled edge map when one is
 // available.
-func (sh *Shapes) newEdgeMap() map[label.Label]int32 {
+func (sh *Builder) newEdgeMap() map[label.Label]int32 {
 	if n := len(sh.freeMaps); n > 0 {
 		m := sh.freeMaps[n-1]
 		sh.freeMaps[n-1] = nil
@@ -77,10 +82,10 @@ func (sh *Shapes) newEdgeMap() map[label.Label]int32 {
 	return map[label.Label]int32{}
 }
 
-// InferShapes builds the quotient graph for cs, applies the additive
-// constraints of Figure 13, and returns the resulting Shapes.
-func InferShapes(cs *constraints.Set, lat *lattice.Lattice) *Shapes {
-	sh := shapesPool.Get().(*Shapes)
+// NewBuilder builds the quotient graph for cs, applies the additive
+// constraints of Figure 13, and returns the resulting Builder.
+func NewBuilder(cs *constraints.Set, lat *lattice.Lattice) *Builder {
+	sh := builderPool.Get().(*Builder)
 	sh.reset(lat)
 
 	// Register all derived type variables (prefix closed).
@@ -130,7 +135,7 @@ func InferShapes(cs *constraints.Set, lat *lattice.Lattice) *Shapes {
 }
 
 // node interns d and its prefixes, wiring labeled edges parent→child.
-func (sh *Shapes) node(d constraints.DTV) int32 {
+func (sh *Builder) node(d constraints.DTV) int32 {
 	if id, ok := sh.nodeOf[d]; ok {
 		return id
 	}
@@ -166,7 +171,7 @@ func (sh *Shapes) node(d constraints.DTV) int32 {
 	return id
 }
 
-func (sh *Shapes) find(x int32) int32 {
+func (sh *Builder) find(x int32) int32 {
 	for sh.parent[x] != x {
 		sh.parent[x] = sh.parent[sh.parent[x]]
 		x = sh.parent[x]
@@ -175,7 +180,7 @@ func (sh *Shapes) find(x int32) int32 {
 }
 
 // union merges the classes of a and b, propagating label congruence.
-func (sh *Shapes) union(a, b int32) {
+func (sh *Builder) union(a, b int32) {
 	type job struct{ a, b int32 }
 	work := []job{{a, b}}
 	for len(work) > 0 {
@@ -226,7 +231,7 @@ func (sh *Shapes) union(a, b int32) {
 
 // classOf returns the representative of d's class, or -1 if d was never
 // seen.
-func (sh *Shapes) classOf(d constraints.DTV) int32 {
+func (sh *Builder) classOf(d constraints.DTV) int32 {
 	if id, ok := sh.nodeOf[d]; ok {
 		return sh.find(id)
 	}
@@ -235,7 +240,7 @@ func (sh *Shapes) classOf(d constraints.DTV) int32 {
 
 // HasCapability reports whether the constraint set gives d's class an
 // outgoing l edge.
-func (sh *Shapes) HasCapability(d constraints.DTV, l label.Label) bool {
+func (sh *Builder) HasCapability(d constraints.DTV, l label.Label) bool {
 	c := sh.classOf(d)
 	if c < 0 {
 		return false
@@ -246,7 +251,7 @@ func (sh *Shapes) HasCapability(d constraints.DTV, l label.Label) bool {
 
 // applyAdditive runs the Figure 13 inference rules over class
 // pointer/integer flags to fixpoint.
-func (sh *Shapes) applyAdditive(cs *constraints.Set) {
+func (sh *Builder) applyAdditive(cs *constraints.Set) {
 	// Seeds: classes with load/store capabilities are pointers; classes
 	// joined with scalar constants are integers or pointers per Λ.
 	ptrElem, hasPtr := sh.lat.Elem("ptr")
@@ -360,7 +365,7 @@ func (sh *Shapes) applyAdditive(cs *constraints.Set) {
 // class — the "type" a unification-based algorithm assigns to it
 // (⊥ when unconstrained; incomparable constants collapse toward ⊤,
 // modeling the over-unification loss of §2.5).
-func (sh *Shapes) SeedFor(v constraints.Var) lattice.Elem {
+func (sh *Builder) SeedFor(v constraints.Var) lattice.Elem {
 	c := sh.classOf(constraints.BaseDTV(v))
 	if c < 0 {
 		return sh.lat.Bottom()
@@ -371,7 +376,7 @@ func (sh *Shapes) SeedFor(v constraints.Var) lattice.Elem {
 // SketchForUnify extracts v's sketch with unification-style marks:
 // every node's bounds collapse to its class seed (a point interval when
 // a constant was unified in, unconstrained otherwise).
-func (sh *Shapes) SketchForUnify(v constraints.Var, maxDepth int) *Sketch {
+func (sh *Builder) SketchForUnify(v constraints.Var, maxDepth int) *Sketch {
 	sk := sh.sketchFor(v, maxDepth, true)
 	return sk
 }
@@ -380,11 +385,11 @@ func (sh *Shapes) SketchForUnify(v constraints.Var, maxDepth int) *Sketch {
 // graph. maxDepth < 0 means unbounded (recursive sketches become loops
 // in the automaton); maxDepth ≥ 0 truncates expansion, which is how the
 // TIE-style baseline's lack of recursive types is modeled.
-func (sh *Shapes) SketchFor(v constraints.Var, maxDepth int) *Sketch {
+func (sh *Builder) SketchFor(v constraints.Var, maxDepth int) *Sketch {
 	return sh.sketchFor(v, maxDepth, false)
 }
 
-func (sh *Shapes) sketchFor(v constraints.Var, maxDepth int, unifyMarks bool) *Sketch {
+func (sh *Builder) sketchFor(v constraints.Var, maxDepth int, unifyMarks bool) *Sketch {
 	root := sh.classOf(constraints.BaseDTV(v))
 	if root < 0 {
 		return NewTop(sh.lat)
@@ -469,8 +474,11 @@ func NewDecorator(g *pgraph.Graph) *Decorator {
 }
 
 // Decorate fills in Lower and Upper for every state of sk, where sk is
-// the sketch of base variable root.
+// the sketch of base variable root. Decorating a sealed sketch panics:
+// cache-served sketches are immutable, and decoration happens exactly
+// once, before sealing.
 func (d *Decorator) Decorate(sk *Sketch, root constraints.Var) {
+	sk.mustBeMutable("Decorate")
 	base := constraints.BaseDTV(root)
 	var starts []pgraph.NodeID
 	if n, ok := d.g.NodeOf(base, label.Covariant); ok {

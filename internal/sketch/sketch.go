@@ -54,7 +54,11 @@ type State struct {
 	Flags Flags
 }
 
-// AddLower records a lower-bound constant.
+// AddLower records a lower-bound constant. State-level mutators (and
+// direct field writes) must only be applied to sketches the caller
+// owns and has not sealed; a State carries no back-pointer to its
+// sketch, so the sealed guard lives on the Sketch-level entry points
+// (Decorator.Decorate) and on Seal's slice clamping.
 func (st *State) AddLower(lat *lattice.Lattice, e lattice.Elem) {
 	st.Lower = lat.Join(st.Lower, e)
 	st.LowerSet = lat.Antichain(append(st.LowerSet, e))
@@ -74,9 +78,77 @@ type Edge struct {
 
 // Sketch is a rooted sketch automaton. State 0 is the root. A nil
 // Sketch represents the ⊤ sketch (language {ε}, unconstrained marks).
+//
+// A Sketch starts out mutable — the Builder extracts it and the
+// Decorator fills in its lattice bounds — and is then frozen with Seal
+// before it is shared (the ShapeCache only ever hands out sealed
+// sketches). Sealing is the immutability boundary of the phase-2 memo:
+// a sealed sketch may be read concurrently by any number of goroutines,
+// and every operation that derives a new sketch from it (Descend, Meet,
+// Join, WithRootVariance) returns a fresh unsealed value whose mutation
+// cannot reach back into the sealed storage.
 type Sketch struct {
 	Lat    *lattice.Lattice
 	States []State
+
+	// sealed marks the sketch immutable. Set by Seal; checked by the
+	// in-package mutators (Decorator.Decorate, recomputeVariance).
+	sealed bool
+}
+
+// Seal freezes the sketch: subsequent Decorate calls panic, and every
+// internal slice is clamped to its length so that appends performed on
+// derived copies (Descend, combine) reallocate instead of writing into
+// the shared backing arrays. Seal is idempotent and returns s for
+// chaining. A sealed sketch is safe for concurrent readers.
+func (s *Sketch) Seal() *Sketch {
+	if s.sealed {
+		return s
+	}
+	s.States = s.States[:len(s.States):len(s.States)]
+	for i := range s.States {
+		st := &s.States[i]
+		st.Edges = st.Edges[:len(st.Edges):len(st.Edges)]
+		st.LowerSet = st.LowerSet[:len(st.LowerSet):len(st.LowerSet)]
+		st.UpperSet = st.UpperSet[:len(st.UpperSet):len(st.UpperSet)]
+	}
+	s.sealed = true
+	return s
+}
+
+// Sealed reports whether the sketch has been frozen.
+func (s *Sketch) Sealed() bool { return s.sealed }
+
+// mustBeMutable is the guard every in-package mutator runs first.
+func (s *Sketch) mustBeMutable(op string) {
+	if s.sealed {
+		panic("sketch: " + op + " on a sealed Sketch (cache-served sketches are immutable; derive a copy instead)")
+	}
+}
+
+// WithRootVariance returns a sketch equal to s but with the root
+// state's variance set to v: a copy-on-write derivation (fresh States
+// slice, shared edge/bound storage) used by display policies that view
+// a parameter sketch in contravariant position. s itself — sealed or
+// not — is never modified, and a sealed receiver always yields a
+// fresh mutable copy, even when no variance change is needed, so the
+// "derived views are mutable" contract holds unconditionally.
+func (s *Sketch) WithRootVariance(v label.Variance) *Sketch {
+	if len(s.States) == 0 || s.States[0].Variance == v {
+		if !s.sealed {
+			return s
+		}
+		return s.unsealedCopy()
+	}
+	out := s.unsealedCopy()
+	out.States[0].Variance = v
+	return out
+}
+
+// unsealedCopy returns a mutable shallow copy: fresh States slice,
+// shared (clamped, if s is sealed) edge and bound-set storage.
+func (s *Sketch) unsealedCopy() *Sketch {
+	return &Sketch{Lat: s.Lat, States: append([]State(nil), s.States...)}
 }
 
 // NewTop returns the one-state sketch accepting only ε with
@@ -125,7 +197,12 @@ func (s *Sketch) Descend(w label.Word) (*Sketch, bool) {
 		return nil, false
 	}
 	if root == 0 {
-		return s, true
+		if !s.sealed {
+			return s, true
+		}
+		// Sealed sketches never hand themselves out as a "derived"
+		// view: the caller gets a mutable copy it may decorate freely.
+		return s.unsealedCopy(), true
 	}
 	// Extract the sub-automaton reachable from root.
 	remap := map[int]int{root: 0}
@@ -163,6 +240,7 @@ func (s *Sketch) Descend(w label.Word) (*Sketch, bool) {
 // reachable with both variances keep the first one found; such sketches
 // do not arise from shape inference, which splits states by variance).
 func (s *Sketch) recomputeVariance() {
+	s.mustBeMutable("recomputeVariance")
 	seen := make([]bool, len(s.States))
 	type item struct {
 		st int

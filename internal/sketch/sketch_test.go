@@ -8,14 +8,14 @@ import (
 	"retypd/internal/lattice"
 )
 
-func shapesFor(t *testing.T, text string) (*Shapes, *lattice.Lattice) {
+func shapesFor(t *testing.T, text string) (*Builder, *lattice.Lattice) {
 	t.Helper()
 	cs, err := constraints.ParseSet(text)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lat := lattice.Default()
-	return InferShapes(cs, lat), lat
+	return NewBuilder(cs, lat), lat
 }
 
 // TestShapesBasic: Theorem 3.1's quotient gives the capability

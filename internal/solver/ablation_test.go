@@ -68,7 +68,7 @@ endproc
 	for _, pr := range mono.Procs {
 		global.InsertAll(pr.Constraints)
 	}
-	shapes := sketch.InferShapes(global, lat)
+	shapes := sketch.NewBuilder(global, lat)
 	skOut := shapes.SketchFor("xalloc", -1)
 	outSk, ok := skOut.Descend(label.Word{label.Out("eax")})
 	if !ok {
@@ -88,7 +88,7 @@ endproc
 	for _, pr := range poly.Procs {
 		polyGlobal.InsertAll(pr.Constraints)
 	}
-	shapes2 := sketch.InferShapes(polyGlobal, lat)
+	shapes2 := sketch.NewBuilder(polyGlobal, lat)
 	skOut2 := shapes2.SketchFor("xalloc", -1)
 	if outSk2, ok := skOut2.Descend(label.Word{label.Out("eax")}); ok {
 		if outSk2.Accepts(label.Word{label.Store(), label.Field(32, 4)}) {

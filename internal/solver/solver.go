@@ -19,7 +19,11 @@
 //     per-procedure; the callsite-actual sketches it observes are
 //     funneled into an accumulator and joined in a canonical order
 //     (callee, location, caller, callsite) so the result does not
-//     depend on scheduling.
+//     depend on scheduling. Like F.1, this phase is memoized: a
+//     fingerprint-keyed LRU (sketch.ShapeCache) serves sealed,
+//     immutable decorated sketches to procedures whose constraint sets
+//     are isomorphic to one already solved, skipping Build+Saturate+
+//     shape inference entirely on a hit.
 //  3. RefineParameters (F.3): specialize each procedure's formal
 //     sketches with the join of the actual sketches observed at its
 //     callsites, trading generality for types closer to the source
@@ -35,9 +39,11 @@
 // variables are interned handles (internal/intern) so constraint sets,
 // graph nodes and shape classes index by dense ids instead of rendered
 // strings, and the per-SCC constraint graphs plus per-procedure shape
-// quotients are drawn from sync.Pools (pgraph.Graph.Release,
-// sketch.Shapes.Release) so the fan-out reuses their storage across
-// procedures.
+// builders are drawn from sync.Pools (pgraph.Graph.Release,
+// sketch.Builder.Release) so the fan-out reuses their storage across
+// procedures. Pooled scratch never escapes into results: sketches
+// share no storage with the Builder that extracted them, and
+// cache-served sketches are sealed (immutable) besides.
 package solver
 
 import (
@@ -83,6 +89,15 @@ type Options struct {
 	SchemeCache *pgraph.SimplifyCache
 	// NoSchemeCache disables the simplification memo.
 	NoSchemeCache bool
+	// ShapeCache memoizes phase-2 sketch solving (shape quotient +
+	// lattice decoration) across procedures with isomorphic constraint
+	// sets, keyed by the same canonical fingerprints as SchemeCache.
+	// On a hit F.2 skips Build+Saturate+NewBuilder+Decorate entirely
+	// and serves a sealed, immutable sketch. Nil gives this Infer call
+	// a private cache; set NoShapeCache to disable.
+	ShapeCache *sketch.ShapeCache
+	// NoShapeCache disables the shape memo.
+	NoShapeCache bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -106,9 +121,6 @@ type ProcResult struct {
 	// Constraints is the generated (unsimplified) constraint set, kept
 	// when Options.KeepIntermediates is set.
 	Constraints *constraints.Set
-	// Shapes is the quotient used for this procedure's sketches, kept
-	// when Options.KeepIntermediates is set.
-	Shapes *sketch.Shapes
 }
 
 // InSketch returns the sketch of the formal at location name
@@ -142,6 +154,9 @@ type Result struct {
 	// SchemeCacheHits and SchemeCacheMisses report the simplification
 	// memo's effectiveness for this run (both zero when disabled).
 	SchemeCacheHits, SchemeCacheMisses uint64
+	// ShapeCacheHits and ShapeCacheMisses report the phase-2 shape
+	// memo's effectiveness for this run (both zero when disabled).
+	ShapeCacheHits, ShapeCacheMisses uint64
 }
 
 // Infer runs the full pipeline.
@@ -164,30 +179,41 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		SCCs:  cg.SCCs,
 	}
 
-	// NoSchemeCache wins over a provided cache: callers measuring the
-	// uncached baseline must actually get one.
+	// NoSchemeCache/NoShapeCache win over a provided cache: callers
+	// measuring the uncached baseline must actually get one.
 	cache := opts.SchemeCache
 	if opts.NoSchemeCache {
 		cache = nil
 	} else if cache == nil {
 		cache = pgraph.NewSimplifyCache(0)
 	}
-
-	pl := &pipeline{
-		lat:     lat,
-		infos:   infos,
-		sums:    sums,
-		isConst: isConst,
-		opts:    opts,
-		cache:   cache,
-		workers: conc.Limit(opts.Workers),
-		schemes: map[string]*constraints.Scheme{},
-		gens:    map[string]*absint.Result{},
+	shapeCache := opts.ShapeCache
+	if opts.NoShapeCache {
+		shapeCache = nil
+	} else if shapeCache == nil {
+		shapeCache = sketch.NewShapeCache(0)
 	}
 
-	var hits0, misses0 uint64
+	pl := &pipeline{
+		lat:        lat,
+		infos:      infos,
+		sums:       sums,
+		isConst:    isConst,
+		opts:       opts,
+		cache:      cache,
+		shapeCache: shapeCache,
+		workers:    conc.Limit(opts.Workers),
+		schemes:    map[string]*constraints.Scheme{},
+		gens:       map[string]*absint.Result{},
+		fps:        map[string]*pgraph.FP{},
+	}
+
+	var hits0, misses0, shapeHits0, shapeMisses0 uint64
 	if cache != nil {
 		hits0, misses0 = cache.Stats() // snapshot: report this run's delta
+	}
+	if shapeCache != nil {
+		shapeHits0, shapeMisses0 = shapeCache.Stats()
 	}
 
 	pl.inferSchemes(cg)                  // Phase 1 (F.1)
@@ -198,29 +224,43 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		h, m := cache.Stats()
 		res.SchemeCacheHits, res.SchemeCacheMisses = h-hits0, m-misses0
 	}
+	if shapeCache != nil {
+		h, m := shapeCache.Stats()
+		res.ShapeCacheHits, res.ShapeCacheMisses = h-shapeHits0, m-shapeMisses0
+	}
 	return res
 }
 
 // pipeline carries the shared read-mostly state of one Infer run.
 type pipeline struct {
-	lat     *lattice.Lattice
-	infos   map[string]*cfg.ProcInfo
-	sums    summaries.Table
-	isConst func(constraints.Var) bool
-	opts    Options
-	cache   *pgraph.SimplifyCache
-	workers int
+	lat        *lattice.Lattice
+	infos      map[string]*cfg.ProcInfo
+	sums       summaries.Table
+	isConst    func(constraints.Var) bool
+	opts       Options
+	cache      *pgraph.SimplifyCache
+	shapeCache *sketch.ShapeCache
+	workers    int
 
-	// schemes and gens are written only at level barriers of Phase 1,
-	// then read concurrently by later stages.
+	// schemes, gens and fps are written only at level barriers of
+	// Phase 1, then read concurrently by later stages. fps carries the
+	// constraint-set fingerprint of each single-member SCC forward so
+	// Phase 2 need not recompute it (a multi-member SCC's members have
+	// per-procedure sets that differ from the SCC union, so those are
+	// fingerprinted in Phase 2).
 	schemes map[string]*constraints.Scheme
 	gens    map[string]*absint.Result
+	fps     map[string]*pgraph.FP
 }
 
 // sccResult is the output of scheme inference for one SCC.
 type sccResult struct {
 	gens    []*absint.Result      // parallel to the SCC's member slice
 	schemes []*constraints.Scheme // likewise
+	// fp is the SCC constraint set's fingerprint, carried forward to
+	// Phase 2 for single-member SCCs (where the SCC set and the
+	// member's generated set coincide).
+	fp *pgraph.FP
 }
 
 // inferSchemes is Phase 1 (F.1): bottom-up scheme inference over the
@@ -237,6 +277,9 @@ func (pl *pipeline) inferSchemes(cg *cfg.CallGraph) {
 			for j, p := range cg.SCCs[sccIdx] {
 				pl.gens[p] = outs[i].gens[j]
 				pl.schemes[p] = outs[i].schemes[j]
+				if outs[i].fp != nil {
+					pl.fps[p] = outs[i].fp
+				}
 			}
 		}
 	}
@@ -268,8 +311,15 @@ func (pl *pipeline) inferSCC(scc []string) *sccResult {
 		return g
 	}
 	var fp *pgraph.FP
-	if pl.cache != nil {
+	if pl.cache != nil || (pl.shapeCache != nil && len(scc) == 1) {
 		fp = pgraph.Fingerprint(sccCs, pl.lat)
+	}
+	if len(scc) == 1 && pl.shapeCache != nil {
+		// A single-member SCC's constraint set IS the member's generated
+		// set (same contents, same insertion order), so its fingerprint —
+		// including the rename map — is reusable by the Phase-2 shape
+		// memo without recomputation.
+		out.fp = fp
 	}
 	for j, p := range scc {
 		root := constraints.Var(p)
@@ -361,36 +411,66 @@ func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]
 
 // solveProc solves one procedure's sketch and records the actual
 // sketches at its callsites for the callees' later refinement.
+//
+// Shape solving is memoized through pl.shapeCache: each requested
+// variable's decorated sketch is looked up under the procedure's
+// canonical constraint-set fingerprint, so a procedure isomorphic to
+// one already solved never builds its shape quotient or saturates its
+// constraint graph at all — the builder machinery below is constructed
+// lazily, on the first cache miss.
 func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
 	pi := pl.infos[p]
 	gr := pl.gens[p]
-	shapes := sketch.InferShapes(gr.Constraints, pl.lat)
-	g := pgraph.Build(gr.Constraints, pl.lat)
-	dec := sketch.NewDecorator(g)
-	// The graph and (when intermediates are dropped) the shape quotient
-	// are per-procedure scratch: recycle them through their pools so the
-	// fan-out reuses allocations across procedures.
+
+	fp := pl.fps[p]
+	if fp == nil && pl.shapeCache != nil {
+		fp = pgraph.Fingerprint(gr.Constraints, pl.lat)
+	}
+
+	// The shape Builder, constraint graph and Decorator are mutable
+	// per-procedure scratch, drawn from their pools on the first miss
+	// and recycled afterwards; sketches handed out of solve share no
+	// storage with them (cache-served sketches are additionally sealed).
+	var (
+		shapes *sketch.Builder
+		g      *pgraph.Graph
+		dec    *sketch.Decorator
+	)
+	build := func(v constraints.Var) *sketch.Sketch {
+		if shapes == nil {
+			shapes = sketch.NewBuilder(gr.Constraints, pl.lat)
+			g = pgraph.Build(gr.Constraints, pl.lat)
+			dec = sketch.NewDecorator(g)
+		}
+		sk := shapes.SketchFor(v, pl.opts.MaxSketchDepth)
+		dec.Decorate(sk, v)
+		return sk
+	}
+	solve := func(v constraints.Var) *sketch.Sketch {
+		if pl.shapeCache != nil {
+			return pl.shapeCache.SketchFor(fp, v, pl.opts.MaxSketchDepth, build)
+		}
+		return build(v)
+	}
 	defer func() {
-		g.Release()
-		if !pl.opts.KeepIntermediates {
+		if g != nil {
+			g.Release()
+		}
+		if shapes != nil {
 			shapes.Release()
 		}
 	}()
-
-	sk := shapes.SketchFor(constraints.Var(p), pl.opts.MaxSketchDepth)
-	dec.Decorate(sk, constraints.Var(p))
 
 	pr := &ProcResult{
 		Name:           p,
 		FormalIns:      pi.FormalIns,
 		HasOut:         pi.HasOut,
 		Scheme:         pl.schemes[p],
-		Sketch:         sk,
+		Sketch:         solve(constraints.Var(p)),
 		SpecializedIns: map[string]*sketch.Sketch{},
 	}
 	if pl.opts.KeepIntermediates {
 		pr.Constraints = gr.Constraints
-		pr.Shapes = shapes
 	}
 
 	var obs []actualObs
@@ -400,8 +480,7 @@ func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
 			if !ok {
 				continue
 			}
-			rootSk := shapes.SketchFor(call.Root, pl.opts.MaxSketchDepth)
-			dec.Decorate(rootSk, call.Root)
+			rootSk := solve(call.Root)
 			for _, l := range ci.FormalIns {
 				if sub, ok := rootSk.Descend(label.Word{label.In(l.ParamName())}); ok {
 					obs = append(obs, actualObs{

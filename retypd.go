@@ -64,6 +64,9 @@ type (
 	// SimplifyCache is a shareable memo of scheme simplifications; see
 	// NewSimplifyCache and Config.SchemeCache.
 	SimplifyCache = pgraph.SimplifyCache
+	// ShapeCache is a shareable memo of phase-2 shape solving; see
+	// NewShapeCache and Config.ShapeCache.
+	ShapeCache = sketch.ShapeCache
 )
 
 // NewSimplifyCache returns a scheme-simplification memo bounded to
@@ -76,6 +79,20 @@ type (
 // procedures once per batch.
 func NewSimplifyCache(capacity int) *SimplifyCache {
 	return pgraph.NewSimplifyCache(capacity)
+}
+
+// NewShapeCache returns a phase-2 shape memo bounded to capacity
+// entries (capacity ≤ 0 selects a default of a few thousand). It
+// memoizes the expensive half of sketch solving — shape quotient
+// construction plus constraint-graph saturation and lattice decoration
+// — under the same canonical-fingerprint keys as the scheme memo, and
+// with the same sharing contract: one cache may be shared across any
+// number of concurrent Infer calls, programs, and lattices. Served
+// sketches are immutable (sealed); operations that derive new sketches
+// from them copy. Share one cache across a batch of Infer calls so
+// duplicate leaf procedures are shape-solved once per batch.
+func NewShapeCache(capacity int) *ShapeCache {
+	return sketch.NewShapeCache(capacity)
 }
 
 // Config customizes inference; the zero value selects the
@@ -117,6 +134,17 @@ type Config struct {
 	// when SchemeCache is set — the knob used to measure the uncached
 	// baseline.
 	NoSchemeCache bool
+	// ShapeCache, when non-nil, memoizes phase-2 sketch solving across
+	// procedures with isomorphic constraint sets — including across
+	// Infer calls that share the cache (see NewShapeCache for the
+	// sharing contract). Nil gives this Infer call a private cache, so
+	// duplicates are still shared within the call. The cache never
+	// changes inference output, only how often shape solving runs; the
+	// sketches it serves are immutable (sealed).
+	ShapeCache *ShapeCache
+	// NoShapeCache disables shape memoization entirely, even when
+	// ShapeCache is set.
+	NoShapeCache bool
 }
 
 // Result is the inference outcome for a program.
@@ -157,6 +185,8 @@ func Infer(prog *Program, cfg *Config) *Result {
 	opts.Workers = cfg.Workers
 	opts.SchemeCache = cfg.SchemeCache
 	opts.NoSchemeCache = cfg.NoSchemeCache
+	opts.ShapeCache = cfg.ShapeCache
+	opts.NoShapeCache = cfg.NoShapeCache
 	if cfg.MaxSketchDepth > 0 {
 		opts.MaxSketchDepth = cfg.MaxSketchDepth
 	}
@@ -289,6 +319,13 @@ func (r *Result) Report() string {
 		}
 	}
 	return b.String()
+}
+
+// CacheStats reports the effectiveness of the scheme- and shape-memo
+// caches for this Infer call (all zero when the caches were disabled).
+func (r *Result) CacheStats() (schemeHits, schemeMisses, shapeHits, shapeMisses uint64) {
+	return r.inner.SchemeCacheHits, r.inner.SchemeCacheMisses,
+		r.inner.ShapeCacheHits, r.inner.ShapeCacheMisses
 }
 
 // Internal accessor for the evaluation harness.

@@ -68,3 +68,35 @@ func TestFigure2Signature(t *testing.T) {
 		t.Error("IsConstParam should report the parameter const")
 	}
 }
+
+// TestSharedShapeCachePublicAPI: the public Config.ShapeCache knob —
+// a cache shared across Infer calls serves the second call from memo
+// without changing any displayed output, and NoShapeCache really
+// disables it.
+func TestSharedShapeCachePublicAPI(t *testing.T) {
+	prog := MustParseAsm(closeLastAsm)
+	cache := NewShapeCache(0)
+
+	baseline := Infer(prog, &Config{NoShapeCache: true, NoSchemeCache: true})
+	r1 := Infer(prog, &Config{ShapeCache: cache})
+	r2 := Infer(prog, &Config{ShapeCache: cache})
+
+	// One Report per result: the display converter names typedefs
+	// statefully, so repeated Report calls on one Result differ.
+	base, rep1, rep2 := baseline.Report(), r1.Report(), r2.Report()
+	if base != rep1 || rep1 != rep2 {
+		t.Error("shape cache changed the displayed report")
+	}
+	_, _, h1, m1 := r1.CacheStats()
+	_, _, h2, m2 := r2.CacheStats()
+	if m1 == 0 {
+		t.Errorf("first run should miss into the shared cache (hits=%d misses=%d)", h1, m1)
+	}
+	if h2 == 0 || m2 != 0 {
+		t.Errorf("second run should be all hits (hits=%d misses=%d)", h2, m2)
+	}
+	_, _, bh, bm := baseline.CacheStats()
+	if bh != 0 || bm != 0 {
+		t.Errorf("NoShapeCache run reports cache activity (%d/%d)", bh, bm)
+	}
+}
