@@ -110,9 +110,9 @@ func BenchmarkInferWholeProgram(b *testing.B) {
 // the same 4K-instruction program (Appendix F: per-SCC scheme inference
 // is embarrassingly parallel across independent call-graph components).
 // The legacy row replicates the pre-pipeline configuration — sequential
-// and without the scheme or shape memos — so the speedup of workers=N
-// over legacy is the end-to-end win of this refactor; on a single-CPU
-// host the memos alone carry it.
+// and without the scheme/shape memos or body dedup — so the speedup of
+// workers=N over legacy is the end-to-end win of this refactor; on a
+// single-CPU host the memo layers alone carry it.
 func BenchmarkInferParallel(b *testing.B) {
 	lat := lattice.Default()
 	run := func(workers int, noCache bool) func(b *testing.B) {
@@ -122,6 +122,7 @@ func BenchmarkInferParallel(b *testing.B) {
 			opts.Workers = workers
 			opts.NoSchemeCache = noCache
 			opts.NoShapeCache = noCache
+			opts.NoBodyDedup = noCache
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = solver.Infer(benchCorpus, lat, nil, opts)

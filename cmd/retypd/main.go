@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	retypd [-schemes] [-sketches] [-j N] [-nocache] [-cachestats] file.sasm
+//	retypd [-schemes] [-sketches] [-j N] [-nocache] [-nobodydedup] [-cachestats] file.sasm
 package main
 
 import (
@@ -20,8 +20,9 @@ func main() {
 	sketches := flag.Bool("sketches", false, "print solved sketches")
 	mono := flag.Bool("mono", false, "disable polymorphic callsite instantiation (baseline mode)")
 	workers := flag.Int("j", 0, "solver worker count (0 = one per CPU, 1 = sequential)")
-	nocache := flag.Bool("nocache", false, "disable the scheme and shape memo caches (uncached baseline)")
-	cachestats := flag.Bool("cachestats", false, "print memo-cache hit/miss counts to stderr")
+	nocache := flag.Bool("nocache", false, "disable every memo layer — body dedup and the scheme/shape caches (the uncached baseline)")
+	nobodydedup := flag.Bool("nobodydedup", false, "disable only whole-procedure body deduplication ahead of constraint generation")
+	cachestats := flag.Bool("cachestats", false, "print memo-layer hit/miss counts to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: retypd [flags] file.sasm")
@@ -42,11 +43,12 @@ func main() {
 		Workers:       *workers,
 		NoSchemeCache: *nocache,
 		NoShapeCache:  *nocache,
+		NoBodyDedup:   *nobodydedup || *nocache,
 	})
 	if *cachestats {
-		sh, sm, ph, pm := res.CacheStats()
-		fmt.Fprintf(os.Stderr, "scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses\n",
-			sh, sm, ph, pm)
+		st := res.CacheStats()
+		fmt.Fprintf(os.Stderr, "body dedup: %d hits / %d misses; scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses\n",
+			st.BodyDedupHits, st.BodyDedupMisses, st.SchemeHits, st.SchemeMisses, st.ShapeHits, st.ShapeMisses)
 	}
 	for _, name := range res.ProcNames() {
 		fmt.Println(res.Signature(name))

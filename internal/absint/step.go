@@ -268,7 +268,8 @@ func (g *gen) setDef(i int, l cfg.Loc, a aval) {
 
 // advance applies instruction i's kills/gens to the replayed state.
 func (g *gen) advance(i int, st *state) {
-	for _, l := range g.pi.DefsOf(i) {
+	var lbuf [4]cfg.Loc
+	for _, l := range g.pi.AppendDefsOf(lbuf[:0], i) {
 		st.reach[l] = []cfg.DefID{cfg.DefID(i)}
 		if !l.IsSlot && trackable(l.Reg) {
 			if a, ok := g.defAval[defKey{cfg.DefID(i), l}]; ok {

@@ -40,6 +40,11 @@ type Outcome struct {
 	// ParamSk and OutSk return nil when the system produced nothing.
 	ParamSk func(proc, loc string) *sketch.Sketch
 	OutSk   func(proc string) *sketch.Sketch
+	// BodyDedupHits/Misses report the solver's whole-body dedup layer
+	// for this run (zero for systems that bypass the solver pipeline —
+	// unlike the scheme/shape memos, the dedup table is per-run, so its
+	// stats surface per outcome rather than on a shared cache object).
+	BodyDedupHits, BodyDedupMisses uint64
 }
 
 // System is a runnable type-inference configuration.
@@ -92,9 +97,11 @@ func TIEStyleCached(schemes *pgraph.SimplifyCache, shapes *sketch.ShapeCache) Sy
 
 func outcomeFromSolver(res *solver.Result, lat *lattice.Lattice) *Outcome {
 	o := &Outcome{
-		Lat:     lat,
-		Formals: map[string][]cfg.Loc{},
-		HasOut:  map[string]bool{},
+		Lat:             lat,
+		Formals:         map[string][]cfg.Loc{},
+		HasOut:          map[string]bool{},
+		BodyDedupHits:   res.BodyDedupHits,
+		BodyDedupMisses: res.BodyDedupMisses,
 	}
 	for name, pi := range res.Infos {
 		o.Formals[name] = pi.FormalIns

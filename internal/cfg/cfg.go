@@ -290,10 +290,11 @@ func transferSP(esp, ebp SPVal, in asm.Inst) spState {
 	return spState{esp, ebp}
 }
 
-// instUses returns the registers read by in (for liveness; esp and ebp
-// excluded — they are handled by the stack analysis).
-func instUses(in asm.Inst) []asm.Reg {
-	var out []asm.Reg
+// instUses appends the registers read by in to out (for liveness; esp
+// and ebp excluded — they are handled by the stack analysis). Callers
+// pass a small stack buffer: the per-instruction slice allocation
+// otherwise dominates the liveness fixpoint.
+func instUses(out []asm.Reg, in asm.Inst) []asm.Reg {
 	add := func(r asm.Reg) {
 		if r != asm.ESP && r != asm.EBP && r < asm.NumRegs {
 			out = append(out, r)
@@ -333,26 +334,27 @@ func instUses(in asm.Inst) []asm.Reg {
 	return out
 }
 
-// instRegDefs returns the registers written by in.
-func instRegDefs(in asm.Inst) []asm.Reg {
+// instRegDefs appends the registers written by in to out (same scratch
+// discipline as instUses; at most 3 entries are appended).
+func instRegDefs(out []asm.Reg, in asm.Inst) []asm.Reg {
 	switch in.Op {
 	case asm.MOV, asm.MOVB, asm.MOVW, asm.LEA:
 		if in.Dst.Kind == asm.OpReg && in.Dst.Reg != asm.ESP && in.Dst.Reg != asm.EBP {
-			return []asm.Reg{in.Dst.Reg}
+			return append(out, in.Dst.Reg)
 		}
 	case asm.POP:
 		if in.Dst.Reg != asm.ESP && in.Dst.Reg != asm.EBP {
-			return []asm.Reg{in.Dst.Reg}
+			return append(out, in.Dst.Reg)
 		}
 	case asm.ADD, asm.SUB, asm.IMUL, asm.XOR, asm.AND, asm.OR, asm.SHL, asm.SHR:
 		if in.Dst.Kind == asm.OpReg && in.Dst.Reg != asm.ESP && in.Dst.Reg != asm.EBP {
-			return []asm.Reg{in.Dst.Reg}
+			return append(out, in.Dst.Reg)
 		}
 	case asm.CALL:
 		// Caller-saved registers are clobbered.
-		return []asm.Reg{asm.EAX, asm.ECX, asm.EDX}
+		return append(out, asm.EAX, asm.ECX, asm.EDX)
 	}
-	return nil
+	return out
 }
 
 // findFormals detects the formal-in locations: stack slots at positive
@@ -382,11 +384,12 @@ func (pi *ProcInfo) findFormals() {
 			}
 			// Tail calls keep nothing live (stack args only in corpus).
 			live := out
+			var rbuf [4]asm.Reg
 			for i := pi.Blocks[b].End - 1; i >= pi.Blocks[b].Start; i-- {
-				for _, r := range instRegDefs(insts[i]) {
+				for _, r := range instRegDefs(rbuf[:0], insts[i]) {
 					live &^= bit(r)
 				}
-				for _, r := range instUses(insts[i]) {
+				for _, r := range instUses(rbuf[:0], insts[i]) {
 					live |= bit(r)
 				}
 			}
@@ -455,9 +458,17 @@ func (pi *ProcInfo) findFormals() {
 // DefsOf lists the locations defined by instruction idx (registers and
 // resolvable stack slots).
 func (pi *ProcInfo) DefsOf(idx int) []Loc {
+	return pi.AppendDefsOf(nil, idx)
+}
+
+// AppendDefsOf is DefsOf appending into a caller-provided buffer (pass
+// buf[:0] to reuse scratch across a loop — the per-instruction slice
+// allocation is visible in profiles of the analyses that replay
+// definitions over every instruction).
+func (pi *ProcInfo) AppendDefsOf(out []Loc, idx int) []Loc {
 	in := pi.Proc.Insts[idx]
-	var out []Loc
-	for _, r := range instRegDefs(in) {
+	var rbuf [4]asm.Reg
+	for _, r := range instRegDefs(rbuf[:0], in) {
 		out = append(out, RegLoc(r))
 	}
 	switch in.Op {
@@ -484,15 +495,22 @@ func (pi *ProcInfo) reachingDefs() {
 	for l, d := range pi.entryDefs {
 		pi.reachIn[0][l] = []DefID{d}
 	}
+	if nb == 1 {
+		// Straight-line procedure (the overwhelmingly common leaf
+		// shape): the only block-entry state is the entry definitions;
+		// no out-state is ever consumed.
+		return
+	}
 
 	// Per-block gen/kill in one pass: out = gen ∪ (in − kill).
 	gen := make([]map[Loc]DefID, nb)
 	kill := make([]map[Loc]bool, nb)
+	var lbuf [4]Loc
 	for b := 0; b < nb; b++ {
 		gen[b] = map[Loc]DefID{}
 		kill[b] = map[Loc]bool{}
 		for i := pi.Blocks[b].Start; i < pi.Blocks[b].End; i++ {
-			for _, l := range pi.DefsOf(i) {
+			for _, l := range pi.AppendDefsOf(lbuf[:0], i) {
 				gen[b][l] = DefID(i)
 				kill[b][l] = true
 			}
@@ -566,9 +584,10 @@ func (pi *ProcInfo) WalkDefs(f func(idx int, reach map[Loc][]DefID)) {
 		for l, ds := range pi.reachIn[b] {
 			state[l] = ds
 		}
+		var lbuf [4]Loc
 		for i := pi.Blocks[b].Start; i < pi.Blocks[b].End; i++ {
 			f(i, state)
-			for _, l := range pi.DefsOf(i) {
+			for _, l := range pi.AppendDefsOf(lbuf[:0], i) {
 				state[l] = []DefID{DefID(i)}
 			}
 		}
@@ -596,8 +615,9 @@ func (pi *ProcInfo) findHasOut() {
 				state[l] = ds
 			}
 		}
+		var lbuf [4]Loc
 		for i := blk.Start; i < blk.End-1; i++ {
-			for _, l := range pi.DefsOf(i) {
+			for _, l := range pi.AppendDefsOf(lbuf[:0], i) {
 				state[l] = []DefID{DefID(i)}
 			}
 		}

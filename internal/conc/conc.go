@@ -44,6 +44,13 @@ func Limit(workers int) int {
 // With workers == 1 (or n == 1) the calls run inline on the caller's
 // goroutine in index order, which keeps the sequential path allocation-
 // and scheduler-free.
+//
+// Work is handed out in chunks of contiguous indices (guided by n and
+// the worker count) so that claiming an item is one atomic add per
+// chunk, not one per item: with many small items (thousands of leaf
+// procedures per phase) the per-item fetch-add line becomes a real
+// contention point in CPU profiles. Chunks shrink to 1 for small n, so
+// load balance for coarse items is unchanged.
 func ForEach(workers, n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -57,6 +64,13 @@ func ForEach(workers, n int, f func(i int)) {
 			f(i)
 		}
 		return
+	}
+
+	// 8 chunks per worker keeps the tail balanced while cutting the
+	// atomic traffic by the chunk factor.
+	chunk := n / (w * 8)
+	if chunk < 1 {
+		chunk = 1
 	}
 
 	var next atomic.Int64
@@ -74,11 +88,17 @@ func ForEach(workers, n int, f func(i int)) {
 				}
 			}()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
 					return
 				}
-				f(i)
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
 			}
 		}()
 	}

@@ -269,7 +269,13 @@ func MustParseSet(text string) *Set {
 // Insert adds c if not already present and reports whether it was new.
 func (s *Set) Insert(c Constraint) bool {
 	if s.seen == nil {
-		s.seen = map[Constraint]struct{}{}
+		// Sets produced by the SubstituteBases fast paths carry a list
+		// of already-distinct constraints and no index; build it on the
+		// first mutation that needs one.
+		s.seen = make(map[Constraint]struct{}, len(s.list)+1)
+		for _, old := range s.list {
+			s.seen[old] = struct{}{}
+		}
 	}
 	if _, ok := s.seen[c]; ok {
 		return false
@@ -346,7 +352,15 @@ func (s *Set) Len() int {
 
 // Has reports membership.
 func (s *Set) Has(c Constraint) bool {
-	if s == nil || s.seen == nil {
+	if s == nil {
+		return false
+	}
+	if s.seen == nil {
+		for _, old := range s.list {
+			if old == c {
+				return true
+			}
+		}
 		return false
 	}
 	_, ok := s.seen[c]
@@ -383,34 +397,119 @@ func (s *Set) Clone() *Set {
 	return out
 }
 
+// substMemoSmall bounds the linear-scan rename memo of SubstituteBases;
+// past it the memo spills into a map. Generated constraint sets
+// typically mention a handful to a few dozen distinct bases, so the
+// common case never touches a hash table at all.
+const substMemoSmall = 24
+
 // SubstituteBases rewrites every base variable through f (used for
 // callsite tagging and scheme instantiation, §A.4). f's results are
 // memoized per base symbol, so the rename is computed once per variable
 // rather than once per occurrence.
+//
+// Two fast paths keep this off the map-hashing profile: the per-symbol
+// memo is a small linear-scanned vector (no per-occurrence map lookup
+// on the common no-substitution and few-variables paths), and when the
+// rename is the identity or injective over the set's bases the output
+// list is built directly — a deduplicated input stays deduplicated, so
+// the output's membership index is rebuilt lazily only if someone later
+// mutates it.
 func (s *Set) SubstituteBases(f func(Var) Var) *Set {
-	out := NewSet()
-	memo := map[intern.Sym]intern.Sym{}
+	if s == nil || len(s.list) == 0 {
+		return NewSet()
+	}
+	var (
+		keys    [substMemoSmall]intern.Sym
+		vals    [substMemoSmall]intern.Sym
+		nk      int
+		big     map[intern.Sym]intern.Sym
+		changed bool
+	)
+	lookup := func(y intern.Sym) intern.Sym {
+		if big != nil {
+			if ny, ok := big[y]; ok {
+				return ny
+			}
+		} else {
+			for i := 0; i < nk; i++ {
+				if keys[i] == y {
+					return vals[i]
+				}
+			}
+		}
+		ny := intern.Intern(string(f(Var(intern.StringOf(y)))))
+		if ny != y {
+			changed = true
+		}
+		switch {
+		case big != nil:
+			big[y] = ny
+		case nk < substMemoSmall:
+			keys[nk], vals[nk] = y, ny
+			nk++
+		default:
+			big = make(map[intern.Sym]intern.Sym, 2*substMemoSmall)
+			for i := 0; i < nk; i++ {
+				big[keys[i]] = vals[i]
+			}
+			big[y] = ny
+		}
+		return ny
+	}
 	sub := func(d DTV) DTV {
 		y := d.BaseSym()
-		ny, ok := memo[y]
-		if !ok {
-			ny = intern.Intern(string(f(Var(intern.StringOf(y)))))
-			memo[y] = ny
-		}
+		ny := lookup(y)
 		if ny == y {
 			return d
 		}
 		return d.withBaseSym(ny)
 	}
+	list := make([]Constraint, 0, len(s.list))
 	for _, c := range s.list {
 		switch c.Kind {
 		case KindSub:
-			out.Insert(Sub(sub(c.L), sub(c.R)))
+			list = append(list, Sub(sub(c.L), sub(c.R)))
 		default:
-			out.Insert(Constraint{Kind: c.Kind, X: sub(c.X), Y: sub(c.Y), Z: sub(c.Z)})
+			list = append(list, Constraint{Kind: c.Kind, X: sub(c.X), Y: sub(c.Y), Z: sub(c.Z)})
 		}
 	}
+	if !changed || substInjective(vals[:nk], big) {
+		// Distinct constraints map to distinct constraints: the list is
+		// already a valid set; membership index materializes lazily.
+		return &Set{list: list}
+	}
+	// A non-injective rename may have collapsed constraints; rebuild
+	// with full deduplication.
+	out := NewSet()
+	for _, c := range list {
+		out.Insert(c)
+	}
 	return out
+}
+
+// substInjective reports whether the collected base rename maps
+// distinct sources to distinct targets (then DTVs, and hence
+// constraints, cannot collide under it).
+func substInjective(small []intern.Sym, big map[intern.Sym]intern.Sym) bool {
+	if big != nil {
+		seen := make(map[intern.Sym]struct{}, len(big))
+		for _, ny := range big {
+			if _, dup := seen[ny]; dup {
+				return false
+			}
+			seen[ny] = struct{}{}
+		}
+		return true
+	}
+	for i := range small {
+		for j := i + 1; j < len(small); j++ {
+			if small[i] == small[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // String renders one constraint per line, sorted, for stable output.

@@ -24,6 +24,9 @@ type BenchScore struct {
 	Cluster string
 	Insts   int
 	Agg     metrics.Aggregate
+	// BodyDedupHits/Misses carry the solver's per-run whole-body dedup
+	// stats (zero for non-solver systems); RunSuite aggregates them.
+	BodyDedupHits, BodyDedupMisses uint64
 }
 
 // ScoreOutcome pairs the ground truth of bench with the system's
@@ -78,10 +81,12 @@ func RunSystem(sys baselines.System, benches []*corpus.Benchmark, lat *lattice.L
 		}
 		o := sys.Run(prog, lat)
 		out = append(out, BenchScore{
-			Bench:   b.Name,
-			Cluster: b.Cluster,
-			Insts:   b.Insts,
-			Agg:     ScoreOutcome(o, b),
+			Bench:           b.Name,
+			Cluster:         b.Cluster,
+			Insts:           b.Insts,
+			Agg:             ScoreOutcome(o, b),
+			BodyDedupHits:   o.BodyDedupHits,
+			BodyDedupMisses: o.BodyDedupMisses,
 		})
 	}
 	return out

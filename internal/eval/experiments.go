@@ -54,6 +54,9 @@ type SuiteScores struct {
 	// suite-wide effectiveness of the two shared memo caches.
 	SchemeCacheHits, SchemeCacheMisses uint64
 	ShapeCacheHits, ShapeCacheMisses   uint64
+	// BodyDedupHits/Misses sum the solver runs' whole-body dedup stats
+	// across every benchmark and solver-backed system of the suite.
+	BodyDedupHits, BodyDedupMisses uint64
 }
 
 // RunSuite generates the corpus and scores all systems. One
@@ -80,6 +83,10 @@ func RunSuite(cfg Config) *SuiteScores {
 		SortScores(scores)
 		out.PerSystem[sys.Name] = scores
 		out.Order = append(out.Order, sys.Name)
+		for _, s := range scores {
+			out.BodyDedupHits += s.BodyDedupHits
+			out.BodyDedupMisses += s.BodyDedupMisses
+		}
 	}
 	out.SchemeCacheHits, out.SchemeCacheMisses = schemes.Stats()
 	out.ShapeCacheHits, out.ShapeCacheMisses = shapes.Stats()

@@ -28,7 +28,8 @@ func TestCorpusSmoke(t *testing.T) {
 // or the phase-2 memo has silently stopped firing.
 func TestCacheEffectivenessSmoke(t *testing.T) {
 	s := RunSuite(QuickConfig())
-	t.Logf("scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses",
+	t.Logf("body dedup: %d hits / %d misses; scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses",
+		s.BodyDedupHits, s.BodyDedupMisses,
 		s.SchemeCacheHits, s.SchemeCacheMisses, s.ShapeCacheHits, s.ShapeCacheMisses)
 	if s.SchemeCacheHits == 0 {
 		t.Error("suite run produced no scheme-cache hits")
@@ -38,5 +39,8 @@ func TestCacheEffectivenessSmoke(t *testing.T) {
 	}
 	if s.ShapeCacheHits+s.ShapeCacheMisses == 0 {
 		t.Error("shape cache was never consulted")
+	}
+	if s.BodyDedupHits == 0 {
+		t.Error("suite run produced no body-dedup hits on the duplicate-leaf corpus")
 	}
 }

@@ -1,10 +1,25 @@
 // Package lru is the bounded, thread-safe LRU memo underlying the
 // solver's fingerprint-keyed caches (pgraph.SimplifyCache and
 // sketch.ShapeCache). Both caches share the same mechanics — move-to-
-// front on hit, keep-first when two concurrent misses race to store
-// the same key, eviction from the back past the capacity bound, and
+// front on hit, eviction from the back past the capacity bound, and
 // cumulative hit/miss counters — so they share this one implementation
 // and only differ in key and value types.
+//
+// Two design points are specific to the memo workload:
+//
+//   - Keys are large comparable structs (a 32-byte content hash plus
+//     discriminators). Indexing the recency map by them directly makes
+//     every probe rehash the full struct (runtime aeshash over the
+//     whole key, visible in CPU profiles). The cache therefore indexes
+//     a precomputed 64-bit hash (caller-supplied, typically
+//     maphash-seeded) and keeps the full key on each entry, comparing
+//     it on every probe: a 64-bit collision degrades to a chained
+//     lookup, never to a wrong value.
+//   - Concurrent workers frequently miss on the same key at the same
+//     time (duplicate leaf procedures land on sibling workers within
+//     one scheduling level). Do provides single-flight semantics: the
+//     first caller computes, the others wait for its result instead of
+//     duplicating the work.
 package lru
 
 import (
@@ -14,36 +29,99 @@ import (
 
 // entry is one key/value pair on the recency list.
 type entry[K comparable, V any] struct {
-	key K
-	val V
+	hash uint64
+	key  K
+	val  V
+}
+
+// flight is one in-progress single-flight computation.
+type flight[K comparable, V any] struct {
+	key  K
+	done chan struct{}
+	val  V
+	ok   bool // leader stored a value (compute reported it cacheable)
 }
 
 // Cache is a bounded LRU map from K to V, safe for concurrent use.
+// The recency index is keyed by hash(K); full keys are collision-
+// checked on every probe.
 type Cache[K comparable, V any] struct {
-	mu     sync.Mutex
-	cap    int
-	order  *list.List // front = most recently used
-	byKey  map[K]*list.Element
-	hits   uint64
-	misses uint64
+	mu       sync.Mutex
+	cap      int
+	hash     func(K) uint64
+	order    *list.List // front = most recently used
+	byHash   map[uint64][]*list.Element
+	inflight map[uint64][]*flight[K, V]
+	hits     uint64
+	misses   uint64
 }
 
 // New returns a cache bounded to capacity entries (capacity must be
-// positive; callers apply their own defaults).
-func New[K comparable, V any](capacity int) *Cache[K, V] {
+// positive; callers apply their own defaults). hash must be a fixed
+// function of the key; it is computed once per operation.
+func New[K comparable, V any](capacity int, hash func(K) uint64) *Cache[K, V] {
 	return &Cache[K, V]{
-		cap:   capacity,
-		order: list.New(),
-		byKey: map[K]*list.Element{},
+		cap:      capacity,
+		hash:     hash,
+		order:    list.New(),
+		byHash:   map[uint64][]*list.Element{},
+		inflight: map[uint64][]*flight[K, V]{},
+	}
+}
+
+// find returns the element holding key, or nil. Callers hold mu.
+func (c *Cache[K, V]) find(h uint64, key K) *list.Element {
+	for _, el := range c.byHash[h] {
+		if el.Value.(*entry[K, V]).key == key {
+			return el
+		}
+	}
+	return nil
+}
+
+// removeElement unlinks el from both indexes. Callers hold mu.
+func (c *Cache[K, V]) removeElement(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	c.order.Remove(el)
+	chain := c.byHash[e.hash]
+	for i, cand := range chain {
+		if cand == el {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(c.byHash, e.hash)
+	} else {
+		c.byHash[e.hash] = chain
+	}
+}
+
+// addLocked stores val under key unless already present. Callers hold
+// mu.
+func (c *Cache[K, V]) addLocked(h uint64, key K, val V) {
+	if el := c.find(h, key); el != nil {
+		// Two concurrent misses may race to store; the first stays —
+		// both values are equivalent by construction in the memo use
+		// case.
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&entry[K, V]{hash: h, key: key, val: val})
+	c.byHash[h] = append(c.byHash[h], el)
+	for c.order.Len() > c.cap {
+		c.removeElement(c.order.Back())
 	}
 }
 
 // Get returns the value stored under key, marking it most recently
 // used. Every call counts as a hit or a miss.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
+	h := c.hash(key)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
+	if el := c.find(h, key); el != nil {
 		c.order.MoveToFront(el)
 		c.hits++
 		return el.Value.(*entry[K, V]).val, true
@@ -53,24 +131,88 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	return zero, false
 }
 
-// Add stores val under key unless the key is already present (two
-// concurrent misses may race to store; the first stays — both values
-// are equivalent by construction in the memo use case). Past the
+// Add stores val under key unless the key is already present. Past the
 // capacity bound the least recently used entries are evicted.
 func (c *Cache[K, V]) Add(key K, val V) {
+	h := c.hash(key)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
+	c.addLocked(h, key, val)
+}
+
+// Do returns the value under key, computing it at most once across
+// concurrent callers (single flight). On a miss the first caller runs
+// compute unlocked; callers that miss on the same key while the
+// computation is in progress wait for it instead of duplicating the
+// work. compute reports whether its result is cacheable: when it
+// returns false nothing is stored and waiters receive ok == false
+// (they fall back to computing privately — by construction that only
+// happens for results that cannot be shared anyway).
+//
+// The returned ok is true when the value came from the cache, from a
+// completed flight, or from this caller's own successful compute.
+// Accounting: a found entry and a successfully served waiter count as
+// hits (the work was saved); a compute leader, and a waiter whose
+// leader's result was uncacheable, count as misses.
+func (c *Cache[K, V]) Do(key K, compute func() (V, bool)) (V, bool) {
+	h := c.hash(key)
+	c.mu.Lock()
+	if el := c.find(h, key); el != nil {
 		c.order.MoveToFront(el)
-		return
+		c.hits++
+		v := el.Value.(*entry[K, V]).val
+		c.mu.Unlock()
+		return v, true
 	}
-	el := c.order.PushFront(&entry[K, V]{key: key, val: val})
-	c.byKey[key] = el
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*entry[K, V]).key)
+	for _, f := range c.inflight[h] {
+		if f.key == key {
+			c.mu.Unlock()
+			<-f.done
+			// Account after the outcome is known: a waiter served by
+			// the leader's stored value is a hit (work saved); a waiter
+			// whose leader produced an uncacheable result recomputes
+			// privately and must count as a miss, or hit rates would
+			// overstate sharing exactly where it fails.
+			c.mu.Lock()
+			if f.ok {
+				c.hits++
+			} else {
+				c.misses++
+			}
+			c.mu.Unlock()
+			return f.val, f.ok
+		}
 	}
+	f := &flight[K, V]{key: key, done: make(chan struct{})}
+	c.inflight[h] = append(c.inflight[h], f)
+	c.misses++
+	c.mu.Unlock()
+
+	// The deferred cleanup also runs when compute panics, so waiters
+	// are released (with ok == false) instead of blocking forever.
+	defer func() {
+		c.mu.Lock()
+		chain := c.inflight[h]
+		for i, cand := range chain {
+			if cand == f {
+				chain[i] = chain[len(chain)-1]
+				chain = chain[:len(chain)-1]
+				break
+			}
+		}
+		if len(chain) == 0 {
+			delete(c.inflight, h)
+		} else {
+			c.inflight[h] = chain
+		}
+		if f.ok {
+			c.addLocked(h, key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.ok = compute()
+	return f.val, f.ok
 }
 
 // Stats reports cumulative hit/miss counts across all sharers.

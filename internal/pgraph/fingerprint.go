@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"hash/maphash"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,6 +55,24 @@ type Key struct {
 // String renders the key for diagnostics.
 func (k Key) String() string {
 	return hex.EncodeToString(k.sum[:]) + "|" + canonPrefix + strconv.FormatUint(uint64(k.root), 10)
+}
+
+// keySeed seeds the 64-bit recency-index hashes of the fingerprint
+// caches (process-stable, fresh per run so the hash is not an
+// attacker-predictable function of the content digest).
+var keySeed = maphash.MakeSeed()
+
+// Hash64 folds the key into the 64-bit recency-index hash used by the
+// memo caches. The full key stays on each cache entry and is compared
+// on every probe, so this hash only needs to spread, not to identify.
+func (k Key) Hash64() uint64 {
+	var h maphash.Hash
+	h.SetSeed(keySeed)
+	_, _ = h.Write(k.sum[:])
+	var rb [4]byte
+	binary.LittleEndian.PutUint32(rb[:], k.root)
+	_, _ = h.Write(rb[:])
+	return h.Sum64()
 }
 
 // fpBufPool recycles the scratch buffers fingerprint hashing is
@@ -236,7 +255,7 @@ func NewSimplifyCache(capacity int) *SimplifyCache {
 	if capacity <= 0 {
 		capacity = DefaultSimplifyCacheCap
 	}
-	return &SimplifyCache{lru: lru.New[Key, *SimplifyResult](capacity)}
+	return &SimplifyCache{lru: lru.New[Key, *SimplifyResult](capacity, Key.Hash64)}
 }
 
 // Stats reports cumulative hit/miss counts.
@@ -250,6 +269,11 @@ func (c *SimplifyCache) Len() int { return c.lru.Len() }
 // the saturated graph of the fingerprinted set; it is only invoked on a
 // cache miss (and may be shared across roots of one SCC). A nil cache
 // degrades to calling build().Simplify directly.
+//
+// Misses are single-flight: when several workers miss on the same key
+// concurrently (duplicate procedures scheduled onto sibling workers),
+// one computes and the others wait for its canonical entry instead of
+// re-running Build+Saturate+Simplify.
 func (c *SimplifyCache) Simplify(fp *FP, root constraints.Var, build func() *Graph) *SimplifyResult {
 	interesting := func(v constraints.Var) bool { return v == root }
 	if c == nil || fp == nil {
@@ -259,15 +283,23 @@ func (c *SimplifyCache) Simplify(fp *FP, root constraints.Var, build func() *Gra
 	if !ok {
 		return build().Simplify(interesting)
 	}
-	if res, ok := c.lru.Get(key); ok {
+	var local *SimplifyResult
+	canon, ok := c.lru.Do(key, func() (*SimplifyResult, bool) {
+		local = build().Simplify(interesting)
+		return canonicalize(local, root, fp)
+	})
+	if local != nil {
+		// This caller led the computation: hand back its own (already
+		// local-named) result, whether or not it was cacheable.
+		return local
+	}
+	if ok {
 		canonRoot, _ := fp.canonicalRoot(root)
-		return rehydrate(res, canonRoot, root)
+		return rehydrate(canon, canonRoot, root)
 	}
-	res := build().Simplify(interesting)
-	if canon, ok := canonicalize(res, root, fp); ok {
-		c.lru.Add(key, canon)
-	}
-	return res
+	// A concurrent leader's result was not shareable (canonicalize
+	// refused it); compute privately.
+	return build().Simplify(interesting)
 }
 
 // canonicalize rewrites res with root renamed to its canonical name.

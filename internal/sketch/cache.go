@@ -23,6 +23,12 @@ type shapeKey struct {
 	depth int
 }
 
+// hash64 folds the key for the cache's 64-bit recency index (the full
+// key is collision-checked per probe by internal/lru).
+func (k shapeKey) hash64() uint64 {
+	return k.pk.Hash64() ^ (uint64(int64(k.depth))+2)*0x9E3779B97F4A7C15
+}
+
 // ShapeCache is a thread-safe LRU memo of phase-2 (F.2) shape solving:
 // the sealed, decorated Sketch of one variable of one constraint set,
 // keyed by the set's canonical fingerprint (pgraph.Fingerprint) and the
@@ -55,7 +61,7 @@ func NewShapeCache(capacity int) *ShapeCache {
 	if capacity <= 0 {
 		capacity = DefaultShapeCacheCap
 	}
-	return &ShapeCache{lru: lru.New[shapeKey, *Sketch](capacity)}
+	return &ShapeCache{lru: lru.New[shapeKey, *Sketch](capacity, shapeKey.hash64)}
 }
 
 // Stats reports cumulative hit/miss counts.
@@ -86,10 +92,11 @@ func (c *ShapeCache) SketchFor(fp *pgraph.FP, v constraints.Var, maxDepth int, b
 		maxDepth = -1 // every negative bound means "unbounded": one key
 	}
 	key := shapeKey{pk: pk, depth: maxDepth}
-	if sk, ok := c.lru.Get(key); ok {
-		return sk
-	}
-	sk := build(v).Seal()
-	c.lru.Add(key, sk)
+	// Single-flight: concurrent workers missing on the same key wait
+	// for the first one's sealed sketch instead of re-running the shape
+	// quotient and decoration.
+	sk, _ := c.lru.Do(key, func() (*Sketch, bool) {
+		return build(v).Seal(), true
+	})
 	return sk
 }

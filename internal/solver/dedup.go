@@ -1,0 +1,227 @@
+package solver
+
+import (
+	"strings"
+
+	"retypd/internal/absint"
+	"retypd/internal/bodyfp"
+	"retypd/internal/cfg"
+	"retypd/internal/constraints"
+	"retypd/internal/intern"
+	"retypd/internal/lattice"
+	"retypd/internal/sketch"
+)
+
+// Body deduplication is the pipeline's earliest memoization layer: it
+// groups procedures whose IR bodies are equivalent (internal/bodyfp)
+// *before* abstract interpretation, runs constraint generation,
+// fingerprinting, scheme simplification and sketch solving once per
+// class, and translates the representative's results to the other
+// members by the name surgery of absint.Renamer. Where the scheme and
+// shape memos (PR 2–3) made duplicate procedures cheap to *solve*,
+// this layer makes them cheap to *reach*: members skip Generate, the
+// constraint-set fingerprint (a SHA-256 over the whole set), both LRU
+// lookups, and the per-procedure sketch plumbing entirely.
+//
+// Eligibility is conservative: only single-member, non-self-recursive
+// SCCs participate, and only when every name involved (the procedure
+// and its call targets) stays clear of the solver's reserved variable
+// namespaces. Everything else falls back to the full path — body dedup
+// never changes output, only work (a golden on/off equivalence the
+// tests pin down byte-for-byte).
+type dedupState struct {
+	conf    bodyfp.Config
+	isConst func(constraints.Var) bool
+	keep    bool // Options.KeepIntermediates: members must also translate raw constraint sets
+
+	// byHash chains body classes under their 64-bit grouping hash;
+	// membership is confirmed against the full canonical encoding.
+	byHash map[uint64][]*bodyClass
+	// classOf assigns every fingerprinted procedure its class id — the
+	// callee identity later levels mix into their own body hashes.
+	classOf map[string]uint32
+	nextID  uint32
+	// members maps each dedup-served procedure to its translation plan
+	// for the sketch phase.
+	members map[string]*memberPlan
+
+	hits, misses uint64
+}
+
+// bodyClass is one body-equivalence class.
+type bodyClass struct {
+	id  uint32
+	rep string
+	fp  *bodyfp.FP
+}
+
+// memberPlan is everything needed to translate the representative's
+// results to one member.
+type memberPlan struct {
+	rep string
+	fp  *bodyfp.FP
+	ren *absint.Renamer
+}
+
+func newDedupState(lat *lattice.Lattice, aopts absint.Options, isConst func(constraints.Var) bool, keep bool) *dedupState {
+	return &dedupState{
+		conf: bodyfp.Config{
+			MonomorphicCalls:      aopts.MonomorphicCalls,
+			PolymorphicExternals:  aopts.PolymorphicExternals,
+			NoConstantSuppression: aopts.NoConstantSuppression,
+			LatticeSig:            uint64(lat.SigSym()),
+		},
+		isConst: isConst,
+		keep:    keep,
+		byHash:  map[uint64][]*bodyClass{},
+		classOf: map[string]uint32{},
+		members: map[string]*memberPlan{},
+	}
+}
+
+// nameEligible rejects names that collide with the solver's reserved
+// variable namespaces ('!' locals, '@' callsite tags, '¤' canonical
+// fingerprint names, '.' DTV paths, 'τ' existentials): the rename
+// surgery could not classify variables built from them unambiguously.
+func nameEligible(s string) bool {
+	if s == "" || strings.ContainsAny(s, "@!.¤") || strings.HasPrefix(s, "τ") {
+		return false
+	}
+	return true
+}
+
+// eligible reports whether procedure p may participate in body dedup:
+// a single-member SCC without self-calls, with an unreserved,
+// non-constant name.
+func (ds *dedupState) eligible(p string, cg *cfg.CallGraph) bool {
+	if !nameEligible(p) || ds.isConst(constraints.Var(p)) {
+		return false
+	}
+	for _, callee := range cg.Callees[p] {
+		if callee == p {
+			return false
+		}
+	}
+	return true
+}
+
+// calleeID supplies bodyfp with the identity bound to a call target:
+// the target's body class when it has one (so wrappers around
+// interchangeable callees still dedup), its exact name otherwise.
+// It is called concurrently during a level's fingerprint pre-pass;
+// classOf is only written between levels.
+func (ds *dedupState) calleeID(target string) (bodyfp.CalleeID, bool) {
+	if !nameEligible(target) || ds.isConst(constraints.Var(target)) {
+		return bodyfp.CalleeID{}, false
+	}
+	if id, ok := ds.classOf[target]; ok {
+		return bodyfp.CalleeID{Kind: bodyfp.CalleeClass, ID: uint64(id)}, true
+	}
+	return bodyfp.CalleeID{Kind: bodyfp.CalleeNamed, ID: uint64(intern.Intern(target))}, true
+}
+
+// classify files fp under its class (creating one if it is the first
+// occurrence) and returns a translation plan when p can be served as a
+// member of an existing class, nil when p must run the full path.
+// isProc identifies program-procedure names for the renamer's
+// foreign-leak refusal.
+func (ds *dedupState) classify(p string, fp *bodyfp.FP, isProc func(string) bool) *memberPlan {
+	var cls *bodyClass
+	for _, c := range ds.byHash[fp.Hash()] {
+		if c.fp.EquivalentTo(fp) {
+			cls = c
+			break
+		}
+	}
+	if cls == nil {
+		cls = &bodyClass{id: ds.nextID, rep: p, fp: fp}
+		ds.nextID++
+		ds.byHash[fp.Hash()] = append(ds.byHash[fp.Hash()], cls)
+		ds.classOf[p] = cls.id
+		ds.misses++
+		return nil
+	}
+	// Class membership (and with it the callee identity served to
+	// callers) holds regardless of whether p is actually served by
+	// translation below: an excluded member computes the same scheme
+	// the translation would have produced.
+	ds.classOf[p] = cls.id
+
+	if ds.keep && !fp.SameRegisters(cls.fp) {
+		// KeepIntermediates retains the raw generated constraint set,
+		// whose local names embed actual register names; translating it
+		// across a scratch-register renaming would need name surgery
+		// inside defVar suffixes. Rare enough to just compute fully.
+		ds.misses++
+		return nil
+	}
+	repCalls, memCalls := cls.fp.Calls(), fp.Calls()
+	if len(repCalls) != len(memCalls) {
+		ds.misses++ // cannot happen for equivalent encodings; stay safe
+		return nil
+	}
+	pairs := make([]absint.CallRename, len(repCalls))
+	for i := range repCalls {
+		if repCalls[i].Inst != memCalls[i].Inst {
+			ds.misses++
+			return nil
+		}
+		pairs[i] = absint.CallRename{
+			Inst: repCalls[i].Inst,
+			From: repCalls[i].Target,
+			To:   memCalls[i].Target,
+		}
+	}
+	ren := absint.NewRenamer(cls.rep, p, pairs, isProc)
+	if !ren.Valid() {
+		ds.misses++
+		return nil
+	}
+	return &memberPlan{rep: cls.rep, fp: fp, ren: ren}
+}
+
+// translateProc derives a member's phase-2 result from its
+// representative's: the sketch is shared (sealed — sketches mention no
+// variable names, so the representative's solution IS the member's),
+// callsite-actual observations are re-keyed to the member's own callee
+// names, and under KeepIntermediates the raw constraint set is
+// translated (or regenerated, should the surgery ever fail).
+func (pl *pipeline) translateProc(p string, plan *memberPlan, repPR *ProcResult, repObs []actualObs) (*ProcResult, []actualObs) {
+	pi := pl.infos[p]
+	sk := repPR.Sketch
+	if sk != nil {
+		sk = sk.Seal()
+	}
+	pr := &ProcResult{
+		Name:           p,
+		FormalIns:      pi.FormalIns,
+		HasOut:         pi.HasOut,
+		Scheme:         pl.schemes[p],
+		Sketch:         sk,
+		SpecializedIns: map[string]*sketch.Sketch{},
+	}
+	if pl.opts.KeepIntermediates {
+		if cs, ok := plan.ren.Apply(pl.gens[plan.rep].Constraints); ok {
+			pr.Constraints = cs
+		} else {
+			pr.Constraints = absint.Generate(pi, pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint).Constraints
+		}
+	}
+	if len(repObs) == 0 {
+		return pr, nil
+	}
+	calleeAt := make(map[int]string, len(plan.fp.Calls()))
+	for _, c := range plan.fp.Calls() {
+		calleeAt[c.Inst] = c.Target
+	}
+	obs := make([]actualObs, len(repObs))
+	for i, o := range repObs {
+		obs[i] = actualObs{
+			key:    actualKey{callee: calleeAt[o.inst], loc: o.key.loc},
+			caller: p,
+			inst:   o.inst,
+			sk:     o.sk,
+		}
+	}
+	return pr, obs
+}

@@ -266,6 +266,10 @@ func TestNoShapeCacheWinsOverProvidedCache(t *testing.T) {
 	opts.KeepIntermediates = false
 	opts.ShapeCache = cache
 	opts.NoShapeCache = true
+	// Body dedup also seals the sketches it shares across class
+	// members; turn it off so the sealed check below isolates the shape
+	// cache.
+	opts.NoBodyDedup = true
 	res := Infer(prog, lat, nil, opts)
 
 	if h, m := cache.Stats(); h != 0 || m != 0 {

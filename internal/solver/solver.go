@@ -53,6 +53,7 @@ import (
 
 	"retypd/internal/absint"
 	"retypd/internal/asm"
+	"retypd/internal/bodyfp"
 	"retypd/internal/cfg"
 	"retypd/internal/conc"
 	"retypd/internal/constraints"
@@ -98,6 +99,15 @@ type Options struct {
 	ShapeCache *sketch.ShapeCache
 	// NoShapeCache disables the shape memo.
 	NoShapeCache bool
+	// NoBodyDedup disables the earliest memo layer: whole-procedure
+	// body deduplication ahead of abstract interpretation (see
+	// internal/bodyfp and dedup.go). With it off, every procedure runs
+	// constraint generation and the per-procedure cache lookups even
+	// when its body is equivalent to one already processed. The layer
+	// never changes output — only how often the front end runs — and is
+	// automatically off when Absint.Covered is set (trace-restricted
+	// generation distinguishes procedures by name).
+	NoBodyDedup bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -157,6 +167,12 @@ type Result struct {
 	// ShapeCacheHits and ShapeCacheMisses report the phase-2 shape
 	// memo's effectiveness for this run (both zero when disabled).
 	ShapeCacheHits, ShapeCacheMisses uint64
+	// BodyDedupHits counts procedures served by whole-body
+	// deduplication (they skipped constraint generation entirely);
+	// BodyDedupMisses counts fingerprinted procedures that ran the full
+	// path (class representatives and excluded members). Both zero when
+	// the layer is disabled.
+	BodyDedupHits, BodyDedupMisses uint64
 }
 
 // Infer runs the full pipeline.
@@ -207,6 +223,9 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		gens:       map[string]*absint.Result{},
 		fps:        map[string]*pgraph.FP{},
 	}
+	if !opts.NoBodyDedup && opts.Absint.Covered == nil {
+		pl.dedup = newDedupState(lat, opts.Absint, isConst, opts.KeepIntermediates)
+	}
 
 	var hits0, misses0, shapeHits0, shapeMisses0 uint64
 	if cache != nil {
@@ -227,6 +246,9 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	if shapeCache != nil {
 		h, m := shapeCache.Stats()
 		res.ShapeCacheHits, res.ShapeCacheMisses = h-shapeHits0, m-shapeMisses0
+	}
+	if pl.dedup != nil {
+		res.BodyDedupHits, res.BodyDedupMisses = pl.dedup.hits, pl.dedup.misses
 	}
 	return res
 }
@@ -251,6 +273,11 @@ type pipeline struct {
 	schemes map[string]*constraints.Scheme
 	gens    map[string]*absint.Result
 	fps     map[string]*pgraph.FP
+
+	// dedup is the whole-body deduplication layer (nil when disabled).
+	// Its tables are written only in the sequential sections between a
+	// level's fingerprint pre-pass and its worker fan-out; see dedup.go.
+	dedup *dedupState
 }
 
 // sccResult is the output of scheme inference for one SCC.
@@ -265,15 +292,57 @@ type sccResult struct {
 
 // inferSchemes is Phase 1 (F.1): bottom-up scheme inference over the
 // condensed call graph, parallel within each topological level.
+//
+// With body dedup enabled, each level runs in four steps: a parallel
+// fingerprint pre-pass over the level's eligible bodies, a sequential
+// classification sweep (deterministic in level order, so class
+// representatives — and with them the whole pipeline output — do not
+// depend on the worker count), the worker fan-out over the procedures
+// that actually need constraint generation, and member translation at
+// the barrier. Body-equivalent procedures can only meet at the same
+// level (their callee classes, and hence their topological depths,
+// coincide), so a member's representative is always published by the
+// time the member is translated.
 func (pl *pipeline) inferSchemes(cg *cfg.CallGraph) {
 	for _, level := range sccLevels(cg) {
+		plans := make([]*memberPlan, len(level))
+		if pl.dedup != nil {
+			fps := make([]*bodyfp.FP, len(level))
+			conc.ForEach(pl.workers, len(level), func(i int) {
+				scc := cg.SCCs[level[i]]
+				if len(scc) != 1 || !pl.dedup.eligible(scc[0], cg) {
+					return
+				}
+				fps[i] = bodyfp.Compute(pl.infos[scc[0]], pl.dedup.conf, pl.dedup.calleeID)
+			})
+			isProc := func(name string) bool {
+				_, ok := pl.infos[name]
+				return ok
+			}
+			for i := range level {
+				if fps[i] != nil {
+					plans[i] = pl.dedup.classify(cg.SCCs[level[i]][0], fps[i], isProc)
+				}
+			}
+		}
+
 		outs := make([]*sccResult, len(level))
-		conc.ForEach(pl.workers, len(level), func(i int) {
+		var run []int
+		for i := range level {
+			if plans[i] == nil {
+				run = append(run, i)
+			}
+		}
+		conc.ForEach(pl.workers, len(run), func(k int) {
+			i := run[k]
 			outs[i] = pl.inferSCC(cg.SCCs[level[i]])
 		})
 		// Level barrier: publish this level's schemes in SCC order so
 		// the next level's constraint generation sees all of them.
 		for i, sccIdx := range level {
+			if outs[i] == nil {
+				continue
+			}
 			for j, p := range cg.SCCs[sccIdx] {
 				pl.gens[p] = outs[i].gens[j]
 				pl.schemes[p] = outs[i].schemes[j]
@@ -281,6 +350,37 @@ func (pl *pipeline) inferSchemes(cg *cfg.CallGraph) {
 					pl.fps[p] = outs[i].fp
 				}
 			}
+		}
+		// Member translation: representatives of this level are now
+		// published (first occurrence precedes every member in level
+		// order).
+		for i, sccIdx := range level {
+			plan := plans[i]
+			if plan == nil {
+				continue
+			}
+			p := cg.SCCs[sccIdx][0]
+			var sc *constraints.Scheme
+			ok := false
+			if rep := pl.schemes[plan.rep]; rep != nil {
+				sc, ok = plan.ren.TranslateScheme(rep)
+			}
+			if !ok {
+				// The rename surgery could not classify a variable of
+				// the representative's scheme: run the full path for
+				// this member instead.
+				out := pl.inferSCC(cg.SCCs[sccIdx])
+				pl.gens[p] = out.gens[0]
+				pl.schemes[p] = out.schemes[0]
+				if out.fp != nil {
+					pl.fps[p] = out.fp
+				}
+				pl.dedup.misses++
+				continue
+			}
+			pl.schemes[p] = sc
+			pl.dedup.members[p] = plan
+			pl.dedup.hits++
 		}
 	}
 }
@@ -292,11 +392,22 @@ func (pl *pipeline) inferSCC(scc []string) *sccResult {
 		gens:    make([]*absint.Result, len(scc)),
 		schemes: make([]*constraints.Scheme, len(scc)),
 	}
-	sccCs := constraints.NewSet()
-	for j, p := range scc {
-		gr := absint.Generate(pl.infos[p], pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint)
-		out.gens[j] = gr
-		sccCs.InsertAll(gr.Constraints)
+	var sccCs *constraints.Set
+	if len(scc) == 1 {
+		// The SCC union of a single member IS its generated set (same
+		// contents, same order); reuse it instead of re-hashing every
+		// constraint into a copy. Generate returns a fresh set, and the
+		// pipeline only ever reads it afterwards.
+		gr := absint.Generate(pl.infos[scc[0]], pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint)
+		out.gens[0] = gr
+		sccCs = gr.Constraints
+	} else {
+		sccCs = constraints.NewSet()
+		for j, p := range scc {
+			gr := absint.Generate(pl.infos[p], pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint)
+			out.gens[j] = gr
+			sccCs.InsertAll(gr.Constraints)
+		}
 	}
 
 	// The saturated graph is shared by every member's simplification
@@ -367,9 +478,30 @@ func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]
 
 	prs := make([]*ProcResult, len(order))
 	obs := make([][]actualObs, len(order))
-	conc.ForEach(pl.workers, len(order), func(i int) {
+	// Dedup-served members are filled in by translation from their
+	// representative's result after the fan-out; only the rest solve.
+	full := make([]int, 0, len(order))
+	for i, p := range order {
+		if pl.dedup == nil || pl.dedup.members[p] == nil {
+			full = append(full, i)
+		}
+	}
+	conc.ForEach(pl.workers, len(full), func(k int) {
+		i := full[k]
 		prs[i], obs[i] = pl.solveProc(order[i])
 	})
+	if pl.dedup != nil && len(full) < len(order) {
+		idxOf := make(map[string]int, len(order))
+		for i, p := range order {
+			idxOf[p] = i
+		}
+		for i, p := range order {
+			if plan := pl.dedup.members[p]; plan != nil {
+				ri := idxOf[plan.rep]
+				prs[i], obs[i] = pl.translateProc(p, plan, prs[ri], obs[ri])
+			}
+		}
+	}
 	for i, p := range order {
 		res.Procs[p] = prs[i]
 	}

@@ -145,6 +145,16 @@ type Config struct {
 	// NoShapeCache disables shape memoization entirely, even when
 	// ShapeCache is set.
 	NoShapeCache bool
+	// NoBodyDedup disables the solver's earliest memo layer:
+	// whole-procedure body deduplication ahead of constraint
+	// generation. By default, procedures whose IR bodies are equivalent
+	// up to register/label renaming and interchangeable callees are
+	// abstractly interpreted once per equivalence class and the results
+	// translated to the other members. The layer never changes
+	// inference output (it is byte-identical on and off) — only how
+	// often the constraint-generating front end runs. Dedup activity is
+	// reported in Result.CacheStats.
+	NoBodyDedup bool
 }
 
 // Result is the inference outcome for a program.
@@ -187,6 +197,7 @@ func Infer(prog *Program, cfg *Config) *Result {
 	opts.NoSchemeCache = cfg.NoSchemeCache
 	opts.ShapeCache = cfg.ShapeCache
 	opts.NoShapeCache = cfg.NoShapeCache
+	opts.NoBodyDedup = cfg.NoBodyDedup
 	if cfg.MaxSketchDepth > 0 {
 		opts.MaxSketchDepth = cfg.MaxSketchDepth
 	}
@@ -321,11 +332,34 @@ func (r *Result) Report() string {
 	return b.String()
 }
 
-// CacheStats reports the effectiveness of the scheme- and shape-memo
-// caches for this Infer call (all zero when the caches were disabled).
-func (r *Result) CacheStats() (schemeHits, schemeMisses, shapeHits, shapeMisses uint64) {
-	return r.inner.SchemeCacheHits, r.inner.SchemeCacheMisses,
-		r.inner.ShapeCacheHits, r.inner.ShapeCacheMisses
+// CacheStats reports the effectiveness of the three memo layers for
+// one Infer call (body → scheme → sketch; see docs/ARCHITECTURE.md).
+// All fields of a disabled layer are zero.
+type CacheStats struct {
+	// SchemeHits/SchemeMisses count scheme-simplification memo lookups
+	// (pgraph.SimplifyCache).
+	SchemeHits, SchemeMisses uint64
+	// ShapeHits/ShapeMisses count phase-2 sketch memo lookups
+	// (sketch.ShapeCache).
+	ShapeHits, ShapeMisses uint64
+	// BodyDedupHits counts procedures served by whole-body
+	// deduplication (constraint generation skipped entirely);
+	// BodyDedupMisses counts fingerprinted procedures that ran the
+	// full path.
+	BodyDedupHits, BodyDedupMisses uint64
+}
+
+// CacheStats reports the effectiveness of the scheme, shape, and
+// body-dedup memo layers for this Infer call.
+func (r *Result) CacheStats() CacheStats {
+	return CacheStats{
+		SchemeHits:      r.inner.SchemeCacheHits,
+		SchemeMisses:    r.inner.SchemeCacheMisses,
+		ShapeHits:       r.inner.ShapeCacheHits,
+		ShapeMisses:     r.inner.ShapeCacheMisses,
+		BodyDedupHits:   r.inner.BodyDedupHits,
+		BodyDedupMisses: r.inner.BodyDedupMisses,
+	}
 }
 
 // Internal accessor for the evaluation harness.

@@ -87,16 +87,44 @@ func TestSharedShapeCachePublicAPI(t *testing.T) {
 	if base != rep1 || rep1 != rep2 {
 		t.Error("shape cache changed the displayed report")
 	}
-	_, _, h1, m1 := r1.CacheStats()
-	_, _, h2, m2 := r2.CacheStats()
-	if m1 == 0 {
-		t.Errorf("first run should miss into the shared cache (hits=%d misses=%d)", h1, m1)
+	s1, s2 := r1.CacheStats(), r2.CacheStats()
+	if s1.ShapeMisses == 0 {
+		t.Errorf("first run should miss into the shared cache (hits=%d misses=%d)", s1.ShapeHits, s1.ShapeMisses)
 	}
-	if h2 == 0 || m2 != 0 {
-		t.Errorf("second run should be all hits (hits=%d misses=%d)", h2, m2)
+	if s2.ShapeHits == 0 || s2.ShapeMisses != 0 {
+		t.Errorf("second run should be all hits (hits=%d misses=%d)", s2.ShapeHits, s2.ShapeMisses)
 	}
-	_, _, bh, bm := baseline.CacheStats()
-	if bh != 0 || bm != 0 {
-		t.Errorf("NoShapeCache run reports cache activity (%d/%d)", bh, bm)
+	sb := baseline.CacheStats()
+	if sb.ShapeHits != 0 || sb.ShapeMisses != 0 {
+		t.Errorf("NoShapeCache run reports cache activity (%d/%d)", sb.ShapeHits, sb.ShapeMisses)
+	}
+}
+
+// TestBodyDedupPublicAPI: the public NoBodyDedup knob — output is
+// byte-identical with whole-body dedup on and off, the default-on run
+// reports its activity in CacheStats, and the knob really disables it.
+func TestBodyDedupPublicAPI(t *testing.T) {
+	prog := MustParseAsm(`
+proc twin_a
+    mov eax, [esp+4]
+    add eax, 5
+    ret
+endproc
+proc twin_b
+    mov eax, [esp+4]
+    add eax, 5
+    ret
+endproc
+`)
+	on := Infer(prog, nil)
+	off := Infer(prog, &Config{NoBodyDedup: true})
+	if on.Report() != off.Report() {
+		t.Error("body dedup changed the displayed report")
+	}
+	if st := on.CacheStats(); st.BodyDedupHits == 0 {
+		t.Errorf("twin procedures produced no body-dedup hits (%+v)", st)
+	}
+	if st := off.CacheStats(); st.BodyDedupHits != 0 || st.BodyDedupMisses != 0 {
+		t.Errorf("NoBodyDedup run reports dedup activity (%+v)", st)
 	}
 }

@@ -5,18 +5,18 @@
 # one whole-program inference over the 4000-instruction corpus) with
 # -benchmem and compares its B/op against a threshold derived from the
 # checked-in perf snapshot: 1.5× the largest AllocBytes measurement in
-# BENCH_3.json (the same 4000-instruction, workers=1 inference as
-# recorded by scripts/bench.sh; BENCH_3 re-baselined the gate after
-# the phase-2 shape memo and the interned name builder cut another
-# ~20% of bytes). A regression back toward the pre-interning
-# allocation volume (~5× today's) fails the gate; the 1.5× margin
+# BENCH_4.json (the same 4000-instruction, workers=1 inference as
+# recorded by scripts/bench.sh; BENCH_4 re-baselined the gate after
+# whole-body dedup plus the cfg/constraint-set allocation surgery cut
+# bytes by another ~35%). A regression back toward the pre-interning
+# allocation volume (~8× today's) fails the gate; the 1.5× margin
 # absorbs hardware and Go-version noise.
 #
 # Usage: scripts/check_alloc.sh [baseline.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-base="${1-BENCH_3.json}"
+base="${1-BENCH_4.json}"
 if [ ! -f "$base" ]; then
   echo "check_alloc: baseline $base missing" >&2
   exit 1

@@ -1,0 +1,39 @@
+#!/bin/sh
+# profile.sh — record one CPU-profile snapshot next to the perf
+# trajectory (scripts/bench.sh / BENCH_<n>.json).
+#
+# Runs the CI-gated benchmark (BenchmarkInferParallel at workers=1, one
+# whole-program inference over the 4000-instruction corpus) under the
+# Go CPU profiler and writes the pprof top-30 table to PROFILE_<n>.txt
+# (or the given output path), where <n> is one past the highest
+# existing snapshot. The table is what perf PRs cite when they claim a
+# hot spot moved: record one before and one after.
+#
+# Usage: scripts/profile.sh [output.txt]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1-}"
+if [ -z "$out" ]; then
+  n=1
+  while [ -e "PROFILE_${n}.txt" ]; do n=$((n + 1)); done
+  out="PROFILE_${n}.txt"
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== profiling (BenchmarkInferParallel/workers=1) =="
+go test -run '^$' -bench 'BenchmarkInferParallel/workers=1$' \
+  -benchtime=60x -cpuprofile "$tmp/cpu.out" -o "$tmp/retypd.test" >"$tmp/bench.txt"
+grep Benchmark "$tmp/bench.txt" || true
+
+{
+  echo "# pprof top-30 of BenchmarkInferParallel/workers=1"
+  echo "# recorded by scripts/profile.sh; benchmark line:"
+  grep Benchmark "$tmp/bench.txt" | sed 's/^/# /'
+  go tool pprof -top -nodecount=30 "$tmp/retypd.test" "$tmp/cpu.out"
+} >"$out"
+
+echo "== snapshot =="
+cat "$out"
