@@ -1,0 +1,36 @@
+package cfg
+
+import (
+	"testing"
+
+	"retypd/internal/asm"
+)
+
+func TestSelfLoopSingleBlockReach(t *testing.T) {
+	src := `
+proc spin
+top:
+  mov ebx, 5
+  jcc top
+endproc
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := Analyze(prog, prog.Procs[0])
+	t.Logf("blocks=%d succs=%v", len(pi.Blocks), pi.Blocks[0].Succs)
+	// At instruction 0 on the second loop iteration, the def of ebx at
+	// inst 0 reaches the block entry via the back edge.
+	in := pi.ReachEntry(0)
+	t.Logf("reachIn[0]=%v", in)
+	found := false
+	for _, d := range in[RegLoc(asm.EBX)] {
+		if d == DefID(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop-carried def of ebx missing from block-entry reach state: %v", in)
+	}
+}
