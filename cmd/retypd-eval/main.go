@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|par|all]
+//	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|par|warm|all]
 //	            [-scale N] [-quick] [-j N] [-timings out.json]
 package main
 
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, fig12, const, par, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, fig12, const, par, warm, all")
 	scale := flag.Int("scale", 0, "override corpus scale divisor (default from config)")
 	quick := flag.Bool("quick", false, "use the small smoke-test configuration")
 	workers := flag.Int("j", 0, "solver worker count for the scaling harness (0 = one per CPU)")
@@ -64,12 +64,17 @@ func main() {
 		}
 		sweep = eval.RunParallelSweep(*parSize, counts)
 	}
+	var warm []eval.ScalingPoint
+	if *exp == "warm" || *exp == "all" {
+		fmt.Fprintln(os.Stderr, "running warm-start experiment (cold / persisted-cache / incremental)…")
+		warm = eval.RunWarmStart(*parSize, 8, *workers)
+	}
 
 	if *timings != "" {
 		// Non-nil so an experiment without timing points writes "[]",
 		// not JSON null.
 		points := []eval.ScalingPoint{}
-		points = append(append(points, scaling...), sweep...)
+		points = append(append(append(points, scaling...), sweep...), warm...)
 		blob, err := json.MarshalIndent(points, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*timings, append(blob, '\n'), 0o644)
@@ -99,10 +104,12 @@ func main() {
 			fmt.Println(eval.ConstReport(suite))
 		case "par":
 			fmt.Println(eval.FigureParallel(sweep))
+		case "warm":
+			fmt.Println(eval.FigureWarmStart(warm))
 		}
 	}
 	if *exp == "all" {
-		for _, e := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "const", "par"} {
+		for _, e := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "const", "par", "warm"} {
 			show(e)
 			fmt.Println()
 		}

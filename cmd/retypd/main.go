@@ -1,10 +1,19 @@
-// Command retypd infers types for a program in the substrate assembly
+// Command retypd infers types for programs in the substrate assembly
 // format and prints the recovered polymorphic type schemes, C
 // signatures and struct typedefs.
 //
 // Usage:
 //
-//	retypd [-schemes] [-sketches] [-j N] [-nocache] [-nobodydedup] [-cachestats] file.sasm
+//	retypd [-schemes] [-sketches] [-j N] [-nocache] [-nobodydedup]
+//	       [-cachestats] [-cachefile path] [-incremental] file.sasm...
+//
+// All files are analyzed by one long-lived engine, so duplicate
+// procedures across files are solved once. -cachefile loads a
+// persisted cache stack before the first file (if the file exists) and
+// saves it after the last, warming future invocations. -incremental
+// re-analyzes the second and later files against the previous one's
+// session — only changed procedures and their callers recompute —
+// and reports the replayed/recomputed split on stderr.
 package main
 
 import (
@@ -23,46 +32,105 @@ func main() {
 	nocache := flag.Bool("nocache", false, "disable every memo layer — body dedup and the scheme/shape caches (the uncached baseline)")
 	nobodydedup := flag.Bool("nobodydedup", false, "disable only whole-procedure body deduplication ahead of constraint generation")
 	cachestats := flag.Bool("cachestats", false, "print memo-layer hit/miss counts to stderr")
+	cachefile := flag.String("cachefile", "", "load the cache stack from this file before analyzing (if it exists) and save it back after")
+	incremental := flag.Bool("incremental", false, "re-analyze the 2nd+ input files incrementally against the previous file's session")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: retypd [flags] file.sasm")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: retypd [flags] file.sasm...")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "retypd:", err)
-		os.Exit(1)
+	if *nocache && *cachefile != "" {
+		fmt.Fprintln(os.Stderr, "retypd: -nocache and -cachefile are mutually exclusive")
+		os.Exit(2)
 	}
-	prog, err := retypd.ParseAsm(string(src))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "retypd:", err)
-		os.Exit(1)
+	if *nocache && *incremental {
+		fmt.Fprintln(os.Stderr, "retypd: -nocache and -incremental are mutually exclusive (incremental replay rides the engine session)")
+		os.Exit(2)
 	}
-	res := retypd.Infer(prog, &retypd.Config{
+
+	eng := retypd.NewEngine(nil)
+	if *cachefile != "" {
+		if _, err := os.Stat(*cachefile); err == nil {
+			loaded, err := retypd.LoadCache(*cachefile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "retypd: load cache:", err)
+				os.Exit(1)
+			}
+			eng = loaded
+			if *cachestats {
+				sn, shn := eng.CacheLen()
+				fmt.Fprintf(os.Stderr, "loaded %s: %d scheme entries, %d shape entries\n", *cachefile, sn, shn)
+			}
+		}
+	}
+
+	cfg := &retypd.Config{
 		Monomorphic:   *mono,
 		Workers:       *workers,
 		NoSchemeCache: *nocache,
 		NoShapeCache:  *nocache,
 		NoBodyDedup:   *nobodydedup || *nocache,
-	})
-	if *cachestats {
-		st := res.CacheStats()
-		fmt.Fprintf(os.Stderr, "body dedup: %d hits / %d misses; scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses\n",
-			st.BodyDedupHits, st.BodyDedupMisses, st.SchemeHits, st.SchemeMisses, st.ShapeHits, st.ShapeMisses)
 	}
-	for _, name := range res.ProcNames() {
-		fmt.Println(res.Signature(name))
-		if *schemes {
-			fmt.Printf("  scheme: %s\n", res.Scheme(name))
+
+	for argi, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retypd:", err)
+			os.Exit(1)
 		}
-		if *sketches {
-			fmt.Printf("  sketch:\n%s", res.ProcSketch(name))
+		prog, err := retypd.ParseAsm(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retypd:", err)
+			os.Exit(1)
+		}
+		var res *retypd.Result
+		switch {
+		case *nocache:
+			res = retypd.Infer(prog, cfg)
+		case *incremental && argi > 0:
+			res = eng.Reanalyze(prog)
+		default:
+			res = eng.Infer(prog, cfg)
+		}
+		if *cachestats || (*incremental && argi > 0) {
+			st := res.CacheStats()
+			if *incremental && argi > 0 {
+				fmt.Fprintf(os.Stderr, "%s: incremental — %d procs replayed, %d recomputed\n",
+					path, st.ReplayedProcs, st.RecomputedProcs)
+			}
+			if *cachestats {
+				fmt.Fprintf(os.Stderr, "%s: body dedup: %d hits / %d misses; scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses\n",
+					path, st.BodyDedupHits, st.BodyDedupMisses, st.SchemeHits, st.SchemeMisses, st.ShapeHits, st.ShapeMisses)
+			}
+		}
+		if flag.NArg() > 1 {
+			fmt.Printf("== %s ==\n", path)
+		}
+		for _, name := range res.ProcNames() {
+			fmt.Println(res.Signature(name))
+			if *schemes {
+				fmt.Printf("  scheme: %s\n", res.Scheme(name))
+			}
+			if *sketches {
+				fmt.Printf("  sketch:\n%s", res.ProcSketch(name))
+			}
+		}
+		if ts := res.Typedefs(); len(ts) > 0 {
+			fmt.Println("\n/* recovered typedefs */")
+			for _, t := range ts {
+				fmt.Printf("typedef %s;\n", t)
+			}
 		}
 	}
-	if ts := res.Typedefs(); len(ts) > 0 {
-		fmt.Println("\n/* recovered typedefs */")
-		for _, t := range ts {
-			fmt.Printf("typedef %s;\n", t)
+
+	if *cachefile != "" {
+		if err := eng.SaveCache(*cachefile); err != nil {
+			fmt.Fprintln(os.Stderr, "retypd: save cache:", err)
+			os.Exit(1)
+		}
+		if *cachestats {
+			sn, shn := eng.CacheLen()
+			fmt.Fprintf(os.Stderr, "saved %s: %d scheme entries, %d shape entries\n", *cachefile, sn, shn)
 		}
 	}
 }

@@ -1,0 +1,140 @@
+package retypd
+
+import (
+	"sync"
+
+	"retypd/internal/ctype"
+	"retypd/internal/lattice"
+	"retypd/internal/solver"
+)
+
+// Engine is a long-lived analysis session — the way a service or a
+// batch tool should run inference. Where Infer is one-shot (private
+// caches, nothing retained), an Engine owns the whole memo stack
+// (whole-body dedup runs per call; the scheme-simplification and
+// phase-2 shape memos are shared by every call) and the session state
+// incremental re-analysis diffs against:
+//
+//	eng := retypd.NewEngine(nil)
+//	res := eng.Infer(prog, nil)          // cold: full pipeline
+//	res2 := eng.Reanalyze(prog2)         // warm: only changed SCCs and
+//	                                     // their callers recompute
+//	eng.SaveCache("retypd.cache")        // persist the memo stack
+//	...
+//	eng2, _ := retypd.LoadCache("retypd.cache") // fresh process, warm caches
+//
+// Inference output is byte-identical however it is reached: through a
+// cold Infer, a warm Engine, a Reanalyze, or a cache loaded from disk —
+// the caches and the incremental replay change only how much work runs.
+// Methods are safe for concurrent use; Reanalyze diffs against the most
+// recently completed run's session.
+type Engine struct {
+	eng *solver.Engine
+
+	mu      sync.Mutex
+	lastCfg *Config
+}
+
+// EngineOptions sizes a new engine; the zero value (and a nil pointer)
+// select defaults.
+type EngineOptions struct {
+	// SchemeCacheCap and ShapeCacheCap bound the two shared memo layers
+	// in entries (≤ 0 selects the package defaults).
+	SchemeCacheCap, ShapeCacheCap int
+	// DisableSessions turns off session recording: the engine becomes a
+	// pure cache sharer — Infer skips the per-run session snapshot (a
+	// whole-program fingerprint pass plus retention of the previous
+	// run's analyses) and Reanalyze degrades to a full Infer. For
+	// batch workloads over many unrelated programs that never
+	// re-analyze an edited one.
+	DisableSessions bool
+}
+
+// NewEngine returns an engine with empty caches.
+func NewEngine(opts *EngineOptions) *Engine {
+	if opts == nil {
+		opts = &EngineOptions{}
+	}
+	eng := solver.NewEngine(opts.SchemeCacheCap, opts.ShapeCacheCap)
+	if opts.DisableSessions {
+		eng.DisableSessionRecording()
+	}
+	return &Engine{eng: eng}
+}
+
+// Infer runs the full pipeline with the engine's shared caches and
+// records the run as the engine's current session (the baseline the
+// next Reanalyze diffs against). cfg works exactly as in the package-
+// level Infer; the deprecated Config.SchemeCache/ShapeCache fields are
+// ignored — the engine's own caches are used (Config.NoSchemeCache and
+// friends still disable layers for baseline measurements).
+func (e *Engine) Infer(prog *Program, cfg *Config) *Result {
+	cfg, lat, opts := resolveConfig(cfg)
+	res := e.eng.Infer(prog, lat, cfg.Summaries, opts)
+	e.mu.Lock()
+	e.lastCfg = cfg
+	e.mu.Unlock()
+	return &Result{inner: res, conv: ctype.NewConverter(lat)}
+}
+
+// Reanalyze infers prog incrementally against the engine's previous
+// run, under that run's configuration: procedures whose bodies are
+// unchanged — along with all their transitive callees and their SCC
+// membership — are replayed from the session; only changed SCCs and
+// their callers (condensed-call-graph ancestors) run the pipeline.
+// Output is byte-identical to a from-scratch Infer of prog; the
+// replayed/recomputed split is reported by Result.CacheStats. Without
+// a previous run this is a plain (recorded) Infer with the default
+// configuration.
+func (e *Engine) Reanalyze(prog *Program) *Result {
+	e.mu.Lock()
+	cfg := e.lastCfg
+	e.mu.Unlock()
+	cfg, lat, opts := resolveConfig(cfg)
+	res := e.eng.Reanalyze(prog, lat, cfg.Summaries, opts)
+	e.mu.Lock()
+	e.lastCfg = cfg
+	e.mu.Unlock()
+	return &Result{inner: res, conv: ctype.NewConverter(lat)}
+}
+
+// SaveCache persists the engine's scheme and shape memos to path as a
+// versioned, checksummed, process-portable file; see LoadCache. The
+// session state backing Reanalyze is in-memory only and not saved.
+func (e *Engine) SaveCache(path string) error { return e.eng.SaveCache(path) }
+
+// CacheLen reports the current entry counts of the two shared memo
+// layers (observability for CLIs and tests).
+func (e *Engine) CacheLen() (schemeEntries, shapeEntries int) {
+	return e.eng.SchemeCache().Len(), e.eng.ShapeCache().Len()
+}
+
+// LoadCache reads a cache file written by Engine.SaveCache into a fresh
+// engine. Entries are keyed by canonical, process-independent forms, so
+// a cache saved by one process warms another: procedures isomorphic to
+// anything analyzed before load are served from the cache instead of
+// being re-simplified and re-shape-solved, with byte-identical output.
+// Files written by a different encoding version are refused (the cache
+// is then simply cold); shape entries whose lattice has not been built
+// in this process are skipped.
+func LoadCache(path string) (*Engine, error) {
+	eng, _, err := solver.LoadCache(path, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// resolveConfig maps a public Config (nil allowed) to the solver
+// options, mirroring Infer.
+func resolveConfig(cfg *Config) (*Config, *lattice.Lattice, solver.Options) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	lat := cfg.Lattice
+	if lat == nil {
+		lat = lattice.Default()
+	}
+	opts := solverOptions(cfg)
+	return cfg, lat, opts
+}

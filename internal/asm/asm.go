@@ -196,6 +196,28 @@ type Proc struct {
 	Labels map[string]int // label → instruction index
 }
 
+// EqualBody reports whether other has the byte-for-byte same body as
+// p: identical instruction streams (including display-only JCC
+// mnemonics) and identical label names at identical positions. The
+// procedures' names may differ. Incremental re-analysis uses it to
+// decide which per-procedure CFG analyses can be reused verbatim.
+func (p *Proc) EqualBody(other *Proc) bool {
+	if len(p.Insts) != len(other.Insts) || len(p.Labels) != len(other.Labels) {
+		return false
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != other.Insts[i] {
+			return false
+		}
+	}
+	for name, idx := range p.Labels {
+		if oidx, ok := other.Labels[name]; !ok || oidx != idx {
+			return false
+		}
+	}
+	return true
+}
+
 // Program is a parsed assembly module.
 type Program struct {
 	Procs     []*Proc

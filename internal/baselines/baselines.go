@@ -26,7 +26,6 @@ import (
 	"retypd/internal/constraints"
 	"retypd/internal/label"
 	"retypd/internal/lattice"
-	"retypd/internal/pgraph"
 	"retypd/internal/sketch"
 	"retypd/internal/solver"
 	"retypd/internal/summaries"
@@ -54,43 +53,49 @@ type System struct {
 }
 
 // Retypd is the paper's system (the main pipeline).
-func Retypd() System { return RetypdCached(nil, nil) }
+func Retypd() System { return RetypdEngine(nil) }
 
-// RetypdCached is Retypd with caller-provided scheme-simplification
-// and shape memos shared by every Run call (and with any other system
-// holding the same caches). Sharing is sound across programs and
-// configurations — see the contracts on pgraph.SimplifyCache and
-// sketch.ShapeCache — and lets duplicate leaf procedures across a
-// whole benchmark suite be simplified and shape-solved once. Nil
-// caches give each Run private ones.
-func RetypdCached(schemes *pgraph.SimplifyCache, shapes *sketch.ShapeCache) System {
+// RetypdEngine is Retypd running inside a caller-provided long-lived
+// solver.Engine: every Run shares the engine's scheme-simplification
+// and shape memos (with any other system on the same engine). Sharing
+// is sound across programs and configurations — cache safety comes
+// from the canonical keys, see the contracts on pgraph.SimplifyCache
+// and sketch.ShapeCache — and lets duplicate leaf procedures across a
+// whole benchmark suite be simplified and shape-solved once. A nil
+// engine gives each Run a private one-shot pipeline.
+func RetypdEngine(eng *solver.Engine) System {
 	return System{Name: "Retypd", Run: func(prog *asm.Program, lat *lattice.Lattice) *Outcome {
 		opts := solver.DefaultOptions()
 		opts.KeepIntermediates = false
-		opts.SchemeCache = schemes
-		opts.ShapeCache = shapes
-		res := solver.Infer(prog, lat, nil, opts)
+		var res *solver.Result
+		if eng != nil {
+			res = eng.Infer(prog, lat, nil, opts)
+		} else {
+			res = solver.Infer(prog, lat, nil, opts)
+		}
 		return outcomeFromSolver(res, lat)
 	}}
 }
 
 // TIEStyle is the monomorphic, recursion-free subtype baseline.
-func TIEStyle() System { return TIEStyleCached(nil, nil) }
+func TIEStyle() System { return TIEStyleEngine(nil) }
 
-// TIEStyleCached is TIEStyle with shared scheme/shape memos; see
-// RetypdCached. Sharing one ShapeCache with Retypd is sound even
-// though TIE* truncates sketch depth — the depth bound is part of the
-// cache key.
-func TIEStyleCached(schemes *pgraph.SimplifyCache, shapes *sketch.ShapeCache) System {
+// TIEStyleEngine is TIEStyle sharing a solver.Engine; see RetypdEngine.
+// Sharing one engine with Retypd is sound even though TIE* truncates
+// sketch depth — the depth bound is part of the shape-cache key.
+func TIEStyleEngine(eng *solver.Engine) System {
 	return System{Name: "TIE*", Run: func(prog *asm.Program, lat *lattice.Lattice) *Outcome {
 		opts := solver.DefaultOptions()
 		opts.KeepIntermediates = false
 		opts.Absint = absint.Options{MonomorphicCalls: true, PolymorphicExternals: true}
 		opts.MaxSketchDepth = 3
 		opts.NoSpecialize = true
-		opts.SchemeCache = schemes
-		opts.ShapeCache = shapes
-		res := solver.Infer(prog, lat, nil, opts)
+		var res *solver.Result
+		if eng != nil {
+			res = eng.Infer(prog, lat, nil, opts)
+		} else {
+			res = solver.Infer(prog, lat, nil, opts)
+		}
 		return outcomeFromSolver(res, lat)
 	}}
 }

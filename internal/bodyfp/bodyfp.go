@@ -62,9 +62,11 @@ type Config struct {
 	MonomorphicCalls      bool
 	PolymorphicExternals  bool
 	NoConstantSuppression bool
-	// LatticeSig is the lattice identity (lattice.SigSym as an integer):
-	// constraint generation consults the lattice for constant detection.
-	LatticeSig uint64
+	// LatticeSig is the lattice's content signature
+	// (lattice.Signature): constraint generation consults the lattice
+	// for constant detection. Encoded as bytes, so fingerprints are
+	// identical across processes.
+	LatticeSig string
 }
 
 // CalleeKind discriminates CalleeID.
@@ -81,10 +83,17 @@ const (
 	CalleeNamed CalleeKind = 2
 )
 
-// CalleeID is the identity the fingerprint records for one call target.
+// CalleeID is the identity the fingerprint records for one call target:
+// a per-run class id for CalleeClass, the target's own name for
+// CalleeNamed. Names are encoded as bytes (never as interned ids), so a
+// fingerprint computed with named callees is identical across
+// processes — the property the engine's incremental session relies on.
 type CalleeID struct {
 	Kind CalleeKind
-	ID   uint64
+	// ID is the body-equivalence class id (CalleeClass only).
+	ID uint64
+	// Name is the exact target name (CalleeNamed only).
+	Name string
 }
 
 // Call is one call or tail-call site of a fingerprinted body.
@@ -137,7 +146,15 @@ func (fp *FP) SameRegisters(other *FP) bool {
 // Calls lists the body's call and tail-call sites in instruction order.
 func (fp *FP) Calls() []Call { return fp.calls }
 
-// seed is the process-stable seed of the grouping hash.
+// encVersion versions the canonical encoding's layout. DecodeFP refuses
+// blobs of other versions; bump it whenever the encoded content changes
+// shape (the engine's persisted sessions and the property tests pin the
+// round trip).
+const encVersion = 2
+
+// seed is the process-stable seed of the grouping hash. The hash is a
+// grouping accelerator only — it is recomputed from the (portable)
+// canonical encoding on decode, never shipped.
 var seed = maphash.MakeSeed()
 
 // register symmetry classes (slot order is fixed; pinned members are
@@ -184,8 +201,9 @@ func Compute(pi *cfg.ProcInfo, conf Config, calleeID func(target string) (Callee
 	if conf.NoConstantSuppression {
 		optBits |= 4
 	}
-	enc = append(enc, 1 /* encoding version */, optBits)
-	enc = binary.AppendUvarint(enc, conf.LatticeSig)
+	enc = append(enc, encVersion, optBits)
+	enc = binary.AppendUvarint(enc, uint64(len(conf.LatticeSig)))
+	enc = append(enc, conf.LatticeSig...)
 	if pi.HasOut {
 		enc = append(enc, 1)
 	} else {
@@ -274,7 +292,13 @@ func Compute(pi *cfg.ProcInfo, conf Config, calleeID func(target string) (Callee
 			return false
 		}
 		enc = append(enc, byte(id.Kind))
-		enc = binary.AppendUvarint(enc, id.ID)
+		switch id.Kind {
+		case CalleeClass:
+			enc = binary.AppendUvarint(enc, id.ID)
+		case CalleeNamed:
+			enc = binary.AppendUvarint(enc, uint64(len(id.Name)))
+			enc = append(enc, id.Name...)
+		}
 		seq, ok := nameSeq[target]
 		if !ok {
 			seq = uint64(len(nameSeq))

@@ -117,7 +117,7 @@ func TestDistinguishes(t *testing.T) {
 		{"different-op", strings.ReplaceAll(base, "add", "sub"), Config{}},
 		{"extra-inst", base + "\nnop", Config{}},
 		{"options", base, Config{MonomorphicCalls: true}},
-		{"lattice", base, Config{LatticeSig: 99}},
+		{"lattice", base, Config{LatticeSig: "99"}},
 	}
 	for _, tc := range cases {
 		got := fpOf(t, wrap("f", tc.body), "f", tc.conf)

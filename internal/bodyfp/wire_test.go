@@ -1,0 +1,78 @@
+package bodyfp
+
+import (
+	"bytes"
+	"testing"
+
+	"retypd/internal/asm"
+	"retypd/internal/cfg"
+)
+
+// TestFPWireRoundTrip: AppendWire→DecodeFPWire→AppendWire is
+// byte-stable and preserves equivalence, registers and call sites.
+func TestFPWireRoundTrip(t *testing.T) {
+	prog := asm.MustParse(`
+proc w
+    mov ebx, [ebp+8]
+    push ebx
+    call helper_a
+    add esp, 4
+    push eax
+    call helper_b
+    add esp, 4
+    ret
+endproc
+`)
+	pi := cfg.Analyze(prog, prog.Procs[0])
+	conf := Config{LatticeSig: "test-sig"}
+	named := func(target string) (CalleeID, bool) {
+		return CalleeID{Kind: CalleeNamed, Name: target}, true
+	}
+	fp := Compute(pi, conf, named)
+	if fp == nil {
+		t.Fatal("Compute returned nil")
+	}
+
+	enc := fp.AppendWire(nil)
+	got, n, err := DecodeFPWire(append(append([]byte(nil), enc...), 0x3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !got.EquivalentTo(fp) || got.Hash() != fp.Hash() {
+		t.Fatal("decoded fingerprint not equivalent to original")
+	}
+	if !got.SameRegisters(fp) {
+		t.Fatal("decoded fingerprint lost the register assignment")
+	}
+	if len(got.Calls()) != len(fp.Calls()) {
+		t.Fatalf("decoded %d calls, want %d", len(got.Calls()), len(fp.Calls()))
+	}
+	for i, c := range fp.Calls() {
+		if got.Calls()[i] != c {
+			t.Fatalf("call %d mismatch: %+v vs %+v", i, got.Calls()[i], c)
+		}
+	}
+	if re := got.AppendWire(nil); !bytes.Equal(re, enc) {
+		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+// TestFPWireRejectsOtherVersion: a blob whose canonical encoding is
+// from a different encoder version is refused.
+func TestFPWireRejectsOtherVersion(t *testing.T) {
+	prog := asm.MustParse("proc f\n    ret\nendproc\n")
+	pi := cfg.Analyze(prog, prog.Procs[0])
+	fp := Compute(pi, Config{LatticeSig: "s"}, func(string) (CalleeID, bool) {
+		return CalleeID{Kind: CalleeNamed, Name: "x"}, true
+	})
+	enc := fp.AppendWire(nil)
+	// Byte 0 is the encoding length varint; byte 1 starts the encoding
+	// with its version. Flip the version.
+	enc[1] ^= 0x55
+	if _, _, err := DecodeFPWire(enc); err == nil {
+		t.Fatal("decode of a foreign encoding version succeeded")
+	}
+}

@@ -98,6 +98,11 @@ type ProcInfo struct {
 	// reachIn[b] maps locations to the definitions reaching block b's
 	// entry.
 	reachIn []map[Loc][]DefID
+
+	// hasOutOwn is HasOut's intraprocedural value (before the tail-call
+	// fixpoint of FinishHasOut raises it), captured by Analyze so
+	// CloneForProgram can rebase onto a new program in O(1).
+	hasOutOwn bool
 }
 
 // EntryLoc returns the formal location of a synthetic entry definition.
@@ -131,6 +136,7 @@ func Analyze(prog *asm.Program, proc *asm.Proc) *ProcInfo {
 	pi.findFormals()
 	pi.reachingDefs()
 	pi.findHasOut()
+	pi.hasOutOwn = pi.HasOut
 	return pi
 }
 
@@ -496,10 +502,22 @@ func (pi *ProcInfo) reachingDefs() {
 		pi.reachIn[0][l] = []DefID{d}
 	}
 	if nb == 1 {
-		// Straight-line procedure (the overwhelmingly common leaf
-		// shape): the only block-entry state is the entry definitions;
-		// no out-state is ever consumed.
-		return
+		selfLoop := false
+		for _, s := range pi.Blocks[0].Succs {
+			if s == 0 {
+				selfLoop = true
+				break
+			}
+		}
+		if !selfLoop {
+			// Straight-line procedure (the overwhelmingly common leaf
+			// shape): the only block-entry state is the entry
+			// definitions; no out-state is ever consumed. A single
+			// block that jumps back to its own start is NOT straight-
+			// line — its out-state reaches its entry via the back edge,
+			// so it must run the fixpoint like any loop.
+			return
+		}
 	}
 
 	// Per-block gen/kill in one pass: out = gen ∪ (in − kill).
@@ -735,6 +753,19 @@ func AnalyzeProgram(prog *asm.Program) map[string]*ProcInfo {
 	for _, p := range prog.Procs {
 		infos[p.Name] = Analyze(prog, p)
 	}
+	FinishHasOut(infos)
+	return infos
+}
+
+// FinishHasOut runs the interprocedural tail-call fixpoint over
+// per-procedure analyses: a procedure that tail-jumps into a
+// value-returning (or external) callee returns a value itself. It is
+// the only cross-procedure step of AnalyzeProgram, split out so
+// incremental re-analysis can rebuild a program's infos from a mix of
+// freshly analyzed and rebased (CloneForProgram) procedures and still
+// complete them consistently. Infos must carry their intraprocedural
+// HasOut when this is called.
+func FinishHasOut(infos map[string]*ProcInfo) {
 	for changed := true; changed; {
 		changed = false
 		for _, pi := range infos {
@@ -757,5 +788,25 @@ func AnalyzeProgram(prog *asm.Program) map[string]*ProcInfo {
 			}
 		}
 	}
-	return infos
+}
+
+// CloneForProgram returns a shallow copy of pi rebased onto prog and
+// proc, which must have an instruction stream and label set identical
+// to pi's (the caller verifies with asm.Proc.EqualBody). Every
+// per-procedure analysis result is shared read-only with the receiver;
+// HasOut is reset to its intraprocedural value so a following
+// FinishHasOut can re-run the tail-call fixpoint against the new
+// program without mutating pi. This is what lets incremental
+// re-analysis skip re-running the per-procedure analyses for unchanged
+// procedures.
+func (pi *ProcInfo) CloneForProgram(prog *asm.Program, proc *asm.Proc) *ProcInfo {
+	ci := *pi
+	ci.Prog = prog
+	ci.Proc = proc
+	// Recover the intraprocedural value captured by Analyze: the
+	// receiver's HasOut may have been raised by a previous program's
+	// tail-call fixpoint, and the new program's fixpoint must start
+	// from the body-local truth.
+	ci.HasOut = pi.hasOutOwn
+	return &ci
 }

@@ -180,6 +180,32 @@ endproc
 	}
 }
 
+// TestLoopCarriedReachingDef: in a single-block self-loop, the block's
+// own definitions reach its entry via the back edge (the loop-carried
+// state the reaching-defs fixpoint must not drop).
+func TestLoopCarriedReachingDef(t *testing.T) {
+	prog, err := asm.Parse(`
+proc spin
+top:
+  mov ebx, 5
+  jz top
+endproc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := Analyze(prog, prog.Procs[0])
+	found := false
+	for _, d := range pi.ReachEntry(0)[RegLoc(asm.EBX)] {
+		if d == DefID(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop-carried def of ebx missing from block-entry reach state: %v", pi.ReachEntry(0))
+	}
+}
+
 // TestTailCallDetection: jmp to another proc is a tail call and
 // inherits HasOut.
 func TestTailCallDetection(t *testing.T) {

@@ -1,0 +1,116 @@
+package constraints
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"retypd/internal/intern"
+)
+
+// Wire encoding of derived type variables, constraints and constraint
+// sets — the canonical byte form persisted cache entries are written
+// in. The encoding is a pure function of rendered content (base names
+// as bytes, paths as label wire forms), never of intern ids, so a blob
+// written by one process decodes to equivalent values in any other;
+// decoding re-interns through the process-local table. Insertion order
+// is preserved exactly: an encode→decode→encode round trip is
+// byte-identical, which the property tests pin down.
+
+// AppendDTVWire appends d's canonical wire form to buf:
+// uvarint(len(base)) ++ base bytes ++ word wire (see
+// intern.AppendWordWire).
+func AppendDTVWire(buf []byte, d DTV) []byte {
+	base := intern.StringOf(intern.DTVBase(d.ref))
+	buf = binary.AppendUvarint(buf, uint64(len(base)))
+	buf = append(buf, base...)
+	return intern.AppendWordWire(buf, intern.DTVWord(d.ref))
+}
+
+// DecodeDTVWire re-interns one derived type variable from the front of
+// data, returning the bytes consumed.
+func DecodeDTVWire(data []byte) (DTV, int, error) {
+	ln, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < ln {
+		return DTV{}, 0, fmt.Errorf("constraints: truncated base variable in wire form")
+	}
+	base := intern.Intern(string(data[n : n+int(ln)]))
+	n += int(ln)
+	w, m, err := intern.DecodeWordWire(data[n:])
+	if err != nil {
+		return DTV{}, 0, err
+	}
+	n += m
+	return DTV{ref: intern.DTV(base, w)}, n, nil
+}
+
+// AppendWire appends the set's canonical wire form to buf:
+// uvarint(count) then each constraint (kind byte + its operand DTVs) in
+// insertion order.
+func (s *Set) AppendWire(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(s.Len()))
+	for _, c := range s.Constraints() {
+		buf = append(buf, byte(c.Kind))
+		switch c.Kind {
+		case KindSub:
+			buf = AppendDTVWire(buf, c.L)
+			buf = AppendDTVWire(buf, c.R)
+		default:
+			buf = AppendDTVWire(buf, c.X)
+			buf = AppendDTVWire(buf, c.Y)
+			buf = AppendDTVWire(buf, c.Z)
+		}
+	}
+	return buf
+}
+
+// DecodeSetWire re-interns one constraint set from the front of data,
+// returning the bytes consumed. The decoded set preserves the encoded
+// insertion order.
+func DecodeSetWire(data []byte) (*Set, int, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("constraints: truncated set length in wire form")
+	}
+	s := NewSet()
+	for i := uint64(0); i < count; i++ {
+		if n >= len(data) {
+			return nil, 0, fmt.Errorf("constraints: truncated constraint in wire form")
+		}
+		kind := ConstraintKind(data[n])
+		n++
+		dec := func() (DTV, error) {
+			d, m, err := DecodeDTVWire(data[n:])
+			n += m
+			return d, err
+		}
+		switch kind {
+		case KindSub:
+			l, err := dec()
+			if err != nil {
+				return nil, 0, err
+			}
+			r, err := dec()
+			if err != nil {
+				return nil, 0, err
+			}
+			s.Insert(Sub(l, r))
+		case KindAdd, KindSubtract:
+			x, err := dec()
+			if err != nil {
+				return nil, 0, err
+			}
+			y, err := dec()
+			if err != nil {
+				return nil, 0, err
+			}
+			z, err := dec()
+			if err != nil {
+				return nil, 0, err
+			}
+			s.Insert(Constraint{Kind: kind, X: x, Y: y, Z: z})
+		default:
+			return nil, 0, fmt.Errorf("constraints: unknown constraint kind %d in wire form", kind)
+		}
+	}
+	return s, n, nil
+}

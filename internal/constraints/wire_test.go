@@ -1,0 +1,67 @@
+package constraints
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"retypd/internal/label"
+)
+
+func randDTV(rng *rand.Rand) DTV {
+	bases := []Var{"f", "g_1", "τ0", "close@f!3", "f!eax@2", "¤0", "int"}
+	d := BaseDTV(bases[rng.Intn(len(bases))])
+	for i := rng.Intn(4); i > 0; i-- {
+		switch rng.Intn(4) {
+		case 0:
+			d = d.Append(label.In("stack0"))
+		case 1:
+			d = d.Append(label.Out("eax"))
+		case 2:
+			d = d.Append(label.Load())
+		default:
+			d = d.Append(label.Field(32, 4*rng.Intn(8)))
+		}
+	}
+	return d
+}
+
+// TestSetWireRoundTrip: encode→decode→encode is byte-stable, the
+// decoded set is equal constraint-by-constraint in insertion order, and
+// decoding consumes exactly the encoded bytes.
+func TestSetWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		s := NewSet()
+		for i := rng.Intn(30); i > 0; i-- {
+			switch rng.Intn(3) {
+			case 0:
+				s.Insert(Sub(randDTV(rng), randDTV(rng)))
+			case 1:
+				s.Insert(Add(randDTV(rng), randDTV(rng), randDTV(rng)))
+			default:
+				s.Insert(HasVar(randDTV(rng)))
+			}
+		}
+		enc := s.AppendWire(nil)
+		got, n, err := DecodeSetWire(append(append([]byte(nil), enc...), 0x01))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", n, len(enc))
+		}
+		a, b := s.Constraints(), got.Constraints()
+		if len(a) != len(b) {
+			t.Fatalf("decoded %d constraints, want %d", len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("constraint %d: %v ≠ %v", i, a[i], b[i])
+			}
+		}
+		if re := got.AppendWire(nil); !bytes.Equal(re, enc) {
+			t.Fatal("re-encode not byte-stable")
+		}
+	}
+}

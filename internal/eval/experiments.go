@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -11,8 +12,6 @@ import (
 	"retypd/internal/conc"
 	"retypd/internal/corpus"
 	"retypd/internal/lattice"
-	"retypd/internal/pgraph"
-	"retypd/internal/sketch"
 	"retypd/internal/solver"
 )
 
@@ -60,20 +59,22 @@ type SuiteScores struct {
 }
 
 // RunSuite generates the corpus and scores all systems. One
-// scheme-simplification memo and one shape memo are shared across
-// every Infer run of the suite (all benchmarks, all solver-based
-// systems): both caches are keyed by canonical constraint-set
-// fingerprints (see the sharing contracts on pgraph.SimplifyCache and
-// sketch.ShapeCache), so duplicate leaf procedures are simplified and
-// shape-solved once for the whole suite instead of once per benchmark.
+// solver.Engine is shared across every Infer run of the suite (all
+// benchmarks, both solver-based systems): its scheme and shape memos
+// are keyed by canonical constraint-set fingerprints (see the sharing
+// contracts on pgraph.SimplifyCache and sketch.ShapeCache), so
+// duplicate leaf procedures are simplified and shape-solved once for
+// the whole suite instead of once per benchmark.
 func RunSuite(cfg Config) *SuiteScores {
 	lat := lattice.Default()
 	benches := corpus.GenerateSuite(cfg.Suite)
-	schemes := pgraph.NewSimplifyCache(0)
-	shapes := sketch.NewShapeCache(0)
+	eng := solver.NewEngine(0, 0)
+	// The suite never re-analyzes an edited program; the engine is a
+	// pure cache sharer here, so skip per-run session snapshots.
+	eng.DisableSessionRecording()
 	systems := []baselines.System{
-		baselines.RetypdCached(schemes, shapes),
-		baselines.TIEStyleCached(schemes, shapes),
+		baselines.RetypdEngine(eng),
+		baselines.TIEStyleEngine(eng),
 		baselines.RewardsStyle(0.6),
 		baselines.Unify(),
 	}
@@ -88,8 +89,8 @@ func RunSuite(cfg Config) *SuiteScores {
 			out.BodyDedupMisses += s.BodyDedupMisses
 		}
 	}
-	out.SchemeCacheHits, out.SchemeCacheMisses = schemes.Stats()
-	out.ShapeCacheHits, out.ShapeCacheMisses = shapes.Stats()
+	out.SchemeCacheHits, out.SchemeCacheMisses = eng.SchemeCache().Stats()
+	out.ShapeCacheHits, out.ShapeCacheMisses = eng.ShapeCache().Stats()
 	return out
 }
 
@@ -196,6 +197,12 @@ type ScalingPoint struct {
 	// proxy for Figure 12 (the paper measured peak RSS; allocation
 	// volume is the closest hardware-independent analogue).
 	AllocBytes float64
+	// Kind tags special measurement modes: "" for the plain scaling
+	// sweep, "cold"/"warm" for the persistence experiment (infer with
+	// empty caches vs. infer after loading the saved cache stack in a
+	// fresh engine), "incremental" for Engine.Reanalyze after a
+	// 1-procedure mutation.
+	Kind string `json:",omitempty"`
 }
 
 // RunScaling measures inference time and allocation across program
@@ -249,6 +256,95 @@ func measureScale(size int, seed int64, workers int) ScalingPoint {
 		Seconds:    elapsed.Seconds(),
 		AllocBytes: float64(m1.TotalAlloc - m0.TotalAlloc),
 	}
+}
+
+// RunWarmStart measures the engine persistence and incrementality path
+// at one program size: a cold engine Infer, a warm Infer in a fresh
+// engine that loaded the first engine's saved cache file, and an
+// incremental Reanalyze after mutating one procedure. The three points
+// (Kind "cold"/"warm"/"incremental") quantify what a service gains from
+// a durable cache across restarts and from the session between edits.
+func RunWarmStart(size int, seed int64, workers int) []ScalingPoint {
+	lat := lattice.Default()
+	b := corpus.Generate(fmt.Sprintf("warm%d", size), seed, size)
+	prog, err := asm.Parse(b.Source)
+	if err != nil {
+		panic(err)
+	}
+	opts := solver.DefaultOptions()
+	opts.KeepIntermediates = false
+	opts.Workers = workers
+
+	measure := func(kind string, run func()) ScalingPoint {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		run()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		return ScalingPoint{
+			Insts:      b.Insts,
+			Workers:    conc.Limit(workers),
+			Seconds:    elapsed.Seconds(),
+			AllocBytes: float64(m1.TotalAlloc - m0.TotalAlloc),
+			Kind:       kind,
+		}
+	}
+
+	var out []ScalingPoint
+	eng := solver.NewEngine(0, 0)
+	out = append(out, measure("cold", func() { eng.Infer(prog, lat, nil, opts) }))
+
+	dir, err := os.MkdirTemp("", "retypd-warm")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/cache"
+	if err := eng.SaveCache(path); err != nil {
+		panic(err)
+	}
+	warmEng, _, err := solver.LoadCache(path, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, measure("warm", func() { warmEng.Infer(prog, lat, nil, opts) }))
+
+	// Incremental: mutate the first top-level procedure and reanalyze
+	// against the cold engine's session.
+	mutSrc := strings.Replace(b.Source, "proc "+prog.Procs[0].Name+"\n",
+		"proc "+prog.Procs[0].Name+"\n    mov ecx, 12345\n", 1)
+	mut, err := asm.Parse(mutSrc)
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, measure("incremental", func() { eng.Reanalyze(mut, lat, nil, opts) }))
+	return out
+}
+
+// FigureWarmStart renders the persistence/incrementality table from
+// RunWarmStart's points.
+func FigureWarmStart(points []ScalingPoint) string {
+	t := &Table{
+		Title:   "Engine warm start — cold vs persisted-cache vs incremental re-analysis",
+		Headers: []string{"mode", "instructions", "workers", "wall seconds", "speedup", "MB allocated"},
+	}
+	var cold float64
+	for _, p := range points {
+		if p.Kind == "cold" {
+			cold = p.Seconds
+		}
+	}
+	for _, p := range points {
+		sp := "—"
+		if p.Kind != "cold" && cold > 0 && p.Seconds > 0 {
+			sp = fmt.Sprintf("%.1f×", cold/p.Seconds)
+		}
+		t.AddRow(p.Kind, fmt.Sprint(p.Insts), fmt.Sprint(p.Workers),
+			fmt.Sprintf("%.4f", p.Seconds), sp, fmt.Sprintf("%.1f", p.AllocBytes/1e6))
+	}
+	return t.String()
 }
 
 // Figure11 renders the time-scaling fit (paper: t = 0.000725·N^1.098,

@@ -1,0 +1,105 @@
+package intern
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"retypd/internal/label"
+)
+
+func randWord(rng *rand.Rand) []label.Label {
+	n := rng.Intn(6)
+	out := make([]label.Label, n)
+	for i := range out {
+		switch rng.Intn(5) {
+		case 0:
+			out[i] = label.In("stack" + string(rune('0'+rng.Intn(10))))
+		case 1:
+			out[i] = label.Out("eax")
+		case 2:
+			out[i] = label.Load()
+		case 3:
+			out[i] = label.Store()
+		default:
+			out[i] = label.Field(8<<rng.Intn(3), rng.Intn(64))
+		}
+	}
+	return out
+}
+
+// TestWordWireRoundTrip: the wire form re-interns to the same WordRef
+// in the same table, re-encodes byte-identically, and decodes to equal
+// labels in a fresh table (the cross-process case).
+func TestWordWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fresh := NewTable()
+	for i := 0; i < 1000; i++ {
+		ls := randWord(rng)
+		w := Word(ls)
+		enc := AppendWordWire(nil, w)
+
+		w2, n, err := DecodeWordWire(append(append([]byte(nil), enc...), 0xFF))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d encoded bytes", n, len(enc))
+		}
+		if w2 != w {
+			t.Fatalf("same-table re-intern changed id: %d → %d", w, w2)
+		}
+		if re := AppendWordWire(nil, w2); !bytes.Equal(re, enc) {
+			t.Fatal("re-encode not byte-stable")
+		}
+
+		// A fresh table (different id assignment) must reconstruct the
+		// same labels and produce the same wire bytes.
+		fw, _, err := fresh.DecodeWordWire(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fresh.WordLabels(fw)
+		if len(got) != len(ls) {
+			t.Fatalf("fresh table decoded %d labels, want %d", len(got), len(ls))
+		}
+		for j := range ls {
+			if got[j] != ls[j] {
+				t.Fatalf("label %d mismatch: %v vs %v", j, got[j], ls[j])
+			}
+		}
+		if re := fresh.AppendWordWire(nil, fw); !bytes.Equal(re, enc) {
+			t.Fatal("fresh-table wire form differs: encoding is not process-independent")
+		}
+	}
+}
+
+// TestWireIdIndependence: the wire form must not depend on intern
+// order — two tables interning the same words in different orders
+// produce identical bytes.
+func TestWireIdIndependence(t *testing.T) {
+	words := [][]label.Label{
+		{label.Load(), label.Field(32, 0)},
+		{label.In("stack0")},
+		{label.Out("eax"), label.Load(), label.Store()},
+	}
+	a, b := NewTable(), NewTable()
+	// a interns in order; b pre-interns unrelated junk and then the
+	// words in reverse.
+	for i := 0; i < 50; i++ {
+		b.Sym(string(rune('A' + i)))
+		b.Word([]label.Label{label.Field(8, i)})
+	}
+	var encA, encB [][]byte
+	for _, w := range words {
+		encA = append(encA, a.AppendWordWire(nil, a.Word(w)))
+	}
+	for i := len(words) - 1; i >= 0; i-- {
+		encB = append([][]byte{b.AppendWordWire(nil, b.Word(words[i]))}, encB...)
+	}
+	for i := range words {
+		if !bytes.Equal(encA[i], encB[i]) {
+			t.Fatalf("word %d: wire form depends on intern order", i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package label
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randLabel draws from every constructor, with adversarial location
+// names (empty, unicode, long).
+func randLabel(rng *rand.Rand) Label {
+	locs := []string{"stack0", "eax", "", "σ@weird.loc", "x", string(make([]byte, 300))}
+	switch rng.Intn(5) {
+	case 0:
+		return In(locs[rng.Intn(len(locs))])
+	case 1:
+		return Out(locs[rng.Intn(len(locs))])
+	case 2:
+		return Load()
+	case 3:
+		return Store()
+	default:
+		return Field(rng.Intn(129)-1, rng.Intn(2049)-1024)
+	}
+}
+
+// TestWireRoundTrip: decode(encode(l)) == l, encode(decode(encode(l)))
+// is byte-identical, and decoding consumes exactly the encoded bytes
+// even with trailing garbage.
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		l := randLabel(rng)
+		enc := AppendWire(nil, l)
+		withTrailer := append(append([]byte(nil), enc...), 0xAB, 0xCD)
+		got, n, err := DecodeWire(withTrailer)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", l, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%v: consumed %d bytes, encoded %d", l, n, len(enc))
+		}
+		if got != l {
+			t.Fatalf("round trip changed label: %v → %v", l, got)
+		}
+		if re := AppendWire(nil, got); !bytes.Equal(re, enc) {
+			t.Fatalf("%v: re-encode not byte-stable", l)
+		}
+	}
+}
+
+// TestWireTruncation: every strict prefix of an encoding must error,
+// never panic or succeed.
+func TestWireTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		enc := AppendWire(nil, randLabel(rng))
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := DecodeWire(enc[:cut]); err == nil {
+				t.Fatalf("prefix of length %d of %x decoded without error", cut, enc)
+			}
+		}
+	}
+}

@@ -8,7 +8,17 @@ package lattice
 // The paper's production lattice has "hundreds of elements" (§3.5); this
 // one is a representative core that callers can extend through
 // DefaultBuilder before building.
-func Default() *Lattice { return DefaultBuilder().MustBuild() }
+//
+// The lattice is built once at package initialization and shared: it is
+// immutable after Build, every Infer call with a nil Config.Lattice
+// resolves to this one value, and eager construction registers its
+// signature before any persisted cache is loaded (a loader can only
+// keep sketch entries whose lattice is already built — see
+// BySignature). Callers extending the stock Λ go through
+// DefaultBuilder, which is unaffected.
+func Default() *Lattice { return defaultLattice }
+
+var defaultLattice = DefaultBuilder().MustBuild()
 
 // DefaultBuilder returns a Builder pre-populated with the stock Λ so
 // that callers can add domain-specific elements (the run-time

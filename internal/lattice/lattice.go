@@ -21,6 +21,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"retypd/internal/intern"
 )
@@ -215,7 +216,39 @@ func (b *Builder) Build() (*Lattice, error) {
 	}
 	l.sig = hex.EncodeToString(h.Sum(nil))
 	l.sigSym = intern.Intern(l.sig)
+	register(l)
 	return l, nil
+}
+
+// registry maps lattice signatures to a representative built lattice of
+// that signature. Persisted cache entries encode lattice elements by
+// name plus the owning lattice's signature; decoding in a fresh process
+// resolves the signature here, so any lattice the process has built is
+// addressable. Two lattices with equal signatures have identical
+// elements and ordering, so keeping the first one built is enough.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Lattice{}
+)
+
+func register(l *Lattice) {
+	regMu.Lock()
+	if _, ok := registry[l.sig]; !ok {
+		registry[l.sig] = l
+	}
+	regMu.Unlock()
+}
+
+// BySignature returns a built lattice whose Signature equals sig, if
+// any lattice with that signature has been built in this process.
+// Decoders of persisted sketches use it to re-bind element names; an
+// unknown signature means the entry cannot be used in this process
+// (the matching lattice was never constructed) and is skipped.
+func BySignature(sig string) (*Lattice, bool) {
+	regMu.RLock()
+	l, ok := registry[sig]
+	regMu.RUnlock()
+	return l, ok
 }
 
 // Signature returns a content hash identifying the lattice: two

@@ -215,6 +215,42 @@ func (c *Cache[K, V]) Do(key K, compute func() (V, bool)) (V, bool) {
 	return f.val, f.ok
 }
 
+// Entry is one exported key/value pair; see Export.
+type Entry[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Export returns the cache's entries in recency order (most recently
+// used first). The snapshot is taken under the lock, so it is
+// consistent, but values are shared with the cache — callers must
+// treat them as read-only (the memo use case stores immutable values).
+func (c *Cache[K, V]) Export() []Entry[K, V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry[K, V], 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		out = append(out, Entry[K, V]{Key: e.key, Val: e.val})
+	}
+	return out
+}
+
+// Import loads entries produced by Export (typically in another
+// process, after the keys and values have crossed a wire decode),
+// preserving their relative recency: entries[0] ends up most recently
+// used. Keys already present keep their existing value; nothing is
+// counted as a hit or a miss. Entries past the capacity bound are
+// evicted as usual, least recent first.
+func (c *Cache[K, V]) Import(entries []Entry[K, V]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		c.addLocked(c.hash(e.Key), e.Key, e.Val)
+	}
+}
+
 // Stats reports cumulative hit/miss counts across all sharers.
 func (c *Cache[K, V]) Stats() (hits, misses uint64) {
 	c.mu.Lock()

@@ -172,3 +172,37 @@ func TestDoPanicReleasesWaiters(t *testing.T) {
 		t.Errorf("Do after panic = %d,%v; want 11,true", v, ok)
 	}
 }
+
+// TestExportImport: Export returns entries MRU-first; Import into a
+// fresh cache preserves values and recency (eviction order), without
+// touching the hit/miss counters.
+func TestExportImport(t *testing.T) {
+	c := New[int, string](10, func(k int) uint64 { return uint64(k % 3) }) // force chains
+	for i := 0; i < 5; i++ {
+		c.Add(i, string(rune('a'+i)))
+	}
+	c.Get(0) // 0 becomes MRU: order 0,4,3,2,1
+	exp := c.Export()
+	if len(exp) != 5 || exp[0].Key != 0 || exp[1].Key != 4 {
+		t.Fatalf("unexpected export order: %+v", exp)
+	}
+
+	c2 := New[int, string](3, func(k int) uint64 { return uint64(k % 3) })
+	c2.Import(exp)
+	if c2.Len() != 3 {
+		t.Fatalf("import past capacity kept %d entries, want 3", c2.Len())
+	}
+	// The 3 most recent (0, 4, 3) survive; 2 and 1 were evicted.
+	hits0, misses0 := c2.Stats()
+	if hits0 != 0 || misses0 != 0 {
+		t.Fatalf("import counted hits/misses: %d/%d", hits0, misses0)
+	}
+	for _, k := range []int{0, 4, 3} {
+		if v, ok := c2.Get(k); !ok || v != string(rune('a'+k)) {
+			t.Fatalf("entry %d missing or wrong after import: %q %v", k, v, ok)
+		}
+	}
+	if _, ok := c2.Get(1); ok {
+		t.Fatal("least-recent entry survived capacity-bounded import")
+	}
+}

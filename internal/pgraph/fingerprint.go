@@ -32,11 +32,17 @@ const canonPrefix = "¤" // ¤
 // cost; the paper's Appendix F notes the per-SCC structure that makes
 // the sharing sound).
 //
-// The hash is computed over interned ids, not rendered strings: each
-// non-constant base symbol is mapped to a dense canonical index in
-// order of first occurrence, constants and label words contribute their
-// (process-stable) intern ids, and the lattice's identity is mixed in.
-// No canonical string rendering of the set is ever materialized.
+// The hash is computed over portable canonical bytes: each non-constant
+// base symbol is mapped to a dense canonical index in order of first
+// occurrence, constants contribute their names, label words contribute
+// their precomputed wire encodings (label.AppendWire via the intern
+// table, a copy — no per-occurrence rendering), and the lattice's
+// content signature is mixed in. Nothing process-local reaches the
+// digest, so the same constraint structure fingerprints to the same sum
+// in every process — which is what lets fingerprint-keyed cache entries
+// be persisted and served across process restarts (see Key.AppendWire
+// and solver's cache persistence). FPVersion is folded into the digest;
+// bump it whenever the hashed content changes shape.
 type FP struct {
 	ok     bool
 	sum    [sha256.Size]byte
@@ -86,6 +92,13 @@ const (
 	fpRenamed = 0x02
 )
 
+// FPVersion is the version of the fingerprint's hashed content, folded
+// into every digest. Any change to what Fingerprint hashes (field
+// order, encodings, new discriminators) must bump it, so that keys
+// persisted under the old scheme can never collide with — or be served
+// for — keys computed under the new one.
+const FPVersion = 2
+
 // Fingerprint canonicalizes cs: every base variable that is not a
 // lattice constant is mapped to canonical index 0, 1, … in order of
 // first occurrence over the set's (deterministic) insertion order, and
@@ -93,30 +106,37 @@ const (
 // (Usable() == false) when canonicalization would be ambiguous.
 func Fingerprint(cs *constraints.Set, lat *lattice.Lattice) *FP {
 	fp := &FP{rename: map[intern.Sym]uint32{}}
-	// consts caches the per-symbol constant test (one name resolution
-	// per distinct base variable, not one per occurrence).
-	consts := map[intern.Sym]bool{}
+	// constInfo caches the per-symbol constant test and name (one
+	// resolution per distinct base variable, not one per occurrence).
+	type constInfo struct {
+		isConst bool
+		name    string
+	}
+	consts := map[intern.Sym]constInfo{}
 	bad := false
 
 	bufp := fpBufPool.Get().(*[]byte)
 	buf := (*bufp)[:0]
+	buf = append(buf, FPVersion)
 
 	canonDTV := func(d constraints.DTV) {
 		y := d.BaseSym()
-		isConst, seen := consts[y]
+		ci, seen := consts[y]
 		if !seen {
-			_, isConst = lat.ElemSym(y)
-			consts[y] = isConst
-			// Only non-constants get renamed, so only they need the
-			// canonical-namespace collision check (which is the one
-			// place a name string is materialized here).
-			if !isConst && strings.Contains(intern.StringOf(y), canonPrefix) {
+			_, ci.isConst = lat.ElemSym(y)
+			if ci.isConst {
+				ci.name = intern.StringOf(y)
+			} else if strings.Contains(intern.StringOf(y), canonPrefix) {
+				// Only non-constants get renamed, so only they need the
+				// canonical-namespace collision check.
 				bad = true
 			}
+			consts[y] = ci
 		}
-		if isConst {
+		if ci.isConst {
 			buf = append(buf, fpConst)
-			buf = binary.AppendUvarint(buf, uint64(y))
+			buf = binary.AppendUvarint(buf, uint64(len(ci.name)))
+			buf = append(buf, ci.name...)
 		} else {
 			idx, ok := fp.rename[y]
 			if !ok {
@@ -127,7 +147,7 @@ func Fingerprint(cs *constraints.Set, lat *lattice.Lattice) *FP {
 			buf = append(buf, fpRenamed)
 			buf = binary.AppendUvarint(buf, uint64(idx))
 		}
-		buf = binary.AppendUvarint(buf, uint64(d.PathRef()))
+		buf = intern.AppendWordWire(buf, d.PathRef())
 	}
 	for _, c := range cs.Constraints() {
 		buf = append(buf, byte(c.Kind))
@@ -141,12 +161,16 @@ func Fingerprint(cs *constraints.Set, lat *lattice.Lattice) *FP {
 			canonDTV(c.Z)
 		}
 	}
-	// Mix in the lattice identity: the same canonical constraint
-	// structure saturates and simplifies differently under a different
-	// Λ, so a cache shared across Infer calls with different lattices
-	// must not cross-serve entries.
+	// Mix in the lattice identity (its content signature, which is
+	// process-independent): the same canonical constraint structure
+	// saturates and simplifies differently under a different Λ, so a
+	// cache shared across Infer calls — or across processes via
+	// persistence — with different lattices must not cross-serve
+	// entries.
+	sig := lat.Signature()
 	buf = append(buf, 0x00)
-	buf = binary.AppendUvarint(buf, uint64(lat.SigSym()))
+	buf = binary.AppendUvarint(buf, uint64(len(sig)))
+	buf = append(buf, sig...)
 
 	if !bad {
 		fp.ok = true

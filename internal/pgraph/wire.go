@@ -1,0 +1,118 @@
+package pgraph
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"retypd/internal/constraints"
+	"retypd/internal/lru"
+)
+
+// Wire encoding of simplification-memo entries. A Key is portable by
+// construction since the fingerprint digest is computed over canonical
+// bytes (FPVersion documents the compatibility contract); a cached
+// SimplifyResult is stored root-canonicalized, so its constraint set
+// mentions only canonical ¤k names, lattice constants and fresh
+// existentials — all plain strings — and round-trips through the
+// constraints wire encoding with insertion order preserved.
+
+// AppendWire appends k's canonical wire form to buf: the 32-byte
+// fingerprint digest followed by uvarint(root index).
+func (k Key) AppendWire(buf []byte) []byte {
+	buf = append(buf, k.sum[:]...)
+	return binary.AppendUvarint(buf, uint64(k.root))
+}
+
+// DecodeKeyWire decodes one Key from the front of data, returning the
+// bytes consumed.
+func DecodeKeyWire(data []byte) (Key, int, error) {
+	var k Key
+	if len(data) < len(k.sum) {
+		return Key{}, 0, fmt.Errorf("pgraph: truncated fingerprint key")
+	}
+	copy(k.sum[:], data)
+	n := len(k.sum)
+	root, m := binary.Uvarint(data[n:])
+	if m <= 0 || root > 0xffffffff {
+		return Key{}, 0, fmt.Errorf("pgraph: truncated root index in fingerprint key")
+	}
+	k.root = uint32(root)
+	return k, n + m, nil
+}
+
+// appendResultWire appends a cached (canonical-form) SimplifyResult.
+func appendResultWire(buf []byte, res *SimplifyResult) []byte {
+	buf = res.Constraints.AppendWire(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(res.Existential)))
+	for _, v := range res.Existential {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// decodeResultWire decodes one cached SimplifyResult.
+func decodeResultWire(data []byte) (*SimplifyResult, int, error) {
+	cs, n, err := constraints.DecodeSetWire(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	count, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("pgraph: truncated existential count")
+	}
+	n += m
+	res := &SimplifyResult{Constraints: cs}
+	for i := uint64(0); i < count; i++ {
+		ln, m := binary.Uvarint(data[n:])
+		if m <= 0 || uint64(len(data)-n-m) < ln {
+			return nil, 0, fmt.Errorf("pgraph: truncated existential variable")
+		}
+		n += m
+		res.Existential = append(res.Existential, constraints.Var(data[n:n+int(ln)]))
+		n += int(ln)
+	}
+	return res, n, nil
+}
+
+// AppendWire appends the cache's entries to buf in recency order:
+// uvarint(count), then per entry the key followed by the canonical
+// result. The snapshot is consistent; concurrent lookups keep working.
+func (c *SimplifyCache) AppendWire(buf []byte) []byte {
+	entries := c.lru.Export()
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = e.Key.AppendWire(buf)
+		buf = appendResultWire(buf, e.Val)
+	}
+	return buf
+}
+
+// LoadWire decodes entries produced by AppendWire (typically in a
+// different process) into the cache, preserving recency order, and
+// returns the bytes consumed plus the number of entries loaded. A
+// malformed entry aborts the load with an error; file-level integrity
+// is the caller's concern (solver's cache files carry a checksum).
+func (c *SimplifyCache) LoadWire(data []byte) (n, loaded int, err error) {
+	count, m := binary.Uvarint(data)
+	if m <= 0 {
+		return 0, 0, fmt.Errorf("pgraph: truncated cache entry count")
+	}
+	n = m
+	entries := make([]lru.Entry[Key, *SimplifyResult], 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, m, err := DecodeKeyWire(data[n:])
+		if err != nil {
+			return 0, 0, err
+		}
+		n += m
+		res, m, err := decodeResultWire(data[n:])
+		if err != nil {
+			return 0, 0, err
+		}
+		n += m
+		entries = append(entries, lru.Entry[Key, *SimplifyResult]{Key: key, Val: res})
+	}
+	c.lru.Import(entries)
+	return n, len(entries), nil
+}

@@ -7,7 +7,6 @@ import (
 	"retypd/internal/bodyfp"
 	"retypd/internal/cfg"
 	"retypd/internal/constraints"
-	"retypd/internal/intern"
 	"retypd/internal/lattice"
 	"retypd/internal/sketch"
 )
@@ -69,7 +68,7 @@ func newDedupState(lat *lattice.Lattice, aopts absint.Options, isConst func(cons
 			MonomorphicCalls:      aopts.MonomorphicCalls,
 			PolymorphicExternals:  aopts.PolymorphicExternals,
 			NoConstantSuppression: aopts.NoConstantSuppression,
-			LatticeSig:            uint64(lat.SigSym()),
+			LatticeSig:            lat.Signature(),
 		},
 		isConst: isConst,
 		keep:    keep,
@@ -117,7 +116,7 @@ func (ds *dedupState) calleeID(target string) (bodyfp.CalleeID, bool) {
 	if id, ok := ds.classOf[target]; ok {
 		return bodyfp.CalleeID{Kind: bodyfp.CalleeClass, ID: uint64(id)}, true
 	}
-	return bodyfp.CalleeID{Kind: bodyfp.CalleeNamed, ID: uint64(intern.Intern(target))}, true
+	return bodyfp.CalleeID{Kind: bodyfp.CalleeNamed, Name: target}, true
 }
 
 // classify files fp under its class (creating one if it is the first

@@ -1,0 +1,420 @@
+package solver
+
+import (
+	"sync"
+
+	"retypd/internal/asm"
+	"retypd/internal/bodyfp"
+	"retypd/internal/cfg"
+	"retypd/internal/conc"
+	"retypd/internal/constraints"
+	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
+	"retypd/internal/sketch"
+	"retypd/internal/summaries"
+)
+
+// Engine is a long-lived analysis session: it owns the whole memo stack
+// (the scheme-simplification and shape caches shared by every run, plus
+// the per-run body-dedup layer the pipeline builds itself) and the
+// session state incremental re-analysis diffs against. Where a plain
+// Infer call is one-shot — private caches, nothing retained — an Engine
+// is the unit a service keeps warm: run after run shares the caches,
+// Reanalyze replays everything a small edit did not touch, and
+// SaveCache/LoadCache move the cache stack across process restarts.
+//
+// Methods are safe for concurrent use. Concurrent Infer calls share the
+// caches freely (their keys are canonical; see the cache sharing
+// contracts); session recording is last-writer-wins, and Reanalyze
+// diffs against the most recently recorded session.
+type Engine struct {
+	schemes *pgraph.SimplifyCache
+	shapes  *sketch.ShapeCache
+
+	// noSessions disables session recording (DisableSessionRecording):
+	// the engine is then a pure cache sharer.
+	noSessions bool
+
+	mu   sync.Mutex
+	sess *session
+}
+
+// NewEngine returns an engine with empty caches bounded to the given
+// capacities (≤ 0 selects the package defaults).
+func NewEngine(schemeCap, shapeCap int) *Engine {
+	return &Engine{
+		schemes: pgraph.NewSimplifyCache(schemeCap),
+		shapes:  sketch.NewShapeCache(shapeCap),
+	}
+}
+
+// SchemeCache exposes the engine's scheme-simplification memo
+// (observability: Stats/Len).
+func (e *Engine) SchemeCache() *pgraph.SimplifyCache { return e.schemes }
+
+// ShapeCache exposes the engine's phase-2 shape memo.
+func (e *Engine) ShapeCache() *sketch.ShapeCache { return e.shapes }
+
+// DisableSessionRecording turns the engine into a pure cache sharer:
+// Infer skips the session snapshot (the whole-program fingerprint pass
+// and the retention of the previous run's analyses), and Reanalyze
+// degrades to a full Infer. For callers that run many unrelated
+// programs through one engine purely for the shared memos — the
+// evaluation suite is one — and never re-analyze an edited program.
+// Call before the first Infer; not synchronized with concurrent runs.
+func (e *Engine) DisableSessionRecording() {
+	e.noSessions = true
+	e.mu.Lock()
+	e.sess = nil
+	e.mu.Unlock()
+}
+
+// session is the recorded outcome of the engine's most recent run: the
+// inputs that parameterized it and, per procedure, everything a clean
+// replay needs. Sessions are immutable once published.
+type session struct {
+	latSig string
+	sums   summaries.Table
+	opts   Options
+	procs  map[string]*procSnap
+	// sccKey maps each procedure to a canonical rendering of its SCC's
+	// member set; a membership change invalidates the whole SCC even
+	// when a member's own body did not change (its scheme was
+	// simplified relative to the old SCC union).
+	sccKey map[string]string
+}
+
+// procSnap is one procedure's session snapshot.
+type procSnap struct {
+	// fp is the portable body fingerprint (named callee identities), the
+	// dirtiness oracle: equal fingerprints plus clean transitive callees
+	// imply byte-identical pipeline output for the procedure.
+	fp *bodyfp.FP
+	// info carries the per-procedure CFG analyses for rebasing onto the
+	// next program (cfg.ProcInfo.CloneForProgram).
+	info   *cfg.ProcInfo
+	scheme *constraints.Scheme
+	// pr is the full phase-2/3 result; its Sketch is sealed at record
+	// time so replays can share it across runs and goroutines.
+	pr *ProcResult
+	// obs are the callsite-actual observations the procedure
+	// contributed to phase 3, replayed verbatim for clean procedures.
+	obs []actualObs
+}
+
+// sessionConfig derives the body-fingerprint configuration of a run.
+// Only named callee identities are used, so session fingerprints are
+// portable and independent of any per-run class numbering.
+func sessionConfig(lat *lattice.Lattice, opts Options) bodyfp.Config {
+	return bodyfp.Config{
+		MonomorphicCalls:      opts.Absint.MonomorphicCalls,
+		PolymorphicExternals:  opts.Absint.PolymorphicExternals,
+		NoConstantSuppression: opts.Absint.NoConstantSuppression,
+		LatticeSig:            lat.Signature(),
+	}
+}
+
+// namedCallee is the CalleeID source of session fingerprints: every
+// target is identified by its exact name. Unlike the in-run dedup
+// layer there is no eligibility filtering — session fingerprints cover
+// every procedure, including self-recursive ones and reserved names.
+func namedCallee(target string) (bodyfp.CalleeID, bool) {
+	return bodyfp.CalleeID{Kind: bodyfp.CalleeNamed, Name: target}, true
+}
+
+// sessionable reports whether a run's options admit session recording.
+// Covered (trace-restricted generation) is a function and cannot be
+// compared across runs, so such runs are never recorded.
+func sessionable(opts Options) bool { return opts.Absint.Covered == nil }
+
+// optsCompatible reports whether two runs' options produce comparable
+// sessions (worker count and cache knobs never change output, so they
+// are ignored).
+func optsCompatible(a, b Options) bool {
+	return a.Absint.MonomorphicCalls == b.Absint.MonomorphicCalls &&
+		a.Absint.PolymorphicExternals == b.Absint.PolymorphicExternals &&
+		a.Absint.NoConstantSuppression == b.Absint.NoConstantSuppression &&
+		a.Absint.Covered == nil && b.Absint.Covered == nil &&
+		a.MaxSketchDepth == b.MaxSketchDepth &&
+		a.NoSpecialize == b.NoSpecialize &&
+		a.KeepIntermediates == b.KeepIntermediates
+}
+
+// sumsCompatible compares summary tables: pointer-identical summaries
+// (the common case — summaries.Default is memoized) short-circuit, and
+// otherwise the summaries are compared structurally, so callers that
+// rebuild an equivalent table per run keep incrementality. A mismatch
+// only ever costs a full run, never correctness.
+func sumsCompatible(a, b summaries.Table) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			return false
+		}
+		if av == bv {
+			continue
+		}
+		if av == nil || bv == nil || av.Name != bv.Name || av.HasOut != bv.HasOut ||
+			len(av.FormalIns) != len(bv.FormalIns) {
+			return false
+		}
+		for i := range av.FormalIns {
+			if av.FormalIns[i] != bv.FormalIns[i] {
+				return false
+			}
+		}
+		if av.Constraints.String() != bv.Constraints.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// withEngineCaches forces the engine's caches into opts (the deprecated
+// per-call cache knobs are superseded; the No* escape hatches keep
+// working for baseline measurements).
+func (e *Engine) withEngineCaches(opts Options) Options {
+	opts.SchemeCache = e.schemes
+	opts.ShapeCache = e.shapes
+	return opts
+}
+
+// Infer runs the full pipeline with the engine's caches and records the
+// run as the engine's current session.
+func (e *Engine) Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) *Result {
+	if sums == nil {
+		sums = summaries.Default()
+	}
+	opts = e.withEngineCaches(opts)
+	res, art := infer(prog, lat, sums, opts, nil, nil, nil)
+	e.record(lat, sums, opts, res, art, nil)
+	return res
+}
+
+// Reanalyze infers prog incrementally against the engine's previous
+// session: procedures whose portable body fingerprints are unchanged —
+// and whose transitive callees are all unchanged, and whose SCC
+// membership did not move — are replayed from the session verbatim;
+// only dirty SCCs and their condensed-call-graph ancestors run the
+// pipeline. The result is byte-identical to a from-scratch Infer of
+// prog (a golden guarantee the tests enforce on the corpus); the run
+// becomes the engine's new session. Without a compatible previous
+// session this degrades to a full (recorded) run.
+func (e *Engine) Reanalyze(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) *Result {
+	if sums == nil {
+		sums = summaries.Default()
+	}
+	e.mu.Lock()
+	sess := e.sess
+	e.mu.Unlock()
+	if sess == nil || !sessionable(opts) ||
+		sess.latSig != lat.Signature() || !optsCompatible(sess.opts, opts) ||
+		!sumsCompatible(sess.sums, sums) {
+		return e.Infer(prog, lat, sums, opts)
+	}
+	opts = e.withEngineCaches(opts)
+
+	// Rebuild the program analyses, rebasing every unchanged procedure
+	// body onto the new program instead of re-running its per-procedure
+	// analyses; the interprocedural HasOut fixpoint always re-runs.
+	infos := make(map[string]*cfg.ProcInfo, len(prog.Procs))
+	for _, p := range prog.Procs {
+		if snap, ok := sess.procs[p.Name]; ok && snap.info.Proc.EqualBody(p) {
+			infos[p.Name] = snap.info.CloneForProgram(prog, p)
+		} else {
+			infos[p.Name] = cfg.Analyze(prog, p)
+		}
+	}
+	cfg.FinishHasOut(infos)
+	cg := cfg.BuildCallGraph(prog)
+
+	// Portable body fingerprints of the new program.
+	conf := sessionConfig(lat, opts)
+	order := prog.Procs
+	fps := make([]*bodyfp.FP, len(order))
+	workers := conc.Limit(opts.Workers)
+	conc.ForEach(workers, len(order), func(i int) {
+		fps[i] = bodyfp.Compute(infos[order[i].Name], conf, namedCallee)
+	})
+	fpOf := make(map[string]*bodyfp.FP, len(order))
+	for i, p := range order {
+		fpOf[p.Name] = fps[i]
+	}
+
+	// Seed dirtiness: new/changed bodies, calls whose target flipped
+	// between program-procedure and external (the fingerprint encodes
+	// only the name, but generation models the two differently), and
+	// SCC membership changes.
+	isProcNew := func(name string) bool { _, ok := infos[name]; return ok }
+	isProcOld := func(name string) bool { _, ok := sess.procs[name]; return ok }
+	dirty := make(map[string]bool, len(order))
+	for _, p := range order {
+		snap, ok := sess.procs[p.Name]
+		d := !ok || !snap.fp.EquivalentTo(fpOf[p.Name])
+		if !d && opts.KeepIntermediates && !snap.fp.SameRegisters(fpOf[p.Name]) {
+			// The fingerprint is canonical over scratch-register
+			// symmetry classes, but the raw kept constraint set embeds
+			// actual register names in its defVar suffixes — replaying
+			// it across a register renaming would diverge from
+			// from-scratch output. Same guard as the in-run dedup
+			// layer (dedup.go).
+			d = true
+		}
+		if !d {
+			for _, c := range fpOf[p.Name].Calls() {
+				if isProcNew(c.Target) != isProcOld(c.Target) {
+					d = true
+					break
+				}
+			}
+		}
+		dirty[p.Name] = d
+	}
+	sccKey := sccKeys(cg)
+	for p, key := range sccKey {
+		if sess.sccKey[p] != key {
+			dirty[p] = true
+		}
+	}
+
+	// Propagate to ancestors over the condensed call graph: schemes flow
+	// callee→caller, so every SCC that can reach a dirty SCC must
+	// recompute. cg.SCCs is bottom-up (every call edge from SCC i lands
+	// in some SCC j < i), so one forward pass suffices.
+	sccOf := map[string]int{}
+	for i, scc := range cg.SCCs {
+		for _, p := range scc {
+			sccOf[p] = i
+		}
+	}
+	sccDirty := make([]bool, len(cg.SCCs))
+	for i, scc := range cg.SCCs {
+		d := false
+		for _, p := range scc {
+			if dirty[p] {
+				d = true
+				break
+			}
+		}
+		if !d {
+		outer:
+			for _, p := range scc {
+				for _, callee := range cg.Callees[p] {
+					if j, ok := sccOf[callee]; ok && j != i && sccDirty[j] {
+						d = true
+						break outer
+					}
+				}
+			}
+		}
+		sccDirty[i] = d
+		if d {
+			for _, p := range scc {
+				dirty[p] = true
+			}
+		}
+	}
+
+	replay := make(map[string]*procSnap, len(order))
+	for _, p := range order {
+		if !dirty[p.Name] {
+			replay[p.Name] = sess.procs[p.Name]
+		}
+	}
+
+	res, art := infer(prog, lat, sums, opts, infos, cg, &incrementalPlan{dirty: dirty, replay: replay})
+	e.record(lat, sums, opts, res, art, fpOf)
+	return res
+}
+
+// sccKeys renders each procedure's SCC membership canonically (members
+// are already in deterministic slice order).
+func sccKeys(cg *cfg.CallGraph) map[string]string {
+	out := make(map[string]string, len(cg.SCCs))
+	for _, scc := range cg.SCCs {
+		key := ""
+		for _, p := range scc {
+			key += p + "\x00"
+		}
+		for _, p := range scc {
+			out[p] = key
+		}
+	}
+	return out
+}
+
+// replayProc rebuilds a clean procedure's result from its session
+// snapshot: a fresh shell (phase 3 fills SpecializedIns per run)
+// sharing the immutable pieces — the scheme, the sealed sketch, the
+// kept constraint set — plus the recorded callsite observations.
+func (pl *pipeline) replayProc(p string) (*ProcResult, []actualObs) {
+	snap := pl.inc.replay[p]
+	pi := pl.infos[p]
+	pr := &ProcResult{
+		Name:           p,
+		FormalIns:      pi.FormalIns,
+		HasOut:         pi.HasOut,
+		Scheme:         snap.scheme,
+		Sketch:         snap.pr.Sketch,
+		SpecializedIns: map[string]*sketch.Sketch{},
+		Constraints:    snap.pr.Constraints,
+	}
+	return pr, snap.obs
+}
+
+// record publishes a run as the engine's session. fpOf carries the
+// session fingerprints when the caller already computed them
+// (Reanalyze); otherwise they are computed here. Runs whose options
+// cannot be compared across calls (trace-restricted generation) are
+// not recorded.
+func (e *Engine) record(lat *lattice.Lattice, sums summaries.Table, opts Options, res *Result, art *runArtifacts, fpOf map[string]*bodyfp.FP) {
+	if e.noSessions || !sessionable(opts) {
+		return
+	}
+	conf := sessionConfig(lat, opts)
+	if fpOf == nil {
+		fps := make([]*bodyfp.FP, len(art.order))
+		workers := conc.Limit(opts.Workers)
+		conc.ForEach(workers, len(art.order), func(i int) {
+			fps[i] = bodyfp.Compute(res.Infos[art.order[i]], conf, namedCallee)
+		})
+		fpOf = make(map[string]*bodyfp.FP, len(art.order))
+		for i, p := range art.order {
+			fpOf[p] = fps[i]
+		}
+	}
+	sess := &session{
+		latSig: lat.Signature(),
+		sums:   sums,
+		opts:   opts,
+		procs:  make(map[string]*procSnap, len(art.order)),
+		sccKey: sccKeys(art.cg),
+	}
+	for i, p := range art.order {
+		pr := art.prs[i]
+		// Seal everything a future run will share: the procedure sketch
+		// and the observation sketches. Sealing is idempotent and
+		// read-transparent — derived views copy instead of mutating.
+		if pr.Sketch != nil {
+			pr.Sketch.Seal()
+		}
+		for _, o := range art.obs[i] {
+			if o.sk != nil {
+				o.sk.Seal()
+			}
+		}
+		sess.procs[p] = &procSnap{
+			fp:     fpOf[p],
+			info:   res.Infos[p],
+			scheme: pr.Scheme,
+			pr:     pr,
+			obs:    art.obs[i],
+		}
+	}
+	e.mu.Lock()
+	e.sess = sess
+	e.mu.Unlock()
+}

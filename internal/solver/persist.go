@@ -1,0 +1,163 @@
+package solver
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"retypd/internal/pgraph"
+)
+
+// Cache persistence: Engine.SaveCache writes the engine's scheme and
+// shape memos to a versioned, checksummed file; LoadCache reads one
+// back into a fresh engine in any process. Entries survive the trip
+// because everything in them is canonical bytes — fingerprint digests
+// computed over portable content, constraint sets and sketches encoded
+// by rendered names and label wire forms (see the wire files of
+// pgraph, sketch, constraints, intern and label).
+//
+// File layout:
+//
+//	magic ++ uvarint(cacheFormatVersion) ++ byte(pgraph.FPVersion)
+//	++ scheme section (pgraph.SimplifyCache.AppendWire)
+//	++ shape section (sketch.ShapeCache.AppendWire)
+//	++ sha256 of everything preceding (32 bytes)
+//
+// Version-bump rules (the wire-format invariant): any change to what a
+// memo key or value encodes must be reflected either in FPVersion
+// (content hashed into fingerprints — it already invalidates the keys
+// themselves) or in cacheFormatVersion (entry/value layout). A loader
+// refuses files whose versions differ from its own; there is no
+// migration path, by design — a stale cache is merely cold, never
+// wrong. The trailing checksum rejects truncated or corrupted files
+// before any entry is decoded.
+//
+// The body-dedup layer is deliberately absent from the file: its class
+// ids and rename plans are meaningful only within one program run. Its
+// cross-run benefit flows through the persisted scheme/shape entries —
+// a warm process serves every class representative from those, and
+// in-program duplication keeps producing body hits as usual.
+
+// cacheMagic identifies a retypd cache file.
+const cacheMagic = "retypd-cache\x00"
+
+// cacheFormatVersion versions the file layout and every embedded wire
+// encoding. Bump on any encoding change that FPVersion does not
+// already capture.
+const cacheFormatVersion = 1
+
+// CacheLoadStats reports what a LoadCache call decoded.
+type CacheLoadStats struct {
+	// SchemeEntries and ShapeEntries count loaded memo entries.
+	SchemeEntries, ShapeEntries int
+	// SkippedShapeEntries counts shape entries dropped because their
+	// lattice has not been built in this process (harmless: they could
+	// never be hit here either).
+	SkippedShapeEntries int
+}
+
+// SaveCacheTo writes the engine's cache stack to w.
+func (e *Engine) SaveCacheTo(w io.Writer) error {
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, cacheMagic...)
+	buf = binary.AppendUvarint(buf, cacheFormatVersion)
+	buf = append(buf, pgraph.FPVersion)
+	buf = e.schemes.AppendWire(buf)
+	buf = e.shapes.AppendWire(buf)
+	sum := sha256.Sum256(buf)
+	buf = append(buf, sum[:]...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// SaveCache writes the engine's cache stack to path (atomically: a
+// temp file in the same directory is renamed over the target).
+func (e *Engine) SaveCache(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".retypd-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := e.SaveCacheTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// LoadCacheData decodes a cache blob produced by SaveCacheTo into e's
+// caches (merging with whatever they already hold; recency of loaded
+// entries is preserved). It verifies the checksum and versions before
+// decoding a single entry.
+func (e *Engine) LoadCacheData(data []byte) (CacheLoadStats, error) {
+	var st CacheLoadStats
+	if len(data) < len(cacheMagic)+sha256.Size {
+		return st, fmt.Errorf("solver: cache file too short")
+	}
+	body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	sum := sha256.Sum256(body)
+	if string(sum[:]) != string(tail) {
+		return st, fmt.Errorf("solver: cache file checksum mismatch (truncated or corrupted)")
+	}
+	if string(body[:len(cacheMagic)]) != cacheMagic {
+		return st, fmt.Errorf("solver: not a retypd cache file")
+	}
+	n := len(cacheMagic)
+	ver, m := binary.Uvarint(body[n:])
+	if m <= 0 {
+		return st, fmt.Errorf("solver: truncated cache format version")
+	}
+	n += m
+	if ver != cacheFormatVersion {
+		return st, fmt.Errorf("solver: cache format version %d (this build reads %d)", ver, cacheFormatVersion)
+	}
+	if n >= len(body) || body[n] != pgraph.FPVersion {
+		return st, fmt.Errorf("solver: cache fingerprint version mismatch (this build computes v%d)", pgraph.FPVersion)
+	}
+	n++
+	m, loaded, err := e.schemes.LoadWire(body[n:])
+	if err != nil {
+		return st, err
+	}
+	st.SchemeEntries = loaded
+	n += m
+	m, loaded, skipped, err := e.shapes.LoadWire(body[n:])
+	if err != nil {
+		return st, err
+	}
+	st.ShapeEntries, st.SkippedShapeEntries = loaded, skipped
+	n += m
+	if n != len(body) {
+		return st, fmt.Errorf("solver: %d trailing bytes after cache sections", len(body)-n)
+	}
+	return st, nil
+}
+
+// LoadCache reads a cache file into a fresh engine with the given cache
+// capacities (≤ 0 selects defaults).
+func LoadCache(path string, schemeCap, shapeCap int) (*Engine, CacheLoadStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, CacheLoadStats{}, err
+	}
+	e := NewEngine(schemeCap, shapeCap)
+	st, err := e.LoadCacheData(data)
+	if err != nil {
+		return nil, st, err
+	}
+	return e, st, nil
+}

@@ -173,15 +173,37 @@ type Result struct {
 	// path (class representatives and excluded members). Both zero when
 	// the layer is disabled.
 	BodyDedupHits, BodyDedupMisses uint64
+	// ReplayedProcs and RecomputedProcs report incremental re-analysis
+	// (Engine.Reanalyze): procedures replayed verbatim from the
+	// previous session versus procedures that went through the full
+	// pipeline because their body — or a transitive callee's — changed.
+	// Both zero for non-incremental runs.
+	ReplayedProcs, RecomputedProcs uint64
 }
 
 // Infer runs the full pipeline.
 func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) *Result {
+	res, _ := infer(prog, lat, sums, opts, nil, nil, nil)
+	return res
+}
+
+// infer is the pipeline entry shared by Infer and the engine. infos and
+// cg may be pre-computed (Reanalyze rebases unchanged per-procedure
+// analyses); inc, when non-nil, switches the run into incremental mode:
+// procedures outside inc.dirty are replayed from their session
+// snapshots instead of re-solved. The returned artifacts carry the
+// per-procedure outputs the engine records into its next session.
+func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options,
+	infos map[string]*cfg.ProcInfo, cg *cfg.CallGraph, inc *incrementalPlan) (*Result, *runArtifacts) {
 	if sums == nil {
 		sums = summaries.Default()
 	}
-	infos := cfg.AnalyzeProgram(prog)
-	cg := cfg.BuildCallGraph(prog)
+	if infos == nil {
+		infos = cfg.AnalyzeProgram(prog)
+	}
+	if cg == nil {
+		cg = cfg.BuildCallGraph(prog)
+	}
 	isConst := func(v constraints.Var) bool {
 		_, ok := lat.Elem(string(v))
 		return ok
@@ -222,9 +244,20 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		schemes:    map[string]*constraints.Scheme{},
 		gens:       map[string]*absint.Result{},
 		fps:        map[string]*pgraph.FP{},
+		inc:        inc,
 	}
-	if !opts.NoBodyDedup && opts.Absint.Covered == nil {
+	if inc == nil && !opts.NoBodyDedup && opts.Absint.Covered == nil {
+		// Body dedup is skipped in incremental mode: the dirty set is
+		// small by construction, and dedup classification needs whole
+		// levels. Output is identical either way (golden-tested).
 		pl.dedup = newDedupState(lat, opts.Absint, isConst, opts.KeepIntermediates)
+	}
+	if inc != nil {
+		// Clean procedures replay their previous schemes; publish them
+		// before any level runs so dirty callers see every callee.
+		for p, snap := range inc.replay {
+			pl.schemes[p] = snap.scheme
+		}
 	}
 
 	var hits0, misses0, shapeHits0, shapeMisses0 uint64
@@ -250,7 +283,38 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	if pl.dedup != nil {
 		res.BodyDedupHits, res.BodyDedupMisses = pl.dedup.hits, pl.dedup.misses
 	}
-	return res
+	if inc != nil {
+		for _, p := range pl.order {
+			if inc.dirty[p] {
+				res.RecomputedProcs++
+			} else {
+				res.ReplayedProcs++
+			}
+		}
+	}
+	return res, &runArtifacts{cg: cg, order: pl.order, prs: pl.prs, obs: pl.obs}
+}
+
+// runArtifacts carries the per-procedure outputs of one pipeline run in
+// canonical order, for the engine's session recording.
+type runArtifacts struct {
+	cg    *cfg.CallGraph
+	order []string
+	prs   []*ProcResult
+	obs   [][]actualObs
+}
+
+// incrementalPlan tells a pipeline run which procedures changed since
+// the engine's previous session. dirty covers every procedure of the
+// new program; replay maps each clean procedure to its snapshot from
+// the previous run. The plan's construction (Engine.Reanalyze)
+// guarantees the replay soundness invariant: a clean procedure's
+// transitive callees are all clean, so its previous scheme, sketch and
+// callsite observations are byte-identical to what a from-scratch run
+// would compute.
+type incrementalPlan struct {
+	dirty  map[string]bool
+	replay map[string]*procSnap
 }
 
 // pipeline carries the shared read-mostly state of one Infer run.
@@ -278,6 +342,17 @@ type pipeline struct {
 	// Its tables are written only in the sequential sections between a
 	// level's fingerprint pre-pass and its worker fan-out; see dedup.go.
 	dedup *dedupState
+
+	// inc is the incremental plan of a Reanalyze run (nil for full
+	// runs): clean SCCs skip phase 1, clean procedures replay their
+	// snapshots in phase 2.
+	inc *incrementalPlan
+
+	// order, prs and obs are the phase-2 outputs in canonical order,
+	// retained for the engine's session recording.
+	order []string
+	prs   []*ProcResult
+	obs   [][]actualObs
 }
 
 // sccResult is the output of scheme inference for one SCC.
@@ -329,9 +404,13 @@ func (pl *pipeline) inferSchemes(cg *cfg.CallGraph) {
 		outs := make([]*sccResult, len(level))
 		var run []int
 		for i := range level {
-			if plans[i] == nil {
-				run = append(run, i)
+			if plans[i] != nil {
+				continue
 			}
+			if pl.inc != nil && !pl.inc.dirty[cg.SCCs[level[i]][0]] {
+				continue // clean SCC: its schemes were pre-published
+			}
+			run = append(run, i)
 		}
 		conc.ForEach(pl.workers, len(run), func(k int) {
 			i := run[k]
@@ -479,9 +558,14 @@ func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]
 	prs := make([]*ProcResult, len(order))
 	obs := make([][]actualObs, len(order))
 	// Dedup-served members are filled in by translation from their
-	// representative's result after the fan-out; only the rest solve.
+	// representative's result after the fan-out, and clean procedures
+	// of an incremental run replay their session snapshots; only the
+	// rest solve.
 	full := make([]int, 0, len(order))
 	for i, p := range order {
+		if pl.inc != nil && !pl.inc.dirty[p] {
+			continue
+		}
 		if pl.dedup == nil || pl.dedup.members[p] == nil {
 			full = append(full, i)
 		}
@@ -502,9 +586,17 @@ func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]
 			}
 		}
 	}
+	if pl.inc != nil {
+		for i, p := range order {
+			if !pl.inc.dirty[p] {
+				prs[i], obs[i] = pl.replayProc(p)
+			}
+		}
+	}
 	for i, p := range order {
 		res.Procs[p] = prs[i]
 	}
+	pl.order, pl.prs, pl.obs = order, prs, obs
 
 	// Deterministic accumulation: flatten and sort all observations by
 	// (callee, location, caller, callsite) before joining, so the join

@@ -40,11 +40,20 @@ func mk(name string, formals []string, hasOut bool, text string) *Summary {
 	}
 }
 
+// defaultTable memoizes the stock table: summaries are read-only by
+// contract, every Infer call with nil summaries resolves to this one
+// value, and pointer-stable summaries are what lets an engine session
+// recognize "same summaries" across runs without deep comparison.
+var defaultTable = buildDefault()
+
 // Default returns the stock summary table used by the reproduction. It
 // covers the functions the paper's examples rely on (close, malloc,
 // free, memcpy, fopen/fclose, signal) plus enough of libc for the
-// synthetic corpus.
-func Default() Table {
+// synthetic corpus. The returned table is shared — treat it as
+// read-only; to customize, copy it into a fresh Table first.
+func Default() Table { return defaultTable }
+
+func buildDefault() Table {
 	t := Table{}
 	add := func(s *Summary) { t[s.Name] = s }
 

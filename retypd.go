@@ -129,6 +129,12 @@ type Config struct {
 	// sharing contract). Nil gives this Infer call a private cache, so
 	// duplicates are still shared within the call. The cache never
 	// changes inference output, only how often simplification runs.
+	//
+	// Deprecated: hold a long-lived Engine instead — it owns one cache
+	// of each kind, shares them across every call, persists them
+	// (SaveCache/LoadCache), and adds incremental re-analysis on top.
+	// This field remains honored by package-level Infer for one release
+	// and is ignored by Engine.Infer.
 	SchemeCache *SimplifyCache
 	// NoSchemeCache disables simplification memoization entirely, even
 	// when SchemeCache is set — the knob used to measure the uncached
@@ -141,6 +147,8 @@ type Config struct {
 	// duplicates are still shared within the call. The cache never
 	// changes inference output, only how often shape solving runs; the
 	// sketches it serves are immutable (sealed).
+	//
+	// Deprecated: hold a long-lived Engine instead (see SchemeCache).
 	ShapeCache *ShapeCache
 	// NoShapeCache disables shape memoization entirely, even when
 	// ShapeCache is set.
@@ -182,13 +190,13 @@ func NewLatticeBuilder() *LatticeBuilder { return lattice.DefaultBuilder() }
 // For a service inferring an unbounded stream of distinct programs,
 // run batches in separate processes to bound table growth.
 func Infer(prog *Program, cfg *Config) *Result {
-	if cfg == nil {
-		cfg = &Config{}
-	}
-	lat := cfg.Lattice
-	if lat == nil {
-		lat = lattice.Default()
-	}
+	cfg, lat, opts := resolveConfig(cfg)
+	res := solver.Infer(prog, lat, cfg.Summaries, opts)
+	return &Result{inner: res, conv: ctype.NewConverter(lat)}
+}
+
+// solverOptions maps the public Config knobs onto solver.Options.
+func solverOptions(cfg *Config) solver.Options {
 	opts := solver.DefaultOptions()
 	opts.Absint = absint.Options{MonomorphicCalls: cfg.Monomorphic}
 	opts.NoSpecialize = cfg.NoSpecialize
@@ -201,8 +209,7 @@ func Infer(prog *Program, cfg *Config) *Result {
 	if cfg.MaxSketchDepth > 0 {
 		opts.MaxSketchDepth = cfg.MaxSketchDepth
 	}
-	res := solver.Infer(prog, lat, cfg.Summaries, opts)
-	return &Result{inner: res, conv: ctype.NewConverter(lat)}
+	return opts
 }
 
 // ProcNames lists the program's procedures, sorted.
@@ -347,6 +354,12 @@ type CacheStats struct {
 	// BodyDedupMisses counts fingerprinted procedures that ran the
 	// full path.
 	BodyDedupHits, BodyDedupMisses uint64
+	// ReplayedProcs and RecomputedProcs report incremental re-analysis
+	// (Engine.Reanalyze): procedures replayed verbatim from the
+	// previous session versus procedures recomputed because their body
+	// — or a transitive callee's, or their SCC membership — changed.
+	// Both zero for non-incremental runs.
+	ReplayedProcs, RecomputedProcs uint64
 }
 
 // CacheStats reports the effectiveness of the scheme, shape, and
@@ -359,6 +372,8 @@ func (r *Result) CacheStats() CacheStats {
 		ShapeMisses:     r.inner.ShapeCacheMisses,
 		BodyDedupHits:   r.inner.BodyDedupHits,
 		BodyDedupMisses: r.inner.BodyDedupMisses,
+		ReplayedProcs:   r.inner.ReplayedProcs,
+		RecomputedProcs: r.inner.RecomputedProcs,
 	}
 }
 
