@@ -257,7 +257,7 @@ func (g *gen) fresh(hint string) constraints.Var {
 // constant suppression: every zero constant flows through one variable,
 // falsely unifying all its uses (the §2.1 hazard, used by ablations).
 func (g *gen) zeroPseudo() constraints.Var {
-	return constraints.Var(g.pi.Proc.Name + "!zero")
+	return constraints.Var(g.nb.Begin(g.pi.Proc.Name).Str("!zero").String())
 }
 
 // resolveDef maps one reaching definition to a value.

@@ -70,10 +70,13 @@ type Renamer struct {
 // assumed).
 func NewRenamer(from, to string, calls []CallRename, isProc func(string) bool) *Renamer {
 	r := &Renamer{
-		from:         from,
-		to:           to,
-		fromBang:     from + "!",
-		toBang:       to + "!",
+		from: from,
+		to:   to,
+		// The two prefixes below match and splice names the generator
+		// already minted through NameBuilder; the grammar table at the
+		// top of this file is the contract that keeps them in sync.
+		fromBang:     from + "!", //retypd:name-ok match/splice prefix per the grammar table
+		toBang:       to + "!",   //retypd:name-ok match/splice prefix per the grammar table
 		calleeAt:     make(map[int]CallRename, len(calls)),
 		calleeByName: make(map[string]string, len(calls)),
 		isProc:       isProc,
@@ -130,6 +133,7 @@ func (r *Renamer) Rename(v constraints.Var) (constraints.Var, bool) {
 			// foreign-variable check on the scheme cache.)
 			return v, false
 		}
+		//retypd:name-ok rename surgery reassembles grammar-conformant pieces of an existing name
 		return constraints.Var(head + "@" + r.toBang + idxStr), true
 	}
 	if to, ok := r.calleeByName[s]; ok {

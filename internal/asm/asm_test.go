@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -108,10 +109,15 @@ endproc
 	// Reparse the rendered body (labels re-inserted at their indices).
 	var withLabels []string
 	for i, in := range p.Procs[0].Insts {
+		var names []string
 		for name, idx := range p.Procs[0].Labels {
 			if idx == i {
-				withLabels = append(withLabels, name+":")
+				names = append(names, name)
 			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			withLabels = append(withLabels, name+":")
 		}
 		withLabels = append(withLabels, in.String())
 	}

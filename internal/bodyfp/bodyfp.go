@@ -56,6 +56,8 @@ import (
 // fingerprint stays self-contained if the table's lifetime ever grows
 // (the documented invariant: every absint-affecting option must reach
 // the body key).
+//
+//retypd:cachekey Compute
 type Config struct {
 	// MonomorphicCalls, PolymorphicExternals and NoConstantSuppression
 	// mirror absint.Options.

@@ -1,0 +1,38 @@
+// Package fuzzcorpus writes seed-corpus files in the `go test fuzz v1`
+// encoding. The repo's native fuzz targets (FuzzDecodeWordWire,
+// FuzzDecodeSketchWire, FuzzLoadCache) check their seed corpora into
+// testdata/fuzz so that plain `go test` replays them as regression
+// inputs; each target's package has an env-guarded test that calls
+// Write to regenerate the files when an encoding changes.
+package fuzzcorpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Write replaces dir's contents with one `go test fuzz v1` file per
+// seed, named seed-NN. dir is created if missing.
+func Write(dir string, seeds [][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "seed-*"))
+	if err != nil {
+		return err
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			return err
+		}
+	}
+	for i, seed := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", string(seed))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

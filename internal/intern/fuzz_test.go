@@ -1,0 +1,91 @@
+package intern
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"retypd/internal/fuzzcorpus"
+	"retypd/internal/label"
+)
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus; set
+// RETYPD_WRITE_FUZZ_CORPUS=1 after changing the wire encoding.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("RETYPD_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set RETYPD_WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	if err := fuzzcorpus.Write("testdata/fuzz/FuzzDecodeWordWire", fuzzWordSeeds()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzWordSeeds returns canonical encodings covering every label kind,
+// used both as f.Add seeds and to regenerate the checked-in corpus.
+func fuzzWordSeeds() [][]byte {
+	words := [][]label.Label{
+		nil,
+		{label.Load()},
+		{label.In("stack0"), label.Load(), label.Field(32, -8)},
+		{label.Out("eax"), label.Store()},
+		{label.In(""), label.Field(8, 1024)},
+	}
+	t := NewTable()
+	var out [][]byte
+	for _, ls := range words {
+		out = append(out, t.AppendWordWire(nil, t.Word(ls)))
+	}
+	// Adversarial variants: truncation, junk, a huge length prefix.
+	full := out[2]
+	out = append(out,
+		full[:len(full)/2],
+		[]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		[]byte{0x01, 0xee},
+	)
+	return out
+}
+
+// FuzzDecodeWordWire: arbitrary bytes must either fail to decode or
+// yield a word whose canonical re-encoding round-trips byte-stably
+// through a fresh table — never panic, never over-consume. This is the
+// native-fuzzing form of TestWordWireRoundTrip's property.
+func FuzzDecodeWordWire(f *testing.F) {
+	for _, seed := range fuzzWordSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A fresh table per input: decoding interns, and the fuzz loop
+		// must not grow one shared table without bound.
+		tb := NewTable()
+		w, n, err := tb.DecodeWordWire(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		// The accepted input may be non-canonical (padded uvarints); the
+		// re-encoding is the canonical form and must be a fixed point.
+		enc := tb.AppendWordWire(nil, w)
+		tb2 := NewTable()
+		w2, n2, err := tb2.DecodeWordWire(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding failed to decode: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("canonical decode consumed %d of %d bytes", n2, len(enc))
+		}
+		if re := tb2.AppendWordWire(nil, w2); !bytes.Equal(re, enc) {
+			t.Fatalf("re-encode not a fixed point: %x vs %x", re, enc)
+		}
+		a, b := tb.WordLabels(w), tb2.WordLabels(w2)
+		if len(a) != len(b) {
+			t.Fatalf("fresh table decoded %d labels, want %d", len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("label %d mismatch: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}

@@ -53,6 +53,8 @@ type FP struct {
 }
 
 // Key is the comparable cache key of one (fingerprint, root) pair.
+//
+//retypd:cachekey Key.Hash64
 type Key struct {
 	sum  [sha256.Size]byte
 	root uint32

@@ -99,6 +99,12 @@ func (c *SimplifyCache) LoadWire(data []byte) (n, loaded int, err error) {
 		return 0, 0, fmt.Errorf("pgraph: truncated cache entry count")
 	}
 	n = m
+	// Each entry encodes at least a fingerprint key; a count beyond the
+	// remaining bytes is corrupt, and pre-sizing from it would let a
+	// crafted count allocate unboundedly.
+	if count > uint64(len(data)-n) {
+		return 0, 0, fmt.Errorf("pgraph: cache entry count %d exceeds wire form size", count)
+	}
 	entries := make([]lru.Entry[Key, *SimplifyResult], 0, count)
 	for i := uint64(0); i < count; i++ {
 		key, m, err := DecodeKeyWire(data[n:])

@@ -18,6 +18,8 @@ const DefaultShapeCacheCap = 4096
 // the lattice identity — plus the sketch-depth bound the sketch was
 // extracted at (the TIE-style baseline truncates recursion; its entries
 // must not be served to the unbounded configuration or vice versa).
+//
+//retypd:cachekey shapeKey.hash64
 type shapeKey struct {
 	pk    pgraph.Key
 	depth int

@@ -1,0 +1,99 @@
+package sketch
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"retypd/internal/constraints"
+	"retypd/internal/fuzzcorpus"
+	"retypd/internal/lattice"
+	"retypd/internal/pgraph"
+)
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus; set
+// RETYPD_WRITE_FUZZ_CORPUS=1 after changing the wire encoding.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("RETYPD_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set RETYPD_WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	if err := fuzzcorpus.Write("testdata/fuzz/FuzzDecodeSketchWire", fuzzSketchSeeds()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzSketchSeeds returns wire encodings of real sketches plus
+// adversarial variants, used both as f.Add seeds and to regenerate the
+// checked-in corpus. Building them registers the default lattice, so
+// the fuzz function can decode against it.
+func fuzzSketchSeeds() [][]byte {
+	lat := lattice.Default()
+	cs := constraints.MustParseSet(`
+		f.in_stack0 <= A
+		A.load <= A.out_x
+		A <= f.out_eax
+		f.in_stack0 <= int
+		#FileDescriptor <= f.out_eax
+	`)
+	b := NewBuilder(cs, lat)
+	defer b.Release()
+	sk := b.SketchFor("f", -1)
+	g := pgraph.Build(cs, lat)
+	defer g.Release()
+	NewDecorator(g).Decorate(sk, "f")
+
+	full := sk.AppendWire(nil)
+	top := NewTop(lat).Seal().AppendWire(nil)
+
+	badSig := append([]byte(nil), full...)
+	badSig[10] ^= 0xff
+	// A valid signature followed by a huge state count: the decoder
+	// must reject the count, not allocate for it.
+	hugeCount := append(appendString(nil, lat.Signature()),
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	// A valid signature with a zero state count: an automaton without
+	// its root state must be rejected, not decoded into a Sketch whose
+	// Leq/Equal would panic (a crash native fuzzing found).
+	noRoot := append(appendString(nil, lat.Signature()), 0x00)
+
+	return [][]byte{full, top, full[:len(full)/2], badSig, hugeCount, noRoot}
+}
+
+// FuzzDecodeSketchWire: arbitrary bytes must either fail to decode or
+// yield a sealed sketch whose re-encoding is a fixed point — never
+// panic, never over-consume, never allocate unboundedly from a crafted
+// count. This is the native-fuzzing form of TestSketchWireRoundTrip's
+// property.
+func FuzzDecodeSketchWire(f *testing.F) {
+	for _, seed := range fuzzSketchSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, n, err := DecodeSketchWire(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if !sk.Sealed() {
+			t.Fatal("decoded sketch not sealed")
+		}
+		// The accepted input may be non-canonical (padded uvarints); the
+		// re-encoding is the canonical form and must be a fixed point.
+		enc := sk.AppendWire(nil)
+		sk2, n2, err := DecodeSketchWire(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding failed to decode: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("canonical decode consumed %d of %d bytes", n2, len(enc))
+		}
+		if !sk2.Equal(sk) {
+			t.Fatalf("re-decoded sketch differs:\n%s\nvs\n%s", sk2, sk)
+		}
+		if re := sk2.AppendWire(nil); !bytes.Equal(re, enc) {
+			t.Fatal("re-encode not a fixed point")
+		}
+	})
+}

@@ -207,6 +207,9 @@ func (sh *Builder) union(a, b int32) {
 			sh.edges[ra] = loser
 			loser = nil
 		}
+		//retypd:unordered congruence closure is confluent: the work queue only
+		// schedules unifications, and the final partition and edge structure
+		// are the same least fixed point whatever order they run in
 		for l, t := range loser {
 			if prev, ok := sh.edges[ra][l]; ok {
 				work = append(work, job{prev, t})

@@ -89,6 +89,16 @@ func DecodeSketchWire(data []byte) (*Sketch, int, error) {
 		return nil, 0, fmt.Errorf("sketch: truncated state count in wire form")
 	}
 	n += m
+	// A sketch automaton always has its root state (state 0); every
+	// state costs at least its meta byte, so a count beyond the
+	// remaining bytes is corrupt, and checking before make keeps a
+	// crafted count from allocating unboundedly.
+	if nstates == 0 {
+		return nil, 0, fmt.Errorf("sketch: wire form has no root state")
+	}
+	if nstates > uint64(len(data)-n) {
+		return nil, 0, fmt.Errorf("sketch: state count %d exceeds wire form size", nstates)
+	}
 	elem := func(name string) (lattice.Elem, error) {
 		e, ok := lat.Elem(name)
 		if !ok {
@@ -181,6 +191,12 @@ func (c *ShapeCache) LoadWire(data []byte) (n, loaded, skipped int, err error) {
 		return 0, 0, 0, fmt.Errorf("sketch: truncated cache entry count")
 	}
 	n = m
+	// Each entry encodes at least a fingerprint key; a count beyond the
+	// remaining bytes is corrupt, and pre-sizing from it would let a
+	// crafted count allocate unboundedly.
+	if count > uint64(len(data)-n) {
+		return 0, 0, 0, fmt.Errorf("sketch: cache entry count %d exceeds wire form size", count)
+	}
 	entries := make([]lru.Entry[shapeKey, *Sketch], 0, count)
 	for i := uint64(0); i < count; i++ {
 		pk, m, err := pgraph.DecodeKeyWire(data[n:])

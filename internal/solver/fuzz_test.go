@@ -1,0 +1,85 @@
+package solver
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"testing"
+
+	"retypd/internal/asm"
+	"retypd/internal/fuzzcorpus"
+	"retypd/internal/lattice"
+)
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus; set
+// RETYPD_WRITE_FUZZ_CORPUS=1 after changing the cache encoding.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("RETYPD_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set RETYPD_WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	if err := fuzzcorpus.Write("testdata/fuzz/FuzzLoadCache", fuzzCacheSeeds()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzCacheSeeds returns a valid saved cache plus corrupted-header
+// variants (flipped magic, bumped format version, truncation, flipped
+// checksum byte), used both as f.Add seeds and to regenerate the
+// checked-in corpus.
+func fuzzCacheSeeds() [][]byte {
+	lat := lattice.Default()
+	eng := NewEngine(0, 0)
+	eng.Infer(asm.MustParse(engineProgSrc), lat, nil, DefaultOptions())
+	var buf bytes.Buffer
+	if err := eng.SaveCacheTo(&buf); err != nil {
+		panic(err)
+	}
+	valid := buf.Bytes()
+	flip := func(i int, mask byte) []byte {
+		c := append([]byte(nil), valid...)
+		c[i] ^= mask
+		return c
+	}
+	return [][]byte{
+		valid,
+		flip(0, 0xff),                 // magic
+		flip(len(cacheMagic), 0x01),   // format version
+		flip(len(cacheMagic)+1, 0x01), // fingerprint version
+		valid[:len(valid)/2],          // truncation
+		flip(len(valid)-1, 0x80),      // checksum tail
+		nil,
+	}
+}
+
+// FuzzLoadCache: a cache blob from an untrusted file must load or fail
+// cleanly — never panic, whatever the header or interior bytes say.
+// Because LoadCacheData rejects almost every mutated input at the
+// checksum before the interior decoders run, the fuzz function also
+// re-seals the input with a correct checksum so mutations reach the
+// scheme- and shape-cache wire decoders.
+func FuzzLoadCache(f *testing.F) {
+	for _, seed := range fuzzCacheSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A fresh engine per input: loads merge into live caches, and
+		// the fuzz loop must not accumulate state across inputs.
+		eng := NewEngine(0, 0)
+		if _, err := eng.LoadCacheData(data); err == nil {
+			// A clean load must also round-trip: saving what was loaded
+			// must produce a loadable cache again.
+			var buf bytes.Buffer
+			if err := eng.SaveCacheTo(&buf); err != nil {
+				t.Fatalf("save after clean load: %v", err)
+			}
+			if _, err := NewEngine(0, 0).LoadCacheData(buf.Bytes()); err != nil {
+				t.Fatalf("reload after clean load: %v", err)
+			}
+		}
+		// Checksum-sealed variant: exercises the interior decoders.
+		sum := sha256.Sum256(data)
+		sealed := append(append([]byte(nil), data...), sum[:]...)
+		eng2 := NewEngine(0, 0)
+		eng2.LoadCacheData(sealed)
+	})
+}

@@ -22,13 +22,23 @@ corpus_dir="$(mktemp -d)"
 trap 'rm -rf "$corpus_dir"' EXIT
 
 echo "== generating benchmark corpus (cmd/benchgen) =="
-go run ./cmd/benchgen -o "$corpus_dir" -scale 300 >/dev/null
+if ! go run ./cmd/benchgen -o "$corpus_dir" -scale 300 >/dev/null; then
+  echo "bench: FAIL — cmd/benchgen exited nonzero" >&2
+  exit 1
+fi
 
 # -exp all runs both timing experiments (the fig11 size-scaling sweep
 # and the parallel worker sweep); -timings collects every point into
 # one JSON array.
 echo "== measuring (size scaling + parallel worker sweep) =="
-go run ./cmd/retypd-eval -exp all -quick -parsize 4000 -timings "$out" >/dev/null
+if ! go run ./cmd/retypd-eval -exp all -quick -parsize 4000 -timings "$out" >/dev/null; then
+  echo "bench: FAIL — cmd/retypd-eval exited nonzero" >&2
+  exit 1
+fi
+if [ ! -s "$out" ]; then
+  echo "bench: FAIL — $out was not written or is empty" >&2
+  exit 1
+fi
 
 echo "== snapshot =="
 cat "$out"

@@ -33,8 +33,18 @@ thresh=$(awk -F':' '/"AllocBytes"/ {
   }' "$base")
 
 echo "== allocation gate: B/op must stay below $thresh (1.5 x $base max) =="
-out=$(go test -run '^$' -bench 'BenchmarkInferParallel/workers=1$' -benchmem -benchtime=3x)
+# Capture the exit status explicitly: a compile error or benchmark
+# panic must fail the gate with its output shown, not vanish into the
+# command substitution.
+set +e
+out=$(go test -run '^$' -bench 'BenchmarkInferParallel/workers=1$' -benchmem -benchtime=3x 2>&1)
+status=$?
+set -e
 echo "$out"
+if [ "$status" -ne 0 ]; then
+  echo "check_alloc: FAIL — go test -bench exited $status" >&2
+  exit "$status"
+fi
 
 bop=$(echo "$out" | awk '/BenchmarkInferParallel/ {
     for (i = 1; i <= NF; i++) if ($i == "B/op") print $(i-1)

@@ -4,11 +4,17 @@
 # Every relative markdown link in README.md and docs/*.md must resolve
 # to a file or directory that exists, so the README's pointers into the
 # tree (architecture doc, bench snapshots, scripts) cannot silently rot
-# as the codebase is refactored.
+# as the codebase is refactored. The nested tools/ module (retypd-vet
+# and its meta-test, which pins the ARCHITECTURE.md invariants table to
+# the analyzer suite) must also build and pass its tests — the main
+# module's ./... does not cover it.
 #
 # Usage: scripts/check_docs.sh
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== tools module builds and tests pass =="
+(cd tools && go build ./... && go test ./...)
 
 fail=0
 for f in README.md docs/*.md; do

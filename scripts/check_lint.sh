@@ -1,0 +1,27 @@
+#!/bin/sh
+# check_lint.sh — invariant lint gate.
+#
+# Builds retypd-vet, the custom analyzer suite in the nested tools/
+# module (detrange, sealedmut, nameintern, keyreach — see the
+# "Enforced invariants" table in docs/ARCHITECTURE.md), and runs it
+# over the whole repository, tests included, as a `go vet` plugin.
+# Findings exit nonzero; deliberate exceptions are justified in-source
+# with //retypd:* directives.
+#
+# Usage: scripts/check_lint.sh [packages...]   (defaults to ./...)
+set -eu
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+# Reuse the built tool when nothing under tools/ changed since it was
+# built (CI restores it from a cache keyed on hashFiles('tools/**')).
+if [ -x bin/retypd-vet ] && [ -z "$(find tools -type f -newer bin/retypd-vet -print -quit)" ]; then
+  echo "== retypd-vet up to date =="
+else
+  echo "== building retypd-vet (tools module) =="
+  (cd tools && go build -o ../bin/retypd-vet ./cmd/retypd-vet)
+fi
+
+echo "== go vet -vettool=bin/retypd-vet ${*:-./...} =="
+go vet -vettool="$(pwd)/bin/retypd-vet" "${@:-./...}"
+echo "check_lint: OK"

@@ -1,0 +1,25 @@
+// retypd-vet is the project-specific vet suite of the retypd
+// repository: four analyzers enforcing the engine's determinism,
+// immutability, and cache-soundness invariants (detrange, sealedmut,
+// nameintern, keyreach — run `retypd-vet help` for details).
+//
+// Standalone:
+//
+//	cd tools && go build -o ../bin/retypd-vet ./cmd/retypd-vet
+//	bin/retypd-vet ./...          # from the repository root
+//
+// Or as a go vet tool (also covers _test.go files):
+//
+//	go vet -vettool=bin/retypd-vet ./...
+//
+// scripts/check_lint.sh wraps both steps and is what CI runs.
+package main
+
+import (
+	"retypd/tools/internal/analyzers"
+	"retypd/tools/internal/multichecker"
+)
+
+func main() {
+	multichecker.Main(analyzers.All...)
+}

@@ -1,0 +1,3 @@
+module retypd/tools
+
+go 1.22

@@ -1,0 +1,54 @@
+// Package analysis is a deliberately small, stdlib-only stand-in for
+// golang.org/x/tools/go/analysis: just enough of the Analyzer/Pass
+// surface for this repository's project-specific vet checks.
+//
+// The main module is dependency-free by policy, and this nested tools
+// module keeps that property rather than importing x/tools; the shapes
+// below mirror the x/tools API closely enough that migrating onto it
+// later is a mechanical change (Analyzer, Pass, Diagnostic and
+// Reportf all have their x/tools meanings). Facts, Requires and
+// result passing between analyzers are intentionally absent — none of
+// the retypd-vet analyzers need cross-package state.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// ARCHITECTURE.md enforcement table (see the meta test).
+	Name string
+	// Doc is the one-paragraph description printed by `retypd-vet help`.
+	Doc string
+	// Run applies the check to one package. The returned value is
+	// ignored (kept for x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	dirs *directiveIndex
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Directives are the project's in-source escape hatches and
+// annotations: comments of the form
+//
+//	//retypd:<name>[ <args>] [— justification]
+//
+// A directive is attached to a node when it appears on the node's own
+// line (a trailing comment) or in the contiguous run of comment lines
+// immediately above it (a leading comment block, including doc
+// comments). Every escape hatch is expected to carry a human-readable
+// justification after the directive word; the analyzers do not parse
+// it, reviewers do.
+type directive struct {
+	name string // e.g. "unordered"
+	args string // rest of the line after the name, trimmed
+}
+
+type directiveIndex struct {
+	// byLine maps file name → line → directives written on that line.
+	byLine map[string]map[int][]directive
+	// commentLine marks lines fully occupied by comments, so a leading
+	// comment block can be walked upward from a node.
+	commentLine map[string]map[int]bool
+}
+
+func (p *Pass) directives() *directiveIndex {
+	if p.dirs != nil {
+		return p.dirs
+	}
+	idx := &directiveIndex{
+		byLine:      map[string]map[int][]directive{},
+		commentLine: map[string]map[int]bool{},
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := p.Fset.Position(c.Pos())
+				end := p.Fset.Position(c.End())
+				cl := idx.commentLine[pos.Filename]
+				if cl == nil {
+					cl = map[int]bool{}
+					idx.commentLine[pos.Filename] = cl
+				}
+				for l := pos.Line; l <= end.Line; l++ {
+					cl[l] = true
+				}
+				text, ok := strings.CutPrefix(c.Text, "//retypd:")
+				if !ok {
+					continue
+				}
+				name, args, _ := strings.Cut(text, " ")
+				bl := idx.byLine[pos.Filename]
+				if bl == nil {
+					bl = map[int][]directive{}
+					idx.byLine[pos.Filename] = bl
+				}
+				bl[pos.Line] = append(bl[pos.Line], directive{name: name, args: strings.TrimSpace(args)})
+			}
+		}
+	}
+	p.dirs = idx
+	return idx
+}
+
+func (p *Pass) directivesAt(pos token.Pos, name string) (directive, bool) {
+	idx := p.directives()
+	position := p.Fset.Position(pos)
+	bl := idx.byLine[position.Filename]
+	cl := idx.commentLine[position.Filename]
+	check := func(line int) (directive, bool) {
+		for _, d := range bl[line] {
+			if d.name == name {
+				return d, true
+			}
+		}
+		return directive{}, false
+	}
+	if d, ok := check(position.Line); ok {
+		return d, true
+	}
+	// Walk the contiguous comment block above the node.
+	for line := position.Line - 1; cl[line]; line-- {
+		if d, ok := check(line); ok {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// HasDirective reports whether a //retypd:<name> directive is attached
+// to the line of pos (trailing) or the comment block above it.
+func (p *Pass) HasDirective(pos token.Pos, name string) bool {
+	_, ok := p.directivesAt(pos, name)
+	return ok
+}
+
+// DirectiveArgs returns the arguments of an attached //retypd:<name>
+// directive (the rest of its line) and whether one was found.
+func (p *Pass) DirectiveArgs(pos token.Pos, name string) (string, bool) {
+	d, ok := p.directivesAt(pos, name)
+	return d.args, ok
+}

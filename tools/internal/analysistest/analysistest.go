@@ -1,0 +1,227 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest with only the standard
+// library.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. Fixture
+// packages may import each other by those import paths (needed by the
+// sealedmut fixtures, which stand in a fake "internal/sketch"
+// package); standard-library imports are resolved through `go list
+// -export` once per process.
+//
+// Expectations are trailing comments on the offending line:
+//
+//	m := map[int]int{}          // no comment: no finding expected
+//	for k := range m { … }      // want `order-sensitive`
+//
+// The text between quotes or backquotes is a regular expression that
+// must match the finding's message. Every finding must be matched by
+// a want on its exact line, and every want must be matched by a
+// finding.
+package analysistest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"retypd/tools/internal/analysis"
+	"retypd/tools/internal/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+var (
+	stdOnce   sync.Once
+	stdExport map[string]string
+	stdErr    error
+)
+
+// stdExports maps standard-library import paths to export-data files,
+// produced once per process by `go list -export std`.
+func stdExports() (map[string]string, error) {
+	stdOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-e", "-export", "-json=ImportPath,Export", "std").Output()
+		if err != nil {
+			stdErr = fmt.Errorf("go list -export std: %w", err)
+			return
+		}
+		stdExport = map[string]string{}
+		dec := json.NewDecoder(strings.NewReader(string(out)))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				stdErr = err
+				return
+			}
+			if p.Export != "" {
+				stdExport[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return stdExport, stdErr
+}
+
+// srcImporter resolves fixture packages from the testdata tree and
+// everything else from the standard library's export data.
+type srcImporter struct {
+	root  string // <testdata>/src
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*load.Package
+}
+
+func (si *srcImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(si.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := si.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return si.std.Import(path)
+}
+
+func (si *srcImporter) load(path string) (*load.Package, error) {
+	if p, ok := si.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(si.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	pkg, err := load.Check(si.fset, path, files, si, "")
+	if err != nil {
+		return nil, err
+	}
+	si.cache[path] = pkg
+	return pkg, nil
+}
+
+// Run loads each fixture package and applies the analyzer, comparing
+// findings against the // want comments in the fixture sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	std, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	si := &srcImporter{
+		root:  filepath.Join(testdata, "src"),
+		fset:  fset,
+		std:   load.ExportImporter(fset, nil, std),
+		cache: map[string]*load.Package{},
+	}
+	for _, path := range paths {
+		pkg, err := si.load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", path, pkg.TypeErrors)
+			continue
+		}
+		checkPackage(t, a, pkg)
+	}
+}
+
+var wantRe = regexp.MustCompile("// want (?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+
+	// Collect want expectations per (file, line).
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := wantKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	matched := map[wantKey][]bool{}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.Info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		pos := pkg.Fset.Position(d.Pos)
+		k := wantKey{pos.Filename, pos.Line}
+		res := wants[k]
+		if matched[k] == nil {
+			matched[k] = make([]bool, len(res))
+		}
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				return
+			}
+		}
+		t.Errorf("%s: unexpected finding: %s", pos, d.Message)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkg.Pkg.Path(), err)
+	}
+
+	for k, res := range wants {
+		for i, re := range res {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package analyzers registers the retypd-vet analyzer suite: the
+// project-specific invariants of the inference engine, enforced
+// mechanically (see the "Enforced invariants" table in
+// docs/ARCHITECTURE.md, whose analyzer column the meta test in this
+// package checks against this registry).
+package analyzers
+
+import (
+	"retypd/tools/internal/analysis"
+	"retypd/tools/internal/analyzers/detrange"
+	"retypd/tools/internal/analyzers/keyreach"
+	"retypd/tools/internal/analyzers/nameintern"
+	"retypd/tools/internal/analyzers/sealedmut"
+)
+
+// All is the full suite, in the order findings are documented.
+var All = []*analysis.Analyzer{
+	detrange.Analyzer,
+	sealedmut.Analyzer,
+	nameintern.Analyzer,
+	keyreach.Analyzer,
+}

@@ -1,0 +1,341 @@
+// Package detrange flags map iteration whose order can leak into
+// observable results — the bug class behind the nondeterministic
+// pgraph.compact output fixed in PR 1, and the top threat to this
+// repository's byte-identical-output contract (see "Enforced
+// invariants" in docs/ARCHITECTURE.md).
+//
+// A `range` over a map is flagged when its body performs an
+// order-sensitive operation:
+//
+//   - appending to (or accumulating into) a slice, string or byte
+//     buffer — `out = append(out, k)`, `buf = AppendWire(buf, k)`,
+//     `s += k` — unless that accumulator is later passed to a sort.*
+//     or slices.* call, or to a function whose name says it sorts
+//     (label.SortLabels, sortKeys, …), in the same function;
+//   - writing output or hashing — any Write/WriteString/Print*/
+//     Fprint*/Sum* call: bytes fed to an io.Writer, a hash.Hash or a
+//     maphash in map order produce order-dependent results.
+//
+// Per-key map/set updates (`m2[k] = …`, `m2[k] = append(m2[k], v)`)
+// and commutative numeric accumulation (`n += v`) are order-
+// insensitive and never flagged.
+//
+// The escape hatch is a //retypd:unordered comment on (or immediately
+// above) the range statement, with a justification for why order
+// cannot reach output:
+//
+//	//retypd:unordered every element is rendered identically
+//	for k := range m { … }
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"retypd/tools/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map ranges whose iteration order can reach output " +
+		"(appends not subsequently sorted, writes, hashing); " +
+		"suppress with //retypd:unordered <justification>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Walk every function (declared or literal); each range
+		// statement is judged against its innermost enclosing
+		// function, which bounds the "sorted afterwards" search.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc examines the map ranges directly inside body (ranges
+// inside nested function literals are checked against that literal's
+// own body by the outer walk).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rs) {
+			return
+		}
+		if pass.HasDirective(rs.Pos(), "unordered") {
+			return
+		}
+		sinks := collectSinks(pass, rs)
+		if len(sinks) == 0 {
+			return
+		}
+		// The append-then-sort idiom is fine: order is re-established
+		// before anything observes it.
+		allSorted := true
+		for _, s := range sinks {
+			if s.kind != sinkAppend || s.obj == nil || !sortedAfter(pass, body, rs.End(), s.obj) {
+				allSorted = false
+				break
+			}
+		}
+		if allSorted {
+			return
+		}
+		pass.Reportf(rs.Pos(), "order-sensitive range over map: %s; "+
+			"iterate sorted keys, sort the result, or justify with //retypd:unordered",
+			describe(sinks))
+	})
+}
+
+// inspectShallow visits nodes inside n without descending into nested
+// function literals.
+func inspectShallow(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+type sinkKind int
+
+const (
+	sinkAppend sinkKind = iota // accumulation into a slice/string/buffer
+	sinkWrite                  // write/print/hash call
+)
+
+type sink struct {
+	kind sinkKind
+	obj  types.Object // the accumulator, for the sorted-after check
+	desc string
+}
+
+// writeNames are method/function names that feed bytes somewhere
+// order-dependent: io.Writer-style sinks, fmt printing, hash sums.
+var writeNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+}
+
+func collectSinks(pass *analysis.Pass, rs *ast.RangeStmt) []sink {
+	var sinks []sink
+	// Function literals defined inside the loop body are included:
+	// they close over loop variables, and whether they run now or
+	// later the per-iteration effects happen in map order.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			sinks = append(sinks, assignSinks(pass, st)...)
+		case *ast.CallExpr:
+			if name, ok := calleeName(st); ok && writeNames[name] {
+				sinks = append(sinks, sink{kind: sinkWrite, desc: name + " call"})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// assignSinks classifies one assignment inside the loop body.
+func assignSinks(pass *analysis.Pass, st *ast.AssignStmt) []sink {
+	var sinks []sink
+	switch st.Tok {
+	case token.ADD_ASSIGN:
+		// `s += k` on strings is ordered concatenation; numeric `n += v`
+		// is commutative and fine.
+		if len(st.Lhs) == 1 && isStringy(pass.TypesInfo.TypeOf(st.Lhs[0])) && !isMapIndexed(pass, st.Lhs[0]) {
+			sinks = append(sinks, sink{kind: sinkAppend, obj: accumulator(pass, st.Lhs[0]), desc: "string concatenation"})
+		}
+	case token.ASSIGN, token.DEFINE:
+		if len(st.Lhs) != len(st.Rhs) {
+			return nil
+		}
+		for i, rhs := range st.Rhs {
+			lhs := st.Lhs[i]
+			// Per-key map updates are order-insensitive.
+			if isMapIndexed(pass, lhs) {
+				continue
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if isBuiltinAppend(pass, call) {
+				sinks = append(sinks, sink{kind: sinkAppend, obj: accumulator(pass, lhs), desc: "append"})
+				continue
+			}
+			// `x = f(x, …)` re-assignment of a slice/string accumulator
+			// (binary.AppendUvarint, label.AppendWire, …).
+			if isStringy(pass.TypesInfo.TypeOf(lhs)) && callMentions(pass, call, accumulator(pass, lhs)) {
+				sinks = append(sinks, sink{kind: sinkAppend, obj: accumulator(pass, lhs), desc: "accumulating call"})
+			}
+		}
+	}
+	return sinks
+}
+
+// isStringy reports slice, string, or array types — the accumulators
+// whose element order is observable.
+func isStringy(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Basic:
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			return b.Info()&types.IsString != 0
+		}
+		return true
+	}
+	return false
+}
+
+// isMapIndexed reports whether e is m[k] with a map base.
+func isMapIndexed(pass *analysis.Pass, e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// accumulator resolves the object a sink accumulates into: the
+// identifier itself, or the field of a selector chain.
+func accumulator(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(v)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(v.Sel)
+	case *ast.IndexExpr:
+		return accumulator(pass, v.X)
+	case *ast.StarExpr:
+		return accumulator(pass, v.X)
+	}
+	return nil
+}
+
+// calleeName extracts the selector name of a method/package call.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// callMentions reports whether obj appears among the call's arguments.
+func callMentions(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// sortedAfter reports whether obj is passed, after pos within the
+// enclosing function body, to a call that re-establishes order: any
+// sort.*/slices.* call, or any function whose own name says it sorts
+// (label.SortLabels, sortKeys, …).
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || !callMentions(pass, call, obj) {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if isSortName(fun.Sel.Name) {
+				found = true
+				return true
+			}
+			pkgID, ok := ast.Unparen(fun.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.ObjectOf(pkgID).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pn.Imported().Path(); p == "sort" || p == "slices" {
+				found = true
+			}
+		case *ast.Ident:
+			if isSortName(fun.Name) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortName reports function names that declare a sorting effect.
+func isSortName(name string) bool {
+	return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "sort") ||
+		strings.HasSuffix(name, "Sort") || strings.HasSuffix(name, "Sorted")
+}
+
+func describe(sinks []sink) string {
+	seen := map[string]bool{}
+	var parts []string
+	for _, s := range sinks {
+		if !seen[s.desc] {
+			seen[s.desc] = true
+			parts = append(parts, s.desc)
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"retypd/tools/internal/analysistest"
+	"retypd/tools/internal/analyzers/detrange"
+)
+
+func TestDetRange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrange.Analyzer, "detrange")
+}

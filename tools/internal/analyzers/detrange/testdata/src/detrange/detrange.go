@@ -1,0 +1,169 @@
+// Fixtures for the detrange analyzer: map ranges with order-sensitive
+// bodies are flagged unless sorted afterwards or justified.
+package detrange
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"strings"
+)
+
+func flagAppendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `order-sensitive range over map: append`
+		out = append(out, k)
+	}
+	return out
+}
+
+func okAppendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func okAppendThenSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func flagPrint(m map[string]int) {
+	for k, v := range m { // want `order-sensitive range over map`
+		fmt.Println(k, v)
+	}
+}
+
+func flagBuilderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `order-sensitive range over map`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func flagHash(m map[string]int) uint64 {
+	var h maphash.Hash
+	for k := range m { // want `order-sensitive range over map`
+		h.WriteString(k)
+	}
+	return h.Sum64()
+}
+
+func flagStringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `order-sensitive range over map: string concatenation`
+		s += k
+	}
+	return s
+}
+
+func flagAccumulatingCall(m map[string]int) []byte {
+	var buf []byte
+	for k := range m { // want `order-sensitive range over map: accumulating call`
+		buf = appendKey(buf, k)
+	}
+	return buf
+}
+
+func appendKey(b []byte, k string) []byte { return append(b, k...) }
+
+func okJustified(m map[string]int) []string {
+	var out []string
+	//retypd:unordered every element renders identically, order cannot show
+	for range m {
+		out = append(out, "x")
+	}
+	return out
+}
+
+func okTrailingJustification(m map[string]int) []string {
+	var out []string
+	for range m { //retypd:unordered constant elements
+		out = append(out, "x")
+	}
+	return out
+}
+
+// A helper whose name declares a sorting effect counts as sorting,
+// like the repo's label.SortLabels.
+func okAppendThenSortHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(xs []string) { sort.Strings(xs) }
+
+// A non-sort helper call does not suppress the finding.
+func flagAppendThenOtherHelper(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `order-sensitive range over map: append`
+		out = append(out, k)
+	}
+	shuffle(out)
+	return out
+}
+
+func shuffle(xs []string) {}
+
+func okMapToMap(m map[string]int) map[int]string {
+	inv := make(map[int]string)
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func okGroupBy(m map[string]int) map[int][]string {
+	g := map[int][]string{}
+	for k, v := range m {
+		g[v] = append(g[v], k)
+	}
+	return g
+}
+
+func okCommutativeSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func okSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func okMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func flagClosureInLoop(m map[string]int) []func() string {
+	var fns []func() string
+	for k := range m { // want `order-sensitive range over map: append`
+		k := k
+		fns = append(fns, func() string { return k })
+	}
+	return fns
+}

@@ -1,0 +1,190 @@
+// Package keyreach enforces the "options must reach the key" rule of
+// the three-layer memo table (docs/ARCHITECTURE.md): for a struct
+// annotated
+//
+//	//retypd:cachekey <func>[ <func>…]
+//
+// every field must be referenced somewhere in the named key-building
+// functions (or in same-package functions they call). A field that
+// parameterizes what a memoized computation produces but is missing
+// from the encoded key makes isomorphic inputs cross-serve stale
+// entries — the top way to corrupt the body/scheme/shape caches.
+//
+// The designated functions are named by bare name ("Compute") or
+// receiver-qualified method name ("Key.Hash64"); they must live in the
+// same package as the struct. A field that deliberately stays out of
+// the key (debug counters, derived redundancies) carries a
+// //retypd:notkey <justification> comment.
+package keyreach
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"retypd/tools/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "keyreach",
+	Doc: "for //retypd:cachekey structs, verifies every field is referenced in the " +
+		"designated key-building functions; exempt fields with //retypd:notkey <justification>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := funcIndex(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				args, ok := pass.DirectiveArgs(ts.Pos(), "cachekey")
+				if !ok {
+					args, ok = pass.DirectiveArgs(gd.Pos(), "cachekey")
+				}
+				if !ok {
+					continue
+				}
+				checkStruct(pass, ts, args, decls)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// funcIndex maps "Name" and "Recv.Name" to declarations.
+func funcIndex(pass *analysis.Pass) map[string]*ast.FuncDecl {
+	idx := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if rn := recvTypeName(fd.Recv.List[0].Type); rn != "" {
+					key = rn + "." + fd.Name.Name
+				}
+			}
+			idx[key] = fd
+		}
+	}
+	return idx
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.StarExpr:
+		return recvTypeName(v.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(v.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(v.X)
+	}
+	return ""
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, args string, decls map[string]*ast.FuncDecl) {
+	obj, ok := pass.TypesInfo.Defs[ts.Name]
+	if !ok || obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//retypd:cachekey on %s, which is not a struct type", ts.Name.Name)
+		return
+	}
+
+	names := strings.Fields(args)
+	if len(names) == 0 {
+		pass.Reportf(ts.Pos(), "//retypd:cachekey on %s names no key-building function "+
+			"(write //retypd:cachekey <func> [<func>…])", ts.Name.Name)
+		return
+	}
+	var roots []*ast.FuncDecl
+	missing := false
+	for _, name := range names {
+		fd, ok := decls[name]
+		if !ok {
+			pass.Reportf(ts.Pos(), "cachekey function %q for %s not found in this package", name, ts.Name.Name)
+			missing = true
+			continue
+		}
+		roots = append(roots, fd)
+	}
+	if missing || len(roots) == 0 {
+		return
+	}
+
+	reached := reachableFieldUses(pass, decls, roots)
+
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if reached[field] {
+			continue
+		}
+		if pass.HasDirective(field.Pos(), "notkey") {
+			continue
+		}
+		pass.Reportf(field.Pos(), "field %s of cachekey struct %s is not referenced in key function(s) %s; "+
+			"encode it into the key or justify with //retypd:notkey",
+			field.Name(), ts.Name.Name, strings.Join(names, ", "))
+	}
+}
+
+// reachableFieldUses walks the same-package static call graph from the
+// designated functions and records every field object referenced —
+// selector reads (k.A), keyed composite literals (S{A: …}), method
+// calls on fields.
+func reachableFieldUses(pass *analysis.Pass, decls map[string]*ast.FuncDecl, roots []*ast.FuncDecl) map[types.Object]bool {
+	// Map function objects back to declarations for call-graph walking.
+	declOf := map[types.Object]*ast.FuncDecl{}
+	for _, fd := range decls {
+		if o := pass.TypesInfo.ObjectOf(fd.Name); o != nil {
+			declOf[o] = fd
+		}
+	}
+
+	used := map[types.Object]bool{}
+	visited := map[*ast.FuncDecl]bool{}
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				used[v] = true
+			}
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() == pass.Pkg {
+				if callee, ok := declOf[fn]; ok {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range roots {
+		visit(fd)
+	}
+	return used
+}

@@ -1,0 +1,12 @@
+package keyreach_test
+
+import (
+	"testing"
+
+	"retypd/tools/internal/analysistest"
+	"retypd/tools/internal/analyzers/keyreach"
+)
+
+func TestKeyReach(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), keyreach.Analyzer, "keyreach")
+}

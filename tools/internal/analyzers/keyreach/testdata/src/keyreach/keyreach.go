@@ -1,0 +1,83 @@
+// Fixtures for the keyreach analyzer: //retypd:cachekey structs whose
+// fields must all reach the designated key-building functions.
+package keyreach
+
+//retypd:cachekey goodKey
+type Good struct {
+	A int
+	B string
+	C bool
+}
+
+// goodKey references A and B directly and C through a helper.
+func goodKey(k Good) []byte {
+	var enc []byte
+	enc = append(enc, byte(k.A))
+	enc = append(enc, k.B...)
+	return appendC(enc, k)
+}
+
+func appendC(enc []byte, k Good) []byte {
+	if k.C {
+		return append(enc, 1)
+	}
+	return append(enc, 0)
+}
+
+//retypd:cachekey badKey
+type Bad struct {
+	A int
+	B string // want `field B of cachekey struct Bad is not referenced`
+}
+
+func badKey(k Bad) int { return k.A }
+
+//retypd:cachekey MethodKey.hash64
+type MethodKey struct {
+	Sum   [4]byte
+	Root  uint32
+	Extra int // want `field Extra of cachekey struct MethodKey is not referenced`
+}
+
+func (k MethodKey) hash64() uint64 {
+	return uint64(k.Sum[0]) ^ uint64(k.Root)
+}
+
+//retypd:cachekey escKey
+type Escaped struct {
+	A int
+	//retypd:notkey debug counter, never read by the memoized computation
+	Hits int
+}
+
+func escKey(k Escaped) int { return k.A }
+
+//retypd:cachekey litKey
+type ViaLiteral struct {
+	A int
+	B string
+}
+
+type wire struct {
+	a int
+	b string
+}
+
+// litKey references the fields through a keyed composite literal.
+func litKey(k ViaLiteral) wire { return wire{a: k.A, b: k.B} }
+
+//retypd:cachekey missingFn
+type Orphan struct { // want `cachekey function "missingFn" for Orphan not found`
+	A int
+}
+
+//retypd:cachekey
+type Unnamed struct { // want `names no key-building function`
+	A int
+}
+
+// Unannotated structs are never checked.
+type Plain struct {
+	A int
+	B string
+}

@@ -1,0 +1,87 @@
+// The meta-test keeps docs/ARCHITECTURE.md's "Enforced invariants"
+// table and the analyzer suite in lockstep: every table row must name
+// its enforcement (an analyzer, a test, or a runtime check), and every
+// registered analyzer must be named by at least one row. A new
+// analyzer without documentation, or a documented invariant whose
+// enforcement silently disappears, fails this test.
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// invariantRows extracts the body rows of the "Enforced invariants"
+// table from docs/ARCHITECTURE.md.
+func invariantRows(t *testing.T) [][]string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", "docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatalf("reading ARCHITECTURE.md: %v", err)
+	}
+	_, section, ok := strings.Cut(string(data), "## Enforced invariants")
+	if !ok {
+		t.Fatal("ARCHITECTURE.md has no \"## Enforced invariants\" section")
+	}
+	if i := strings.Index(section, "\n## "); i >= 0 {
+		section = section[:i]
+	}
+	var rows [][]string
+	for _, line := range strings.Split(section, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		var cells []string
+		for _, c := range strings.Split(strings.Trim(line, "|"), "|") {
+			cells = append(cells, strings.TrimSpace(c))
+		}
+		// Skip the header and the |---|---|---| separator.
+		if len(cells) != 3 || cells[0] == "Invariant" || strings.HasPrefix(cells[0], "---") {
+			continue
+		}
+		rows = append(rows, cells)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Enforced invariants table has no body rows")
+	}
+	return rows
+}
+
+func TestInvariantTableNamesEnforcement(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range All {
+		names[a.Name] = true
+	}
+	for _, row := range invariantRows(t) {
+		enf := row[1]
+		byAnalyzer := false
+		for name := range names {
+			if strings.Contains(enf, "`"+name+"`") {
+				byAnalyzer = true
+			}
+		}
+		if !byAnalyzer && !strings.Contains(enf, "test:") && !strings.Contains(enf, "runtime:") {
+			t.Errorf("invariant %q: enforcement %q names no analyzer and is not marked test:- or runtime:-enforced",
+				row[0], enf)
+		}
+	}
+}
+
+func TestEveryAnalyzerDocumented(t *testing.T) {
+	rows := invariantRows(t)
+	for _, a := range All {
+		found := false
+		for _, row := range rows {
+			if strings.Contains(row[1], "`"+a.Name+"`") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("analyzer %q is not named by any row of the Enforced invariants table", a.Name)
+		}
+	}
+}

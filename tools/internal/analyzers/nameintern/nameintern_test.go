@@ -1,0 +1,13 @@
+package nameintern_test
+
+import (
+	"testing"
+
+	"retypd/tools/internal/analysistest"
+	"retypd/tools/internal/analyzers/nameintern"
+)
+
+func TestNameIntern(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nameintern.Analyzer,
+		"x/internal/absint", "x/other")
+}

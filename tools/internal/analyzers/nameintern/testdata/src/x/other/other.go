@@ -1,0 +1,10 @@
+// Control fixture: this package is NOT under the name-minting
+// invariant (path does not end in internal/absint or internal/solver),
+// so nothing here is flagged.
+package other
+
+import "fmt"
+
+func NotFlagged(base string, i int) string {
+	return fmt.Sprintf("%s!reg@%d", base, i)
+}

@@ -1,0 +1,153 @@
+// Package sealedmut flags writes to — and aliasing appends on — the
+// internal storage of sketch.Sketch values outside internal/sketch.
+//
+// Sealed sketches are the immutability boundary of the phase-2 shape
+// memo: one *Sketch may be shared by many ProcResults and read by many
+// goroutines, so mutating one corrupts the cache for every sharer.
+// The runtime guard (Sketch.Seal clamps slices; Decorate panics on a
+// sealed receiver) catches mutation through the in-package entry
+// points at run time; this analyzer adds compile-time coverage for
+// direct field writes and for appends that could alias the sealed
+// backing arrays, the two shapes the runtime guard cannot see.
+//
+// Code outside internal/sketch that legitimately owns a fresh,
+// unsealed Sketch (a builder assembling one before sealing) justifies
+// each write with //retypd:mutable <why this value is unsealed and
+// unshared>. Test files are exempt: the runtime panics and the golden
+// determinism tests already police them, and tests routinely assemble
+// small sketches by hand.
+package sealedmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"retypd/tools/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sealedmut",
+	Doc: "flags writes to or aliasing appends on sketch.Sketch internal storage " +
+		"outside internal/sketch; suppress with //retypd:mutable <justification>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/sketch") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkWrite(pass, st.Pos(), lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, st.Pos(), st.X)
+			case *ast.CallExpr:
+				checkAppend(pass, st)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkWrite flags an assignment whose target chains through a field
+// of a sketch.Sketch (s.States = …, s.States[i].Lower = …).
+func checkWrite(pass *analysis.Pass, stmt token.Pos, lhs ast.Expr) {
+	root, ok := sketchRoot(pass, lhs)
+	if !ok {
+		return
+	}
+	if pass.HasDirective(stmt, "mutable") || pass.HasDirective(lhs.Pos(), "mutable") {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to sealed-capable sketch.Sketch storage (%s) outside internal/sketch; "+
+		"derive a copy (Descend/Meet/Join/WithRootVariance) or justify with //retypd:mutable", root)
+}
+
+// checkAppend flags append(s.States, …)-shaped calls: even when the
+// result is assigned elsewhere, the append writes into the sketch's
+// backing array whenever spare capacity exists.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return
+	}
+	root, ok := sketchRoot(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	if pass.HasDirective(call.Pos(), "mutable") {
+		return
+	}
+	pass.Reportf(call.Pos(), "append aliases sealed-capable sketch.Sketch storage (%s); "+
+		"copy the slice first or justify with //retypd:mutable", root)
+}
+
+// sketchRoot walks a selector/index chain and reports whether it
+// passes through a field selection on a sketch.Sketch value; it
+// returns a printable description of the root expression.
+func sketchRoot(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if isSketch(pass.TypesInfo.TypeOf(v.X)) {
+				return exprString(v.X) + "." + v.Sel.Name, true
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// isSketch matches sketch.Sketch (or a pointer to it) from any package
+// whose import path ends in internal/sketch.
+func isSketch(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Sketch" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/sketch")
+}
+
+// exprString renders a short description of the receiver expression.
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(…)"
+	}
+	return "sketch"
+}

@@ -1,0 +1,14 @@
+package sealedmut_test
+
+import (
+	"testing"
+
+	"retypd/tools/internal/analysistest"
+	"retypd/tools/internal/analyzers/sealedmut"
+)
+
+func TestSealedMut(t *testing.T) {
+	// The fake internal/sketch package is loaded too: writes inside it
+	// (Seal's own clamping) must produce no findings.
+	analysistest.Run(t, analysistest.TestData(), sealedmut.Analyzer, "a", "a/internal/sketch")
+}

@@ -1,0 +1,54 @@
+// Fixtures for the sealedmut analyzer: writes to sketch.Sketch
+// internals outside internal/sketch are flagged.
+package a
+
+import sketch "a/internal/sketch"
+
+func flagFieldWrite(s *sketch.Sketch) {
+	s.States = nil // want `write to sealed-capable sketch.Sketch storage`
+}
+
+func flagDeepWrite(s *sketch.Sketch) {
+	s.States[0].Lower = 3 // want `write to sealed-capable sketch.Sketch storage`
+}
+
+func flagEdgeWrite(s *sketch.Sketch) {
+	s.States[0].Edges[1].To = 7 // want `write to sealed-capable sketch.Sketch storage`
+}
+
+func flagIncDec(s *sketch.Sketch) {
+	s.States[0].Lower++ // want `write to sealed-capable sketch.Sketch storage`
+}
+
+func flagAliasingAppend(s *sketch.Sketch) []sketch.State {
+	return append(s.States, sketch.State{}) // want `append aliases sealed-capable sketch.Sketch storage`
+}
+
+func flagValueReceiver(s sketch.Sketch) {
+	s.States = nil // want `write to sealed-capable sketch.Sketch storage`
+}
+
+func okRead(s *sketch.Sketch) int {
+	return len(s.States) + s.States[0].Lower
+}
+
+func okWholeVariable(s *sketch.Sketch) *sketch.Sketch {
+	s = nil // replacing the pointer, not writing through it
+	return s
+}
+
+func okCopyFirst(s *sketch.Sketch) []sketch.State {
+	out := make([]sketch.State, len(s.States))
+	copy(out, s.States)
+	out[0].Lower = 9
+	return out
+}
+
+func okJustified(s *sketch.Sketch) {
+	//retypd:mutable s was built three lines up and is not yet sealed or shared
+	s.States = nil
+}
+
+func okTrailingJustified(s *sketch.Sketch) []sketch.State {
+	return append(s.States, sketch.State{}) //retypd:mutable fresh unsealed value owned here
+}

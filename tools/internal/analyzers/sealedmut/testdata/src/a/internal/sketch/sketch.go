@@ -1,0 +1,26 @@
+// Fake stand-in for retypd/internal/sketch: the analyzer matches any
+// package whose import path ends in internal/sketch. Writes inside
+// this package are exempt.
+package sketch
+
+type Edge struct {
+	Label int
+	To    int
+}
+
+type State struct {
+	Edges []Edge
+	Lower int
+}
+
+type Sketch struct {
+	States []State
+	sealed bool
+}
+
+// Seal writes to its own fields — allowed: this IS internal/sketch.
+func (s *Sketch) Seal() *Sketch {
+	s.States = s.States[:len(s.States):len(s.States)]
+	s.sealed = true
+	return s
+}

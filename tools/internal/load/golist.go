@@ -1,0 +1,87 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the driver needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// GoList loads the packages matching patterns (plus nothing else: the
+// -deps sweep only feeds the export-data map for imports). Packages
+// that fail to list carry their error through; analysis proceeds on
+// the rest.
+func GoList(patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,DepOnly,Error",
+	}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		msg := err.Error()
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && len(ee.Stderr) > 0 {
+			msg = string(bytes.TrimSpace(ee.Stderr))
+		}
+		return nil, fmt.Errorf("go list: %s", msg)
+	}
+
+	var targets []*listPkg
+	exportFile := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pc := p
+			targets = append(targets, &pc)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, nil, exportFile)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range append(append([]string{}, t.GoFiles...), t.CgoFiles...) {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(t.Dir, f)
+			}
+			files = append(files, f)
+		}
+		pkg, err := Check(fset, t.ImportPath, files, imp, "")
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

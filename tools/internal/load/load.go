@@ -1,0 +1,95 @@
+// Package load type-checks Go packages for the retypd-vet analyzers
+// using only the standard library.
+//
+// Three loaders share one core (Check):
+//
+//   - GoList — the standalone driver: `go list -deps -export -json`
+//     discovers the target packages and the export data of their
+//     dependencies, and the stdlib gc importer reads the build cache's
+//     export files directly.
+//   - VetCfg — the `go vet -vettool` unit-checker protocol: cmd/go
+//     hands the tool one JSON config per package with files and an
+//     import→export-data map already resolved.
+//   - Source (in package analysistest) — test fixtures type-checked
+//     from a testdata/src tree.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors are soft type-checking problems; the package is still
+	// analyzed (analyzers must tolerate partial type information).
+	TypeErrors []error
+}
+
+// Check parses and type-checks one package from its file list.
+func Check(fset *token.FileSet, path string, filenames []string, imp types.Importer, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	p := &Package{Fset: fset, Files: files, Info: NewInfo()}
+	conf := types.Config{
+		Importer:         imp,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error:            func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	if goVersion != "" {
+		conf.GoVersion = goVersion
+	}
+	pkg, err := conf.Check(path, fset, files, p.Info)
+	p.Pkg = pkg
+	if pkg == nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// ExportImporter returns a gc-compiler importer whose export data is
+// resolved through importMap (source path → canonical path, identity
+// when absent) and packageFile (canonical path → export data file).
+func ExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

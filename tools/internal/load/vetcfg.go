@@ -1,0 +1,73 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the JSON configuration cmd/go writes for a
+// -vettool invocation (one file per package; see the unitchecker
+// protocol in golang.org/x/tools and cmd/go/internal/work). Fields the
+// retypd-vet analyzers never consult are omitted from the struct;
+// unknown JSON keys are ignored by encoding/json.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses one vet.cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &VetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// WriteVetx writes the facts file cmd/go expects every vettool
+// invocation to produce. The retypd-vet analyzers are fact-free, so
+// the file is empty — it exists purely to satisfy the protocol (and
+// the build cache, which keys vet reruns on it).
+func (cfg *VetConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// LoadVetCfg type-checks the package a vet.cfg describes. The caller
+// has already handled VetxOnly configs.
+func LoadVetCfg(cfg *VetConfig) (*Package, error) {
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("unsupported compiler %q", cfg.Compiler)
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	goVersion := cfg.GoVersion
+	// cmd/go passes fully qualified versions like "go1.22.1";
+	// types.Config wants the language version.
+	if strings.Count(goVersion, ".") >= 2 {
+		goVersion = goVersion[:strings.LastIndex(goVersion, ".")]
+	}
+	return Check(fset, cfg.ImportPath, cfg.GoFiles, imp, goVersion)
+}

@@ -1,0 +1,178 @@
+// Package multichecker drives a set of analysis.Analyzers in the two
+// ways retypd-vet is invoked:
+//
+//	retypd-vet [packages]          standalone: `go list -export` discovers
+//	                               and type-checks the packages (default ./...)
+//	go vet -vettool=retypd-vet …   unit-checker protocol: cmd/go invokes the
+//	                               tool once per package with a vet.cfg file
+//	                               (this path also covers _test.go files)
+//
+// Both modes print findings as "file:line:col: [analyzer] message" on
+// stderr and exit nonzero when any finding is reported.
+package multichecker
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"retypd/tools/internal/analysis"
+	"retypd/tools/internal/load"
+)
+
+// version is reported to cmd/go via -V=full, which folds it into the
+// vet build-cache key: bump it when analyzer behavior changes so
+// cached "no findings" results are invalidated.
+const version = "v1"
+
+// Main runs the multichecker and exits the process.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(Run(os.Args[1:], analyzers))
+}
+
+// Run executes one invocation and returns the process exit code.
+func Run(args []string, analyzers []*analysis.Analyzer) int {
+	progname := "retypd-vet"
+	if len(os.Args) > 0 {
+		progname = filepath.Base(os.Args[0])
+	}
+
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			// cmd/go probes `tool -V=full` and requires the reply
+			// "<basename> version <non-devel-token>".
+			fmt.Printf("%s version %s\n", progname, version)
+			return 0
+		case args[0] == "-flags":
+			// cmd/go asks which vet flags the tool supports; none.
+			fmt.Println("[]")
+			return 0
+		case args[0] == "help" || args[0] == "-h" || args[0] == "--help":
+			printHelp(progname, analyzers)
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetCfg(args[0], analyzers)
+		}
+	}
+	return runStandalone(args, analyzers)
+}
+
+func printHelp(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Printf("%s: project-specific vet checks for the retypd repository\n\n", progname)
+	fmt.Printf("usage: %s [package patterns]   (default ./...)\n", progname)
+	fmt.Printf("   or: go vet -vettool=$(command -v %s) ./...\n\n", progname)
+	fmt.Println("registered analyzers:")
+	for _, a := range analyzers {
+		fmt.Printf("\n%s: %s\n", a.Name, a.Doc)
+	}
+}
+
+// runVetCfg serves one package of a `go vet -vettool` run.
+func runVetCfg(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := load.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retypd-vet: %v\n", err)
+		return 1
+	}
+	// Dependencies are scheduled only so fact-producing tools can see
+	// them; this suite is fact-free, so an empty facts file satisfies
+	// the protocol without type-checking anything.
+	if cfg.VetxOnly {
+		if err := cfg.WriteVetx(); err != nil {
+			fmt.Fprintf(os.Stderr, "retypd-vet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	pkg, err := load.LoadVetCfg(cfg)
+	if err != nil || len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = cfg.WriteVetx()
+			return 0
+		}
+		if err == nil {
+			err = pkg.TypeErrors[0]
+		}
+		fmt.Fprintf(os.Stderr, "retypd-vet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	n := analyze(pkg, analyzers)
+	if err := cfg.WriteVetx(); err != nil {
+		fmt.Fprintf(os.Stderr, "retypd-vet: %v\n", err)
+		return 1
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone drives analyzers over go-list-resolved packages.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.GoList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retypd-vet: %v\n", err)
+		return 1
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		total += analyze(pkg, analyzers)
+	}
+	if total > 0 {
+		return 2
+	}
+	return 0
+}
+
+// analyze runs every analyzer over one package and prints its
+// findings in position order; it returns the finding count.
+func analyze(pkg *load.Package, analyzers []*analysis.Analyzer) int {
+	type finding struct {
+		pos token.Position
+		msg string
+	}
+	var findings []finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, finding{
+				pos: pkg.Fset.Position(d.Pos),
+				msg: fmt.Sprintf("[%s] %s", name, d.Message),
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "retypd-vet: %s: %s: %v\n", a.Name, pkg.Pkg.Path(), err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.msg < b.msg
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.msg)
+	}
+	return len(findings)
+}
