@@ -58,8 +58,8 @@ func main() {
 	var sweep []eval.ScalingPoint
 	if *exp == "par" || *exp == "all" {
 		fmt.Fprintln(os.Stderr, "running parallel worker sweep…")
-		counts := []int{1, 2, 4}
-		if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts := []int{1, 2, 4, 8}
+		if n := runtime.GOMAXPROCS(0); n > 8 {
 			counts = append(counts, n)
 		}
 		sweep = eval.RunParallelSweep(*parSize, counts)

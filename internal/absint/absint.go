@@ -102,7 +102,7 @@ type resolved struct {
 type gen struct {
 	pi      *cfg.ProcInfo
 	infos   map[string]*cfg.ProcInfo
-	schemes map[string]*constraints.Scheme
+	schemes SchemeLookup
 	sums    summaries.Table
 	isConst func(constraints.Var) bool
 	opts    Options
@@ -128,6 +128,14 @@ type gen struct {
 	nb intern.NameBuilder
 }
 
+// scheme resolves a callee's published type scheme (nil-safe).
+func (g *gen) scheme(name string) *constraints.Scheme {
+	if g.schemes == nil {
+		return nil
+	}
+	return g.schemes(name)
+}
+
 // mergeKey identifies one use-site merge intermediate (instruction
 // index plus operand role) without rendering a string key.
 type mergeKey struct {
@@ -140,15 +148,23 @@ type defKey struct {
 	loc cfg.Loc
 }
 
+// SchemeLookup resolves a callee name to its already-computed type
+// scheme, or nil when none is available yet. It is a function, not a
+// map, because the solver's readiness scheduler publishes schemes
+// concurrently with other SCCs' generation: the solver backs it with a
+// slice indexed by a frozen procedure index, where writing one callee's
+// slot never races another's read (a shared map would).
+type SchemeLookup func(name string) *constraints.Scheme
+
 // Generate produces the constraint set for pi's procedure. infos gives
 // the analyses of all program procedures (for callee formal lists),
-// schemes the already-computed type schemes of lower-SCC callees
-// (callees without a scheme are linked monomorphically, which is the
-// correct treatment inside a strongly connected component, §4.2), and
-// isConst identifies lattice constants (kept unrenamed by
-// instantiation).
+// schemes the already-computed type schemes of callee SCCs — nil, or
+// returning nil for a name, means no scheme, and the callee is linked
+// monomorphically, which is the correct treatment inside a strongly
+// connected component (§4.2) — and isConst identifies lattice
+// constants (kept unrenamed by instantiation).
 func Generate(pi *cfg.ProcInfo, infos map[string]*cfg.ProcInfo,
-	schemes map[string]*constraints.Scheme, sums summaries.Table,
+	schemes SchemeLookup, sums summaries.Table,
 	isConst func(constraints.Var) bool, opts Options) *Result {
 
 	g := &gen{

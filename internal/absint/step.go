@@ -435,7 +435,7 @@ func (g *gen) emitCall(i int, st *state, tail bool) {
 			formalNames = append(formalNames, l.ParamName())
 		}
 		hasOut = ci.HasOut
-		if sch, ok := g.schemes[target]; ok && tag != "" {
+		if sch := g.scheme(target); sch != nil && tag != "" {
 			root = constraints.Var(string(sch.Root) + tag)
 			g.cs.InsertAll(sch.Constraints.SubstituteBases(keep))
 		} else {

@@ -1,0 +1,223 @@
+package conc
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Task is one unit of executor work. It receives a Submitter so that
+// completing one unit can make further units runnable (the solver's
+// readiness scheduler submits an SCC's callers the moment their last
+// callee finishes) without threading the executor through every call
+// site.
+type Task func(sub Submitter)
+
+// Submitter enqueues tasks for execution. Submit may be called from
+// inside a running task (the task goes to the submitting worker's own
+// deque, LIFO, so freshly-unlocked work runs hot-in-cache) or from
+// outside the pool before Run's seed returns (the task goes to the
+// global injection queue).
+type Submitter interface {
+	Submit(t Task)
+}
+
+// SchedHooks lets tests perturb executor scheduling without changing
+// its semantics. Both fields may be nil. The hooks exist so the
+// determinism suite can prove output invariance under adversarial
+// schedules — production code never sets them.
+type SchedHooks struct {
+	// BeforeRun is called on the executing worker immediately before
+	// each task runs (schedtest injects randomized delays here).
+	BeforeRun func(worker int)
+	// StealOrder returns the order in which worker self scans the other
+	// workers' deques when its own deque and the global queue are empty.
+	// It must return a permutation of [0, workers) values != self
+	// (values == self or out of range are skipped). Nil means ascending
+	// order starting after self.
+	StealOrder func(self, workers int) []int
+}
+
+// Executor runs tasks on a fixed pool of workers with per-worker
+// deques and work stealing. Owners push and pop their own deque at the
+// tail (LIFO — depth-first over freshly unlocked work keeps the ready
+// frontier small and cache-hot); thieves and the global queue are
+// consumed at the head (FIFO — stolen work is the oldest, coarsest
+// ready work, the classic Blumofe/Leiserson split).
+//
+// All queues hang off one mutex: solver tasks are whole SCCs or whole
+// procedures (microseconds to milliseconds), so a lock-per-transition
+// design costs nothing measurable and keeps the quiescence test — the
+// executor must detect "no task queued anywhere, none running" to
+// terminate — trivially race-free. Idle workers park on a condition
+// variable instead of spinning.
+//
+// A panic inside a task stops the pool (pending work is dropped) and
+// is re-raised on the Run caller as a *WorkerPanic, matching ForEach.
+type Executor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]Task // deques[w]: owner pops tail, thieves pop head
+	global  []Task   // injection queue, FIFO
+	pending int      // tasks queued or running
+	stopped bool     // panic observed: drain and exit
+	hooks   SchedHooks
+	pval    *WorkerPanic
+}
+
+// workerSub is the Submitter handed to tasks running on worker w.
+type workerSub struct {
+	e *Executor
+	w int
+}
+
+func (s workerSub) Submit(t Task) { s.e.submit(s.w, t) }
+
+// globalSub is the Submitter handed to Run's seed function; it injects
+// into the global queue (no owning worker yet).
+type globalSub struct{ e *Executor }
+
+func (s globalSub) Submit(t Task) { s.e.submit(-1, t) }
+
+// submit enqueues t on worker w's deque (w >= 0) or the global queue
+// (w < 0) and wakes one parked worker.
+func (e *Executor) submit(w int, t Task) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.pending++
+	if w >= 0 {
+		e.deques[w] = append(e.deques[w], t)
+	} else {
+		e.global = append(e.global, t)
+	}
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// next blocks until worker w has a task to run or the pool is
+// quiescent/stopped. ok == false means the worker should exit.
+func (e *Executor) next(w int) (Task, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.stopped {
+			return nil, false
+		}
+		// Own deque, tail (LIFO).
+		if d := e.deques[w]; len(d) > 0 {
+			t := d[len(d)-1]
+			d[len(d)-1] = nil
+			e.deques[w] = d[:len(d)-1]
+			return t, true
+		}
+		// Global injection queue, head (FIFO).
+		if len(e.global) > 0 {
+			t := e.global[0]
+			e.global[0] = nil
+			e.global = e.global[1:]
+			return t, true
+		}
+		// Steal: scan victims per the hook (or ascending after self),
+		// taking the head — the oldest, coarsest work of the victim.
+		order := e.stealOrder(w)
+		for _, v := range order {
+			if v == w || v < 0 || v >= len(e.deques) {
+				continue
+			}
+			if d := e.deques[v]; len(d) > 0 {
+				t := d[0]
+				d[0] = nil
+				e.deques[v] = d[1:]
+				return t, true
+			}
+		}
+		if e.pending == 0 {
+			// Quiescent: nothing queued, nothing running anywhere.
+			e.cond.Broadcast()
+			return nil, false
+		}
+		e.cond.Wait()
+	}
+}
+
+// stealOrder resolves the victim scan order for worker w. Callers hold
+// mu; the hook runs under the lock, which is fine for test hooks.
+func (e *Executor) stealOrder(w int) []int {
+	if e.hooks.StealOrder != nil {
+		return e.hooks.StealOrder(w, len(e.deques))
+	}
+	order := make([]int, 0, len(e.deques)-1)
+	for i := 1; i < len(e.deques); i++ {
+		order = append(order, (w+i)%len(e.deques))
+	}
+	return order
+}
+
+// runWorker is one worker's loop: pull, run, account, repeat.
+func (e *Executor) runWorker(w int, once *sync.Once) {
+	defer func() {
+		if r := recover(); r != nil {
+			once.Do(func() { e.pval = &WorkerPanic{Value: r, Stack: debug.Stack()} })
+			e.mu.Lock()
+			e.stopped = true
+			e.mu.Unlock()
+			e.cond.Broadcast()
+		}
+	}()
+	sub := workerSub{e: e, w: w}
+	for {
+		t, ok := e.next(w)
+		if !ok {
+			return
+		}
+		if e.hooks.BeforeRun != nil {
+			e.hooks.BeforeRun(w)
+		}
+		t(sub)
+		e.mu.Lock()
+		e.pending--
+		quiescent := e.pending == 0
+		e.mu.Unlock()
+		if quiescent {
+			e.cond.Broadcast()
+		}
+	}
+}
+
+// RunPool executes a dynamic task graph on Limit(workers) workers:
+// seed submits the initially-ready tasks, tasks submit their
+// successors, and RunPool returns when the pool is quiescent (every
+// submitted task completed and no worker holds one). hooks may be nil.
+// Worker 0 runs inline on the calling goroutine, so workers == 1 is
+// fully sequential — no goroutines, deterministic LIFO order — which
+// is the reference schedule the solver's determinism suite compares
+// against. Task panics are re-raised on the caller as *WorkerPanic.
+func RunPool(workers int, hooks *SchedHooks, seed func(sub Submitter)) {
+	w := Limit(workers)
+	e := &Executor{deques: make([][]Task, w)}
+	e.cond = sync.NewCond(&e.mu)
+	if hooks != nil {
+		e.hooks = *hooks
+	}
+	seed(globalSub{e: e})
+
+	var once sync.Once
+	var wg sync.WaitGroup
+	for k := 1; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			e.runWorker(k, &once)
+		}(k)
+	}
+	e.runWorker(0, &once)
+	// Worker 0 exits only when stopped or quiescent; both states wake
+	// the others, which then exit too.
+	e.cond.Broadcast()
+	wg.Wait()
+	if e.pval != nil {
+		panic(e.pval)
+	}
+}

@@ -25,13 +25,19 @@ package lru
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
-// entry is one key/value pair on the recency list.
+// entry is one key/value pair on the recency list. stamp is the
+// global-recency tick of the entry's last touch, maintained only when
+// the cache is a shard of a Sharded (clock != nil): within one shard
+// the list order already IS recency, but merging shards back into one
+// global recency order (Sharded.Export) needs a cross-shard clock.
 type entry[K comparable, V any] struct {
-	hash uint64
-	key  K
-	val  V
+	hash  uint64
+	key   K
+	val   V
+	stamp uint64
 }
 
 // flight is one in-progress single-flight computation.
@@ -54,6 +60,10 @@ type Cache[K comparable, V any] struct {
 	inflight map[uint64][]*flight[K, V]
 	hits     uint64
 	misses   uint64
+	// clock, when non-nil, is the shared cross-shard recency clock of
+	// the owning Sharded; every touch stamps the entry with a fresh
+	// tick. Standalone caches leave it nil (zero overhead).
+	clock *atomic.Uint64
 }
 
 // New returns a cache bounded to capacity entries (capacity must be
@@ -98,6 +108,14 @@ func (c *Cache[K, V]) removeElement(el *list.Element) {
 	}
 }
 
+// touch stamps el's entry with a fresh global-recency tick when the
+// cache is clocked. Callers hold mu.
+func (c *Cache[K, V]) touch(el *list.Element) {
+	if c.clock != nil {
+		el.Value.(*entry[K, V]).stamp = c.clock.Add(1)
+	}
+}
+
 // addLocked stores val under key unless already present. Callers hold
 // mu.
 func (c *Cache[K, V]) addLocked(h uint64, key K, val V) {
@@ -106,9 +124,11 @@ func (c *Cache[K, V]) addLocked(h uint64, key K, val V) {
 		// both values are equivalent by construction in the memo use
 		// case.
 		c.order.MoveToFront(el)
+		c.touch(el)
 		return
 	}
 	el := c.order.PushFront(&entry[K, V]{hash: h, key: key, val: val})
+	c.touch(el)
 	c.byHash[h] = append(c.byHash[h], el)
 	for c.order.Len() > c.cap {
 		c.removeElement(c.order.Back())
@@ -123,6 +143,7 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	defer c.mu.Unlock()
 	if el := c.find(h, key); el != nil {
 		c.order.MoveToFront(el)
+		c.touch(el)
 		c.hits++
 		return el.Value.(*entry[K, V]).val, true
 	}
@@ -159,6 +180,7 @@ func (c *Cache[K, V]) Do(key K, compute func() (V, bool)) (V, bool) {
 	c.mu.Lock()
 	if el := c.find(h, key); el != nil {
 		c.order.MoveToFront(el)
+		c.touch(el)
 		c.hits++
 		v := el.Value.(*entry[K, V]).val
 		c.mu.Unlock()

@@ -271,8 +271,13 @@ const DefaultSimplifyCacheCap = 4096
 // cost of sharing is LRU pressure on the capacity bound. Hit/miss
 // counters are cumulative across all sharers; callers wanting per-run
 // numbers snapshot Stats before and after (as solver.Infer does).
+//
+// The underlying store is sharded by Hash64 so concurrent workers on
+// different keys do not convoy on one mutex; the shard count is an
+// internal layout choice that never reaches a key or a wire byte
+// (lru.Sharded preserves global recency across Export/Import).
 type SimplifyCache struct {
-	lru *lru.Cache[Key, *SimplifyResult]
+	lru *lru.Sharded[Key, *SimplifyResult]
 }
 
 // NewSimplifyCache returns an LRU cache bounded to capacity entries
@@ -281,7 +286,7 @@ func NewSimplifyCache(capacity int) *SimplifyCache {
 	if capacity <= 0 {
 		capacity = DefaultSimplifyCacheCap
 	}
-	return &SimplifyCache{lru: lru.New[Key, *SimplifyResult](capacity, Key.Hash64)}
+	return &SimplifyCache{lru: lru.NewSharded[Key, *SimplifyResult](capacity, 0, Key.Hash64)}
 }
 
 // Stats reports cumulative hit/miss counts.

@@ -1,0 +1,80 @@
+// Package schedtest perturbs the conc executor's scheduling for
+// determinism testing. The solver guarantees byte-identical output at
+// any worker count under any schedule; the default scheduler only ever
+// exhibits a tiny slice of the possible schedules, so the perturbation
+// suite drives the executor through seeded adversarial ones — random
+// pre-task delays (reordering completion) and biased steal orders
+// (reordering acquisition) — and asserts the output never moves.
+//
+// Production code must never import this package; it exists for tests
+// only and its hooks are plumbed through solver.Options' unexported
+// test hook.
+package schedtest
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"retypd/internal/conc"
+)
+
+// Perturber produces conc.SchedHooks that randomize scheduling from a
+// fixed seed: the same seed and worker count replays the same sequence
+// of per-worker delays and steal orders, so failures are reproducible.
+type Perturber struct {
+	mu   sync.Mutex
+	seed int64
+	rngs []*rand.Rand // lazily grown, one per worker (each worker's calls are sequential)
+	// MaxDelay bounds each injected pre-task delay (default 50µs: long
+	// enough to flip completion orders across workers, short enough for
+	// 20-trial sweeps).
+	MaxDelay time.Duration
+}
+
+// New returns a Perturber replaying the schedule family of seed.
+func New(seed int64) *Perturber {
+	return &Perturber{seed: seed, MaxDelay: 50 * time.Microsecond}
+}
+
+// rng returns worker w's private generator, derived from the seed and
+// the worker index so schedules differ across workers but replay under
+// the same seed.
+func (p *Perturber) rng(w int) *rand.Rand {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.rngs) <= w {
+		p.rngs = append(p.rngs, rand.New(rand.NewSource(p.seed+int64(len(p.rngs))*0x9E3779B9)))
+	}
+	return p.rngs[w]
+}
+
+// Hooks builds the executor hooks: every task execution is preceded by
+// a random delay (a third of the time just a Gosched, a third a real
+// sleep, a third nothing), and every steal scan uses a fresh random
+// victim permutation.
+func (p *Perturber) Hooks() *conc.SchedHooks {
+	return &conc.SchedHooks{
+		BeforeRun: func(worker int) {
+			r := p.rng(worker)
+			switch r.Intn(3) {
+			case 0:
+				runtime.Gosched()
+			case 1:
+				time.Sleep(time.Duration(r.Int63n(int64(p.MaxDelay) + 1)))
+			}
+		},
+		StealOrder: func(self, workers int) []int {
+			r := p.rng(self)
+			order := make([]int, 0, workers-1)
+			for i := 0; i < workers; i++ {
+				if i != self {
+					order = append(order, i)
+				}
+			}
+			r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			return order
+		},
+	}
+}

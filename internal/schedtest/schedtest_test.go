@@ -1,0 +1,52 @@
+package schedtest
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"retypd/internal/conc"
+)
+
+// TestPerturbedPoolCompletes: a perturbed executor still runs every
+// task exactly once, across seeds and worker counts.
+func TestPerturbedPoolCompletes(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, workers := range []int{1, 2, 4, 8} {
+			var ran atomic.Int64
+			p := New(seed)
+			conc.RunPool(workers, p.Hooks(), func(sub conc.Submitter) {
+				for i := 0; i < 64; i++ {
+					sub.Submit(func(s conc.Submitter) {
+						ran.Add(1)
+						s.Submit(func(conc.Submitter) { ran.Add(1) })
+					})
+				}
+			})
+			if got := ran.Load(); got != 128 {
+				t.Errorf("seed=%d workers=%d: ran %d, want 128", seed, workers, got)
+			}
+		}
+	}
+}
+
+// TestPerturberReplays: the same seed produces the same steal orders
+// for the same call sequence (reproducibility of failures).
+func TestPerturberReplays(t *testing.T) {
+	seq := func() [][]int {
+		p := New(7)
+		h := p.Hooks()
+		var out [][]int
+		for i := 0; i < 10; i++ {
+			out = append(out, h.StealOrder(0, 4))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("steal order diverged at call %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}

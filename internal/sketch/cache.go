@@ -54,7 +54,10 @@ func (k shapeKey) hash64() uint64 {
 // across all sharers; callers wanting per-run numbers snapshot Stats
 // before and after (as solver.Infer does).
 type ShapeCache struct {
-	lru *lru.Cache[shapeKey, *Sketch] // values are sealed
+	// Sharded by hash64 so concurrent F.2 workers on different keys do
+	// not convoy on one mutex; sharding never reaches a key or a wire
+	// byte (lru.Sharded preserves global recency across Export/Import).
+	lru *lru.Sharded[shapeKey, *Sketch] // values are sealed
 }
 
 // NewShapeCache returns an LRU cache bounded to capacity entries
@@ -63,7 +66,7 @@ func NewShapeCache(capacity int) *ShapeCache {
 	if capacity <= 0 {
 		capacity = DefaultShapeCacheCap
 	}
-	return &ShapeCache{lru: lru.New[shapeKey, *Sketch](capacity, shapeKey.hash64)}
+	return &ShapeCache{lru: lru.NewSharded[shapeKey, *Sketch](capacity, 0, shapeKey.hash64)}
 }
 
 // Stats reports cumulative hit/miss counts.

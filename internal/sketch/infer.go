@@ -464,16 +464,41 @@ type Decorator struct {
 	revEps [][]pgraph.NodeID
 }
 
-// NewDecorator prepares a decorator for the (saturated) graph.
+// decPool recycles Decorator scratch: the per-procedure revEps table —
+// one slice header per graph node plus every append-grown reverse-edge
+// spine — is an allocation hot spot on large corpora, and its capacity
+// is fully reusable across procedures.
+var decPool = sync.Pool{New: func() any { return &Decorator{} }}
+
+// NewDecorator prepares a decorator for the (saturated) graph, drawing
+// scratch from the package pool; pair with Release to recycle it.
 func NewDecorator(g *pgraph.Graph) *Decorator {
 	g.Saturate()
-	d := &Decorator{g: g, revEps: make([][]pgraph.NodeID, g.NumNodes())}
-	for i := 0; i < g.NumNodes(); i++ {
+	d := decPool.Get().(*Decorator)
+	d.g = g
+	n := g.NumNodes()
+	if cap(d.revEps) < n {
+		d.revEps = make([][]pgraph.NodeID, n)
+	}
+	d.revEps = d.revEps[:n]
+	for i := range d.revEps {
+		d.revEps[i] = d.revEps[i][:0]
+	}
+	for i := 0; i < n; i++ {
 		for _, succ := range g.EpsSucc(pgraph.NodeID(i)) {
 			d.revEps[succ] = append(d.revEps[succ], pgraph.NodeID(i))
 		}
 	}
 	return d
+}
+
+// Release returns the decorator's scratch to the package pool for
+// reuse by a later NewDecorator. The caller must not use d afterwards.
+// Releasing is optional — an unreleased decorator is simply collected —
+// and must happen at most once.
+func (d *Decorator) Release() {
+	d.g = nil
+	decPool.Put(d)
 }
 
 // Decorate fills in Lower and Upper for every state of sk, where sk is

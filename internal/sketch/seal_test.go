@@ -37,6 +37,7 @@ func TestSealMakesDecoratePanic(t *testing.T) {
 	g := pgraph.Build(cs, lat)
 	defer g.Release()
 	dec := NewDecorator(g)
+	defer dec.Release()
 
 	sk.Seal()
 	if !sk.Sealed() {

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"retypd/internal/absint"
 	"retypd/internal/bodyfp"
@@ -40,11 +41,11 @@ type dedupState struct {
 	// callee identity later levels mix into their own body hashes.
 	classOf map[string]uint32
 	nextID  uint32
-	// members maps each dedup-served procedure to its translation plan
-	// for the sketch phase.
-	members map[string]*memberPlan
 
-	hits, misses uint64
+	// hits/misses are atomic: classification misses are counted in the
+	// sequential pre-pass, but member F.1 tasks account their
+	// translation outcome concurrently on the readiness scheduler.
+	hits, misses atomic.Uint64
 }
 
 // bodyClass is one body-equivalence class.
@@ -74,7 +75,6 @@ func newDedupState(lat *lattice.Lattice, aopts absint.Options, isConst func(cons
 		keep:    keep,
 		byHash:  map[uint64][]*bodyClass{},
 		classOf: map[string]uint32{},
-		members: map[string]*memberPlan{},
 	}
 }
 
@@ -137,7 +137,7 @@ func (ds *dedupState) classify(p string, fp *bodyfp.FP, isProc func(string) bool
 		ds.nextID++
 		ds.byHash[fp.Hash()] = append(ds.byHash[fp.Hash()], cls)
 		ds.classOf[p] = cls.id
-		ds.misses++
+		ds.misses.Add(1)
 		return nil
 	}
 	// Class membership (and with it the callee identity served to
@@ -151,18 +151,18 @@ func (ds *dedupState) classify(p string, fp *bodyfp.FP, isProc func(string) bool
 		// whose local names embed actual register names; translating it
 		// across a scratch-register renaming would need name surgery
 		// inside defVar suffixes. Rare enough to just compute fully.
-		ds.misses++
+		ds.misses.Add(1)
 		return nil
 	}
 	repCalls, memCalls := cls.fp.Calls(), fp.Calls()
 	if len(repCalls) != len(memCalls) {
-		ds.misses++ // cannot happen for equivalent encodings; stay safe
+		ds.misses.Add(1) // cannot happen for equivalent encodings; stay safe
 		return nil
 	}
 	pairs := make([]absint.CallRename, len(repCalls))
 	for i := range repCalls {
 		if repCalls[i].Inst != memCalls[i].Inst {
-			ds.misses++
+			ds.misses.Add(1)
 			return nil
 		}
 		pairs[i] = absint.CallRename{
@@ -173,7 +173,7 @@ func (ds *dedupState) classify(p string, fp *bodyfp.FP, isProc func(string) bool
 	}
 	ren := absint.NewRenamer(cls.rep, p, pairs, isProc)
 	if !ren.Valid() {
-		ds.misses++
+		ds.misses.Add(1)
 		return nil
 	}
 	return &memberPlan{rep: cls.rep, fp: fp, ren: ren}
@@ -195,15 +195,15 @@ func (pl *pipeline) translateProc(p string, plan *memberPlan, repPR *ProcResult,
 		Name:           p,
 		FormalIns:      pi.FormalIns,
 		HasOut:         pi.HasOut,
-		Scheme:         pl.schemes[p],
+		Scheme:         pl.schemes[pl.procIdx[p]],
 		Sketch:         sk,
 		SpecializedIns: map[string]*sketch.Sketch{},
 	}
 	if pl.opts.KeepIntermediates {
-		if cs, ok := plan.ren.Apply(pl.gens[plan.rep].Constraints); ok {
+		if cs, ok := plan.ren.Apply(pl.gens[pl.procIdx[plan.rep]].Constraints); ok {
 			pr.Constraints = cs
 		} else {
-			pr.Constraints = absint.Generate(pi, pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint).Constraints
+			pr.Constraints = absint.Generate(pi, pl.infos, pl.schemeOf, pl.sums, pl.isConst, pl.opts.Absint).Constraints
 		}
 	}
 	if len(repObs) == 0 {

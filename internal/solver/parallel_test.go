@@ -245,6 +245,7 @@ func TestShapeCacheServedSketchImmutable(t *testing.T) {
 	g := pgraph.Build(res.Procs[servedProc].Constraints, lat)
 	defer g.Release()
 	dec := sketch.NewDecorator(g)
+	defer dec.Release()
 	func() {
 		defer func() {
 			if recover() == nil {

@@ -1,23 +1,32 @@
 package solver
 
 import (
+	"sort"
+	"sync/atomic"
+
+	"retypd/internal/bodyfp"
 	"retypd/internal/cfg"
+	"retypd/internal/conc"
 )
 
 // sccLevels computes the topological levels of the condensed call
 // graph: level(S) = 1 + max(level of S's callee SCCs), with leaf SCCs
 // at level 0. SCCs within one level have no call edges between them
-// (an edge always crosses to a strictly lower level), so the scheme
-// inference of Appendix F.1 may run every SCC of a level concurrently
-// once the previous levels finished — the "embarrassingly parallel
-// across independent call-graph components" structure the paper's
-// bottom-up traversal admits.
+// (an edge always crosses to a strictly lower level), so concatenating
+// the levels yields a valid bottom-up order compatible with the
+// sequential one.
+//
+// The readiness scheduler below does not run level-by-level — it
+// tracks per-SCC dependencies, so a straggler only blocks its true
+// ancestors — but levels remain the deterministic order of the body-
+// dedup classification pre-pass (representatives must not depend on
+// scheduling; see classifyBodies) and the reference partition the
+// scheduler's property tests check execution against.
 //
 // The input cg.SCCs is in bottom-up (callee-first) order, so every call
 // edge from cg.SCCs[i] targets some cg.SCCs[j] with j < i and one
 // forward pass suffices. Each returned level lists SCC indices in
-// ascending order; concatenating the levels yields a valid bottom-up
-// order compatible with the sequential one.
+// ascending order.
 func sccLevels(cg *cfg.CallGraph) [][]int {
 	sccOf := map[string]int{}
 	for i, scc := range cg.SCCs {
@@ -50,4 +59,242 @@ func sccLevels(cg *cfg.CallGraph) [][]int {
 		levels[level[i]] = append(levels[level[i]], i)
 	}
 	return levels
+}
+
+// classifyBodies is the body-dedup classification pre-pass: fingerprint
+// every eligible body and assign it a class — and, for non-first
+// occurrences, a translation plan — before any scheduling happens.
+// Classification depends only on body fingerprints and previously
+// assigned callee classes, never on inferred schemes, so it can run
+// entirely ahead of the pipeline; doing it here, sequentially in
+// (level, in-level index) order, is what makes class representatives —
+// and with them the whole pipeline output — independent of worker
+// count, steal order, and injected delays. Only the fingerprint
+// computation within one level fans out (classOf is not written while
+// it runs).
+//
+// Body-equivalent procedures always share a topological level (their
+// callee classes, hence their depths, coincide), so a representative
+// is classified before every one of its members; the scheduler turns
+// that into a member→representative readiness edge.
+func (pl *pipeline) classifyBodies(cg *cfg.CallGraph) []*memberPlan {
+	plans := make([]*memberPlan, len(cg.SCCs))
+	isProc := func(name string) bool {
+		_, ok := pl.infos[name]
+		return ok
+	}
+	for _, level := range sccLevels(cg) {
+		fps := make([]*bodyfp.FP, len(level))
+		conc.ForEach(pl.workers, len(level), func(i int) {
+			scc := cg.SCCs[level[i]]
+			if len(scc) != 1 || !pl.dedup.eligible(scc[0], cg) {
+				return
+			}
+			fps[i] = bodyfp.Compute(pl.infos[scc[0]], pl.dedup.conf, pl.dedup.calleeID)
+		})
+		for i := range level {
+			if fps[i] != nil {
+				plans[level[i]] = pl.dedup.classify(cg.SCCs[level[i]][0], fps[i], isProc)
+			}
+		}
+	}
+	return plans
+}
+
+// schedGraph is the per-run readiness graph the F.1/F.2 pipeline
+// executes on. Every SCC carries a pending count of unfinished
+// dependencies (its callee SCCs, plus its dedup representative's SCC
+// when it is served by translation); workers pull ready tasks from the
+// work-stealing pool, and completing an SCC's F.1 decrements its
+// callers' counts — no level barrier, so a straggler SCC only ever
+// blocks its true ancestors. The moment a procedure's F.1 scheme is
+// published, its F.2 sketch solving becomes ready (dedup members
+// additionally wait for their representative's F.2, whose result they
+// translate), so sketch solving of finished subtrees overlaps scheme
+// inference of upper regions.
+//
+// Counters are atomic; the executor's queue transfer provides the
+// happens-before edge from a completed dependency's writes (scheme,
+// gens, fps, prs, obs slots — all distinct slice elements owned by one
+// task) to the dependent task's reads.
+//
+// Incremental runs ride the same graph: a clean SCC's F.1 task is a
+// no-op (its schemes were pre-published from the session) and a clean
+// procedure's F.2 task replays its snapshot, but both still signal
+// their dependents, so dirty ancestors order after them exactly as
+// fresh work would.
+type schedGraph struct {
+	pl    *pipeline
+	cg    *cfg.CallGraph
+	plans []*memberPlan // per SCC; non-nil = dedup-member translation
+
+	f1Pending []atomic.Int32 // per SCC: unfinished F.1 dependencies
+	f1Callers [][]int        // per SCC: SCCs to signal on F.1 completion
+	f2Pending []atomic.Int32 // per proc: unfinished F.2 gates
+	f2Waiters [][]int        // per proc: member procs to signal on F.2 completion
+}
+
+// schedEvent is one observation of the readiness scheduler, emitted to
+// the test-only Options.schedTrace seam. idx is an SCC index for F.1
+// events and a procedure index (pipeline.procIdx) for F.2 events; aux
+// is the representative's procedure index on evF2Translate and unused
+// otherwise.
+type schedEvent struct {
+	kind int // evF1Start … evF2Translate
+	idx  int
+	aux  int
+}
+
+const (
+	evF1Start = iota // SCC F.1 task picked up
+	evF1Done         // SCC schemes published, dependents about to be signaled
+	evF2Start        // procedure F.2 task picked up
+	evF2Done         // procedure result written, waiters about to be signaled
+	evF2Translate    // F.2 served by dedup translation from representative aux
+)
+
+// trace emits ev when the test seam is installed.
+func (s *schedGraph) trace(kind, idx, aux int) {
+	if tr := s.pl.opts.schedTrace; tr != nil {
+		tr(schedEvent{kind: kind, idx: idx, aux: aux})
+	}
+}
+
+// buildSched wires the readiness graph for one run.
+func (pl *pipeline) buildSched(cg *cfg.CallGraph, plans []*memberPlan) *schedGraph {
+	n := len(cg.SCCs)
+	s := &schedGraph{
+		pl:        pl,
+		cg:        cg,
+		plans:     plans,
+		f1Pending: make([]atomic.Int32, n),
+		f1Callers: make([][]int, n),
+		f2Pending: make([]atomic.Int32, len(pl.order)),
+		f2Waiters: make([][]int, len(pl.order)),
+	}
+	sccOf := make(map[string]int, len(pl.order))
+	for i, scc := range cg.SCCs {
+		for _, p := range scc {
+			sccOf[p] = i
+		}
+	}
+	for i, scc := range cg.SCCs {
+		depSet := map[int]bool{}
+		for _, p := range scc {
+			for _, callee := range cg.Callees[p] {
+				if j, ok := sccOf[callee]; ok && j != i {
+					depSet[j] = true
+				}
+			}
+		}
+		if plans[i] != nil {
+			// The member's F.1 translates its representative's scheme.
+			depSet[sccOf[plans[i].rep]] = true
+		}
+		deps := make([]int, 0, len(depSet))
+		for j := range depSet {
+			deps = append(deps, j)
+		}
+		sort.Ints(deps) // deterministic signal order (schedule hygiene)
+		s.f1Pending[i].Store(int32(len(deps)))
+		for _, j := range deps {
+			s.f1Callers[j] = append(s.f1Callers[j], i)
+		}
+	}
+	// F.2 gates: every procedure waits for its own F.1; a dedup member
+	// also waits for its representative's F.2 result.
+	for pi := range s.f2Pending {
+		s.f2Pending[pi].Store(1)
+	}
+	for i := range cg.SCCs {
+		if plans[i] == nil {
+			continue
+		}
+		mi := pl.procIdx[cg.SCCs[i][0]]
+		ri := pl.procIdx[plans[i].rep]
+		s.f2Pending[mi].Store(2)
+		s.f2Waiters[ri] = append(s.f2Waiters[ri], mi)
+	}
+	return s
+}
+
+// run executes the graph to quiescence: seed the dependency-free SCCs,
+// let completions cascade. The pool's worker count and any test hooks
+// (schedtest perturbation) change only the schedule, never the output.
+func (s *schedGraph) run() {
+	conc.RunPool(s.pl.workers, s.pl.opts.schedHooks, func(sub conc.Submitter) {
+		for i := range s.cg.SCCs {
+			if s.f1Pending[i].Load() == 0 {
+				sub.Submit(s.f1Task(i))
+			}
+		}
+	})
+}
+
+// f1Task returns the F.1 task of SCC i: infer (or translate, or replay)
+// its schemes, then signal its procedures' F.2 gates and its caller
+// SCCs.
+func (s *schedGraph) f1Task(i int) conc.Task {
+	return func(sub conc.Submitter) {
+		s.trace(evF1Start, i, 0)
+		s.runF1(i)
+		s.trace(evF1Done, i, 0)
+		for _, p := range s.cg.SCCs[i] {
+			pi := s.pl.procIdx[p]
+			if s.f2Pending[pi].Add(-1) == 0 {
+				sub.Submit(s.f2Task(pi))
+			}
+		}
+		for _, c := range s.f1Callers[i] {
+			if s.f1Pending[c].Add(-1) == 0 {
+				sub.Submit(s.f1Task(c))
+			}
+		}
+	}
+}
+
+// runF1 performs SCC i's scheme inference.
+func (s *schedGraph) runF1(i int) {
+	pl := s.pl
+	scc := s.cg.SCCs[i]
+	if pl.inc != nil && !pl.inc.dirty[scc[0]] {
+		return // clean SCC: schemes pre-published from the session
+	}
+	if plan := s.plans[i]; plan != nil {
+		pl.runMemberF1(scc[0], plan)
+		return
+	}
+	pl.publishSCC(scc, pl.inferSCC(scc))
+}
+
+// f2Task returns the F.2 task of procedure index pi: solve (or
+// translate, or replay) its sketch, then signal any dedup members
+// waiting to translate this procedure's result.
+func (s *schedGraph) f2Task(pi int) conc.Task {
+	return func(sub conc.Submitter) {
+		pl := s.pl
+		p := pl.order[pi]
+		s.trace(evF2Start, pi, 0)
+		switch {
+		case pl.inc != nil && !pl.inc.dirty[p]:
+			pl.prs[pi], pl.obs[pi] = pl.replayProc(p)
+		case pl.memberOf[pi] != nil:
+			plan := pl.memberOf[pi]
+			ri := pl.procIdx[plan.rep]
+			s.trace(evF2Translate, pi, ri)
+			pl.prs[pi], pl.obs[pi] = pl.translateProc(p, plan, pl.prs[ri], pl.obs[ri])
+		default:
+			// Includes members whose F.1 translation fell back to the
+			// full path (memberOf stayed nil): they solve like any other
+			// procedure; the leftover gate on the representative's F.2
+			// only delayed, never blocked, this task.
+			pl.prs[pi], pl.obs[pi] = pl.solveProc(p)
+		}
+		s.trace(evF2Done, pi, 0)
+		for _, w := range s.f2Waiters[pi] {
+			if s.f2Pending[w].Add(-1) == 0 {
+				sub.Submit(s.f2Task(w))
+			}
+		}
+	}
 }

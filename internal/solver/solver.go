@@ -6,24 +6,26 @@
 //     connected components bottom-up; generate constraints for each
 //     SCC with callee schemes instantiated at callsites; simplify the
 //     SCC constraint set relative to each member procedure to obtain
-//     its polymorphic type scheme. The condensed call graph is cut
-//     into topological levels (see sccLevels); SCCs of one level are
-//     independent and run on a bounded worker pool, with a level
-//     barrier before their schemes become visible to callers.
-//     Simplification — the dominant cost on realistic corpora — is
-//     memoized through a fingerprint-keyed LRU (pgraph.SimplifyCache),
-//     so duplicate leaf procedures are simplified once.
+//     its polymorphic type scheme. Scheduling is per-SCC readiness
+//     (see schedule.go): each SCC counts its unfinished callee SCCs,
+//     workers pull ready SCCs from a work-stealing pool (conc.RunPool)
+//     and a completed SCC signals its callers — no level barrier, so a
+//     straggler only blocks its true ancestors. Simplification — the
+//     dominant cost on realistic corpora — is memoized through a
+//     fingerprint-keyed LRU (pgraph.SimplifyCache), so duplicate leaf
+//     procedures are simplified once.
 //  2. InferTypes (F.2): solve each procedure's constraint set into
-//     sketches (shape inference + lattice-bound decoration). Every
-//     procedure is independent here, so this phase fans out
-//     per-procedure; the callsite-actual sketches it observes are
-//     funneled into an accumulator and joined in a canonical order
-//     (callee, location, caller, callsite) so the result does not
-//     depend on scheduling. Like F.1, this phase is memoized: a
-//     fingerprint-keyed LRU (sketch.ShapeCache) serves sealed,
-//     immutable decorated sketches to procedures whose constraint sets
-//     are isomorphic to one already solved, skipping Build+Saturate+
-//     shape inference entirely on a hit.
+//     sketches (shape inference + lattice-bound decoration). A
+//     procedure's F.2 becomes ready the moment its own F.1 scheme is
+//     published, so sketch solving of finished subtrees overlaps
+//     scheme inference still running above them; the callsite-actual
+//     sketches it observes are funneled into an accumulator and joined
+//     in a canonical order (callee, location, caller, callsite) so the
+//     result does not depend on scheduling. Like F.1, this phase is
+//     memoized: a fingerprint-keyed LRU (sketch.ShapeCache) serves
+//     sealed, immutable decorated sketches to procedures whose
+//     constraint sets are isomorphic to one already solved, skipping
+//     Build+Saturate+shape inference entirely on a hit.
 //  3. RefineParameters (F.3): specialize each procedure's formal
 //     sketches with the join of the actual sketches observed at its
 //     callsites, trading generality for types closer to the source
@@ -32,7 +34,9 @@
 //
 // Every phase is deterministic: for a fixed program and options the
 // pipeline produces byte-identical schemes and specialized sketches
-// regardless of Options.Workers.
+// regardless of Options.Workers, of steal order, and of task timing —
+// an invariant the schedule-perturbation suite drives adversarially
+// (internal/schedtest).
 //
 // Two allocation-discipline layers keep the pipeline off the garbage
 // collector's hot path (see docs/ARCHITECTURE.md): derived type
@@ -53,7 +57,6 @@ import (
 
 	"retypd/internal/absint"
 	"retypd/internal/asm"
-	"retypd/internal/bodyfp"
 	"retypd/internal/cfg"
 	"retypd/internal/conc"
 	"retypd/internal/constraints"
@@ -108,6 +111,18 @@ type Options struct {
 	// automatically off when Absint.Covered is set (trace-restricted
 	// generation distinguishes procedures by name).
 	NoBodyDedup bool
+	// schedHooks perturbs the work-stealing executor's scheduling
+	// (delays, steal-order bias). Test-only: the determinism suite sets
+	// it to prove output invariance under adversarial schedules;
+	// production callers leave it nil. Never part of output, never
+	// compared across runs.
+	schedHooks *conc.SchedHooks
+	// schedTrace observes readiness-scheduler events (see schedEvent).
+	// Test-only, like schedHooks: the property tests record the event
+	// stream to check exactly-once execution and dependency ordering.
+	// Called concurrently from worker goroutines; implementations must
+	// synchronize. Never part of output.
+	schedTrace func(schedEvent)
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -241,11 +256,9 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		cache:      cache,
 		shapeCache: shapeCache,
 		workers:    conc.Limit(opts.Workers),
-		schemes:    map[string]*constraints.Scheme{},
-		gens:       map[string]*absint.Result{},
-		fps:        map[string]*pgraph.FP{},
 		inc:        inc,
 	}
+	pl.initIndex(cg)
 	if inc == nil && !opts.NoBodyDedup && opts.Absint.Covered == nil {
 		// Body dedup is skipped in incremental mode: the dirty set is
 		// small by construction, and dedup classification needs whole
@@ -254,9 +267,9 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	}
 	if inc != nil {
 		// Clean procedures replay their previous schemes; publish them
-		// before any level runs so dirty callers see every callee.
+		// before any task runs so dirty callers see every callee.
 		for p, snap := range inc.replay {
-			pl.schemes[p] = snap.scheme
+			pl.schemes[pl.procIdx[p]] = snap.scheme
 		}
 	}
 
@@ -268,9 +281,20 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		shapeHits0, shapeMisses0 = shapeCache.Stats()
 	}
 
-	pl.inferSchemes(cg)                  // Phase 1 (F.1)
-	actuals := pl.solveSketches(cg, res) // Phase 2 (F.2)
-	pl.refineParameters(res, actuals)    // Phase 3 (F.3)
+	// Phases 1+2 (F.1/F.2), overlapped on the readiness graph: the
+	// dedup classification pre-pass pins class representatives
+	// deterministically, then every SCC's scheme inference and every
+	// procedure's sketch solving run as readiness-gated tasks on the
+	// work-stealing pool.
+	var plans []*memberPlan
+	if pl.dedup != nil {
+		plans = pl.classifyBodies(cg)
+	} else {
+		plans = make([]*memberPlan, len(cg.SCCs))
+	}
+	pl.buildSched(cg, plans).run()
+	actuals := pl.collectActuals(res)
+	pl.refineParameters(res, actuals) // Phase 3 (F.3)
 
 	if cache != nil {
 		h, m := cache.Stats()
@@ -281,7 +305,7 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		res.ShapeCacheHits, res.ShapeCacheMisses = h-shapeHits0, m-shapeMisses0
 	}
 	if pl.dedup != nil {
-		res.BodyDedupHits, res.BodyDedupMisses = pl.dedup.hits, pl.dedup.misses
+		res.BodyDedupHits, res.BodyDedupMisses = pl.dedup.hits.Load(), pl.dedup.misses.Load()
 	}
 	if inc != nil {
 		for _, p := range pl.order {
@@ -328,31 +352,113 @@ type pipeline struct {
 	shapeCache *sketch.ShapeCache
 	workers    int
 
-	// schemes, gens and fps are written only at level barriers of
-	// Phase 1, then read concurrently by later stages. fps carries the
-	// constraint-set fingerprint of each single-member SCC forward so
-	// Phase 2 need not recompute it (a multi-member SCC's members have
-	// per-procedure sets that differ from the SCC union, so those are
-	// fingerprinted in Phase 2).
-	schemes map[string]*constraints.Scheme
-	gens    map[string]*absint.Result
-	fps     map[string]*pgraph.FP
+	// order is the canonical procedure order (top-down SCC order,
+	// members in SCC slice order); procIdx its inverse. Both are frozen
+	// before scheduling and read-only afterwards; every per-procedure
+	// slice below is indexed by procIdx.
+	order   []string
+	procIdx map[string]int
+
+	// schemes, gens and fps are per-procedure slots written exactly
+	// once, by the owning SCC's F.1 task, and read only by tasks the
+	// readiness graph orders after that write (caller SCCs' F.1, the
+	// procedure's own F.2, members translating a representative) — so
+	// concurrent tasks touch disjoint elements and a shared map's
+	// write/read races cannot arise. fps carries the constraint-set
+	// fingerprint of each single-member SCC forward so Phase 2 need not
+	// recompute it (a multi-member SCC's members have per-procedure
+	// sets that differ from the SCC union, so those are fingerprinted
+	// in Phase 2).
+	schemes []*constraints.Scheme
+	gens    []*absint.Result
+	fps     []*pgraph.FP
+
+	// memberOf marks procedures served by body-dedup translation: set
+	// by the member's own F.1 task when the scheme surgery succeeds,
+	// read by its F.2 task (ordered after F.1 by the readiness graph).
+	memberOf []*memberPlan
 
 	// dedup is the whole-body deduplication layer (nil when disabled).
-	// Its tables are written only in the sequential sections between a
-	// level's fingerprint pre-pass and its worker fan-out; see dedup.go.
+	// Its class tables are written only in the sequential
+	// classification pre-pass (classifyBodies); during scheduling the
+	// tasks touch nothing but its atomic hit/miss counters.
 	dedup *dedupState
 
 	// inc is the incremental plan of a Reanalyze run (nil for full
-	// runs): clean SCCs skip phase 1, clean procedures replay their
-	// snapshots in phase 2.
+	// runs): clean SCCs' F.1 tasks are no-ops (schemes pre-published),
+	// clean procedures' F.2 tasks replay their snapshots. Both still
+	// ride the readiness graph, signalling dependents like fresh work.
 	inc *incrementalPlan
 
-	// order, prs and obs are the phase-2 outputs in canonical order,
-	// retained for the engine's session recording.
-	order []string
-	prs   []*ProcResult
-	obs   [][]actualObs
+	// prs and obs are the phase-2 outputs, parallel to order, retained
+	// for the engine's session recording.
+	prs []*ProcResult
+	obs [][]actualObs
+}
+
+// initIndex freezes the canonical procedure order and sizes every
+// per-procedure slot slice.
+func (pl *pipeline) initIndex(cg *cfg.CallGraph) {
+	for i := len(cg.SCCs) - 1; i >= 0; i-- {
+		pl.order = append(pl.order, cg.SCCs[i]...)
+	}
+	n := len(pl.order)
+	pl.procIdx = make(map[string]int, n)
+	for i, p := range pl.order {
+		pl.procIdx[p] = i
+	}
+	pl.schemes = make([]*constraints.Scheme, n)
+	pl.gens = make([]*absint.Result, n)
+	pl.fps = make([]*pgraph.FP, n)
+	pl.memberOf = make([]*memberPlan, n)
+	pl.prs = make([]*ProcResult, n)
+	pl.obs = make([][]actualObs, n)
+}
+
+// schemeOf resolves a procedure's published scheme (the absint
+// SchemeLookup of this run): nil for unknown names and for procedures
+// whose F.1 has not been signalled to the caller — which, under the
+// readiness graph, is exactly the same-SCC case the monomorphic link
+// is the correct treatment for.
+func (pl *pipeline) schemeOf(name string) *constraints.Scheme {
+	i, ok := pl.procIdx[name]
+	if !ok {
+		return nil
+	}
+	return pl.schemes[i]
+}
+
+// publishSCC stores one SCC's F.1 outputs into the per-procedure slots.
+func (pl *pipeline) publishSCC(scc []string, out *sccResult) {
+	for j, p := range scc {
+		i := pl.procIdx[p]
+		pl.gens[i] = out.gens[j]
+		pl.schemes[i] = out.schemes[j]
+		if out.fp != nil {
+			pl.fps[i] = out.fp
+		}
+	}
+}
+
+// runMemberF1 serves a dedup member's F.1 by translating its
+// representative's published scheme; when the rename surgery cannot
+// classify a variable it falls back to the full path (the leftover F.2
+// gate on the representative then only delays, never blocks).
+func (pl *pipeline) runMemberF1(p string, plan *memberPlan) {
+	i := pl.procIdx[p]
+	var sc *constraints.Scheme
+	ok := false
+	if rep := pl.schemeOf(plan.rep); rep != nil {
+		sc, ok = plan.ren.TranslateScheme(rep)
+	}
+	if !ok {
+		pl.publishSCC([]string{p}, pl.inferSCC([]string{p}))
+		pl.dedup.misses.Add(1)
+		return
+	}
+	pl.schemes[i] = sc
+	pl.memberOf[i] = plan
+	pl.dedup.hits.Add(1)
 }
 
 // sccResult is the output of scheme inference for one SCC.
@@ -363,105 +469,6 @@ type sccResult struct {
 	// Phase 2 for single-member SCCs (where the SCC set and the
 	// member's generated set coincide).
 	fp *pgraph.FP
-}
-
-// inferSchemes is Phase 1 (F.1): bottom-up scheme inference over the
-// condensed call graph, parallel within each topological level.
-//
-// With body dedup enabled, each level runs in four steps: a parallel
-// fingerprint pre-pass over the level's eligible bodies, a sequential
-// classification sweep (deterministic in level order, so class
-// representatives — and with them the whole pipeline output — do not
-// depend on the worker count), the worker fan-out over the procedures
-// that actually need constraint generation, and member translation at
-// the barrier. Body-equivalent procedures can only meet at the same
-// level (their callee classes, and hence their topological depths,
-// coincide), so a member's representative is always published by the
-// time the member is translated.
-func (pl *pipeline) inferSchemes(cg *cfg.CallGraph) {
-	for _, level := range sccLevels(cg) {
-		plans := make([]*memberPlan, len(level))
-		if pl.dedup != nil {
-			fps := make([]*bodyfp.FP, len(level))
-			conc.ForEach(pl.workers, len(level), func(i int) {
-				scc := cg.SCCs[level[i]]
-				if len(scc) != 1 || !pl.dedup.eligible(scc[0], cg) {
-					return
-				}
-				fps[i] = bodyfp.Compute(pl.infos[scc[0]], pl.dedup.conf, pl.dedup.calleeID)
-			})
-			isProc := func(name string) bool {
-				_, ok := pl.infos[name]
-				return ok
-			}
-			for i := range level {
-				if fps[i] != nil {
-					plans[i] = pl.dedup.classify(cg.SCCs[level[i]][0], fps[i], isProc)
-				}
-			}
-		}
-
-		outs := make([]*sccResult, len(level))
-		var run []int
-		for i := range level {
-			if plans[i] != nil {
-				continue
-			}
-			if pl.inc != nil && !pl.inc.dirty[cg.SCCs[level[i]][0]] {
-				continue // clean SCC: its schemes were pre-published
-			}
-			run = append(run, i)
-		}
-		conc.ForEach(pl.workers, len(run), func(k int) {
-			i := run[k]
-			outs[i] = pl.inferSCC(cg.SCCs[level[i]])
-		})
-		// Level barrier: publish this level's schemes in SCC order so
-		// the next level's constraint generation sees all of them.
-		for i, sccIdx := range level {
-			if outs[i] == nil {
-				continue
-			}
-			for j, p := range cg.SCCs[sccIdx] {
-				pl.gens[p] = outs[i].gens[j]
-				pl.schemes[p] = outs[i].schemes[j]
-				if outs[i].fp != nil {
-					pl.fps[p] = outs[i].fp
-				}
-			}
-		}
-		// Member translation: representatives of this level are now
-		// published (first occurrence precedes every member in level
-		// order).
-		for i, sccIdx := range level {
-			plan := plans[i]
-			if plan == nil {
-				continue
-			}
-			p := cg.SCCs[sccIdx][0]
-			var sc *constraints.Scheme
-			ok := false
-			if rep := pl.schemes[plan.rep]; rep != nil {
-				sc, ok = plan.ren.TranslateScheme(rep)
-			}
-			if !ok {
-				// The rename surgery could not classify a variable of
-				// the representative's scheme: run the full path for
-				// this member instead.
-				out := pl.inferSCC(cg.SCCs[sccIdx])
-				pl.gens[p] = out.gens[0]
-				pl.schemes[p] = out.schemes[0]
-				if out.fp != nil {
-					pl.fps[p] = out.fp
-				}
-				pl.dedup.misses++
-				continue
-			}
-			pl.schemes[p] = sc
-			pl.dedup.members[p] = plan
-			pl.dedup.hits++
-		}
-	}
 }
 
 // inferSCC generates constraints for every member of one SCC and
@@ -477,13 +484,13 @@ func (pl *pipeline) inferSCC(scc []string) *sccResult {
 		// contents, same order); reuse it instead of re-hashing every
 		// constraint into a copy. Generate returns a fresh set, and the
 		// pipeline only ever reads it afterwards.
-		gr := absint.Generate(pl.infos[scc[0]], pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint)
+		gr := absint.Generate(pl.infos[scc[0]], pl.infos, pl.schemeOf, pl.sums, pl.isConst, pl.opts.Absint)
 		out.gens[0] = gr
 		sccCs = gr.Constraints
 	} else {
 		sccCs = constraints.NewSet()
 		for j, p := range scc {
-			gr := absint.Generate(pl.infos[p], pl.infos, pl.schemes, pl.sums, pl.isConst, pl.opts.Absint)
+			gr := absint.Generate(pl.infos[p], pl.infos, pl.schemeOf, pl.sums, pl.isConst, pl.opts.Absint)
 			out.gens[j] = gr
 			sccCs.InsertAll(gr.Constraints)
 		}
@@ -543,60 +550,13 @@ type actualObs struct {
 	sk     *sketch.Sketch
 }
 
-// solveSketches is Phase 2 (F.2): per-procedure sketch solving, fanned
-// out over all procedures at once (each depends only on its own
-// generated constraints). Returns the joined callsite actuals per
-// callee formal, built in a canonical order.
-func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]*sketch.Sketch {
-	// Canonical procedure order: top-down SCC order, members in SCC
-	// slice order (the traversal the sequential pipeline used).
-	var order []string
-	for i := len(cg.SCCs) - 1; i >= 0; i-- {
-		order = append(order, cg.SCCs[i]...)
+// collectActuals gathers the scheduled F.2 results: publish every
+// procedure's result and join the callsite actuals per callee formal
+// in a canonical order.
+func (pl *pipeline) collectActuals(res *Result) map[actualKey]*sketch.Sketch {
+	for i, p := range pl.order {
+		res.Procs[p] = pl.prs[i]
 	}
-
-	prs := make([]*ProcResult, len(order))
-	obs := make([][]actualObs, len(order))
-	// Dedup-served members are filled in by translation from their
-	// representative's result after the fan-out, and clean procedures
-	// of an incremental run replay their session snapshots; only the
-	// rest solve.
-	full := make([]int, 0, len(order))
-	for i, p := range order {
-		if pl.inc != nil && !pl.inc.dirty[p] {
-			continue
-		}
-		if pl.dedup == nil || pl.dedup.members[p] == nil {
-			full = append(full, i)
-		}
-	}
-	conc.ForEach(pl.workers, len(full), func(k int) {
-		i := full[k]
-		prs[i], obs[i] = pl.solveProc(order[i])
-	})
-	if pl.dedup != nil && len(full) < len(order) {
-		idxOf := make(map[string]int, len(order))
-		for i, p := range order {
-			idxOf[p] = i
-		}
-		for i, p := range order {
-			if plan := pl.dedup.members[p]; plan != nil {
-				ri := idxOf[plan.rep]
-				prs[i], obs[i] = pl.translateProc(p, plan, prs[ri], obs[ri])
-			}
-		}
-	}
-	if pl.inc != nil {
-		for i, p := range order {
-			if !pl.inc.dirty[p] {
-				prs[i], obs[i] = pl.replayProc(p)
-			}
-		}
-	}
-	for i, p := range order {
-		res.Procs[p] = prs[i]
-	}
-	pl.order, pl.prs, pl.obs = order, prs, obs
 
 	// Deterministic accumulation: flatten and sort all observations by
 	// (callee, location, caller, callsite) before joining, so the join
@@ -606,7 +566,7 @@ func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]
 		return nil
 	}
 	var all []actualObs
-	for _, o := range obs {
+	for _, o := range pl.obs {
 		all = append(all, o...)
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -644,9 +604,10 @@ func (pl *pipeline) solveSketches(cg *cfg.CallGraph, res *Result) map[actualKey]
 // lazily, on the first cache miss.
 func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
 	pi := pl.infos[p]
-	gr := pl.gens[p]
+	idx := pl.procIdx[p]
+	gr := pl.gens[idx]
 
-	fp := pl.fps[p]
+	fp := pl.fps[idx]
 	if fp == nil && pl.shapeCache != nil {
 		fp = pgraph.Fingerprint(gr.Constraints, pl.lat)
 	}
@@ -677,6 +638,9 @@ func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
 		return build(v)
 	}
 	defer func() {
+		if dec != nil {
+			dec.Release()
+		}
 		if g != nil {
 			g.Release()
 		}
@@ -689,7 +653,7 @@ func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
 		Name:           p,
 		FormalIns:      pi.FormalIns,
 		HasOut:         pi.HasOut,
-		Scheme:         pl.schemes[p],
+		Scheme:         pl.schemes[idx],
 		Sketch:         solve(constraints.Var(p)),
 		SpecializedIns: map[string]*sketch.Sketch{},
 	}

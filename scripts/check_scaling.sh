@@ -1,0 +1,63 @@
+#!/bin/sh
+# check_scaling.sh — parallel-scaling regression gate.
+#
+# Measures the 4000-instruction corpus point at workers=1 and workers=4
+# (each a median of 5 runs; see internal/eval.measureScale) and fails
+# when the w4 speedup over w1 drops below the threshold. The readiness
+# scheduler's whole reason to exist is that 4 workers beat 1 on this
+# corpus; a refactor that quietly serializes the pipeline — a stray
+# barrier, a global lock on the hot path — shows up here before it
+# shows up in a BENCH snapshot.
+#
+# The threshold is deliberately loose (1.15x, against the ~2x a healthy
+# 4-core run shows): it must hold on noisy shared CI machines, not
+# certify peak scaling. On hosts with fewer than 4 CPUs the gate is
+# skipped — with the workers pinned above the core count the speedup is
+# undefined, not regressed.
+#
+# Usage: scripts/check_scaling.sh [threshold]
+set -eu
+cd "$(dirname "$0")/.."
+
+thresh="${1-1.15}"
+
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$ncpu" -lt 4 ]; then
+  echo "check_scaling: SKIP — $ncpu CPU(s) < 4, w4/w1 speedup is not meaningful here"
+  exit 0
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== scaling gate: w4 median must be >= ${thresh}x faster than w1 (4000-inst corpus) =="
+if ! go run ./cmd/retypd-eval -exp par -parsize 4000 -timings "$tmp" >/dev/null; then
+  echo "check_scaling: FAIL — cmd/retypd-eval exited nonzero" >&2
+  exit 1
+fi
+
+# The timings file is a JSON array of {Insts, Workers, Seconds, ...}
+# points; pull the w1 and w4 Seconds out of the flat key/value layout
+# MarshalIndent produces (one "Key": value per line, points in worker
+# order).
+speedup=$(awk '
+  /"Workers"/  { gsub(/[^0-9]/, "", $2); w = $2 + 0 }
+  /"Seconds"/  { gsub(/[,]/, "", $2); if (w == 1 && s1 == 0) s1 = $2 + 0; if (w == 4 && s4 == 0) s4 = $2 + 0 }
+  END {
+    if (s1 == 0 || s4 == 0) { print "NaN"; exit }
+    printf "%.3f", s1 / s4
+  }' "$tmp")
+
+if [ "$speedup" = "NaN" ]; then
+  echo "check_scaling: FAIL — could not extract w1/w4 points from timings" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+
+echo "w4/w1 speedup: ${speedup}x"
+ok=$(awk -v s="$speedup" -v t="$thresh" 'BEGIN { print (s >= t) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+  echo "check_scaling: FAIL — speedup ${speedup}x below threshold ${thresh}x" >&2
+  exit 1
+fi
+echo "check_scaling: OK — speedup ${speedup}x >= ${thresh}x"
