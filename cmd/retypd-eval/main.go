@@ -4,7 +4,12 @@
 // Usage:
 //
 //	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|par|warm|all]
-//	            [-scale N] [-quick] [-j N] [-timings out.json]
+//	            [-scale N] [-quick] [-j N] [-timeout d] [-timings out.json]
+//
+// -timeout bounds the whole invocation; SIGINT aborts it. Both exit
+// with code 4 (experiments are not incrementally cancellable — the
+// process exits rather than waiting for the sweep to finish). Other
+// exit codes: 0 success, 1 run/write error, 2 usage error.
 package main
 
 import (
@@ -12,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"time"
 
 	"retypd/internal/eval"
 )
@@ -23,8 +30,27 @@ func main() {
 	quick := flag.Bool("quick", false, "use the small smoke-test configuration")
 	workers := flag.Int("j", 0, "solver worker count for the scaling harness (0 = one per CPU)")
 	parSize := flag.Int("parsize", 4000, "program size (instructions) for the -exp par sweep")
+	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	timings := flag.String("timings", "", "write scaling/parallel measurements to this JSON file")
 	flag.Parse()
+
+	// The experiment drivers are batch harnesses without internal
+	// cancellation points, so the bound is enforced from outside: on
+	// timeout or SIGINT the process exits with a distinct code.
+	if *timeout > 0 {
+		timer := time.AfterFunc(*timeout, func() {
+			fmt.Fprintln(os.Stderr, "retypd-eval: timed out")
+			os.Exit(4)
+		})
+		defer timer.Stop()
+	}
+	intr := make(chan os.Signal, 1)
+	signal.Notify(intr, os.Interrupt)
+	go func() {
+		<-intr
+		fmt.Fprintln(os.Stderr, "retypd-eval: interrupted")
+		os.Exit(4)
+	}()
 
 	cfg := eval.DefaultConfig()
 	if *quick {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	retypd [-schemes] [-sketches] [-j N] [-nocache] [-nobodydedup]
-//	       [-cachestats] [-cachefile path] [-incremental] file.sasm...
+//	       [-cachestats] [-cachefile path] [-incremental]
+//	       [-timeout d] [-maxinsts N] [-maxprocs N] file.sasm...
 //
 // All files are analyzed by one long-lived engine, so duplicate
 // procedures across files are solved once. -cachefile loads a
@@ -14,17 +15,45 @@
 // re-analyzes the second and later files against the previous one's
 // session — only changed procedures and their callers recompute —
 // and reports the replayed/recomputed split on stderr.
+//
+// -timeout bounds the whole invocation; SIGINT cancels the analysis
+// cooperatively (the engine drains its workers and exits cleanly).
+// Exit codes distinguish the failure class:
+//
+//	0  success
+//	1  analysis error (contained task fault, cache I/O)
+//	2  usage error
+//	3  input error (unreadable file, malformed assembly, oversized input)
+//	4  timeout or interrupt
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"retypd"
 )
 
+// Exit codes; see the package comment.
+const (
+	exitOK       = 0
+	exitAnalysis = 1
+	exitUsage    = 2
+	exitInput    = 3
+	exitTimeout  = 4
+)
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main behind an int so deferred cleanup (signal teardown) runs
+// before os.Exit.
+func run() int {
 	schemes := flag.Bool("schemes", true, "print inferred type schemes")
 	sketches := flag.Bool("sketches", false, "print solved sketches")
 	mono := flag.Bool("mono", false, "disable polymorphic callsite instantiation (baseline mode)")
@@ -34,18 +63,31 @@ func main() {
 	cachestats := flag.Bool("cachestats", false, "print memo-layer hit/miss counts to stderr")
 	cachefile := flag.String("cachefile", "", "load the cache stack from this file before analyzing (if it exists) and save it back after")
 	incremental := flag.Bool("incremental", false, "re-analyze the 2nd+ input files incrementally against the previous file's session")
+	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
+	maxInsts := flag.Int("maxinsts", 0, "reject programs with more than N instructions (0 = no limit)")
+	maxProcs := flag.Int("maxprocs", 0, "reject programs with more than N procedures (0 = no limit)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: retypd [flags] file.sasm...")
-		os.Exit(2)
+		return exitUsage
 	}
 	if *nocache && *cachefile != "" {
 		fmt.Fprintln(os.Stderr, "retypd: -nocache and -cachefile are mutually exclusive")
-		os.Exit(2)
+		return exitUsage
 	}
 	if *nocache && *incremental {
 		fmt.Fprintln(os.Stderr, "retypd: -nocache and -incremental are mutually exclusive (incremental replay rides the engine session)")
-		os.Exit(2)
+		return exitUsage
+	}
+
+	// SIGINT cancels the context; the pipeline drains at the next task
+	// boundary and we exit with a distinct code instead of dying mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	eng := retypd.NewEngine(nil)
@@ -54,7 +96,7 @@ func main() {
 			loaded, err := retypd.LoadCache(*cachefile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "retypd: load cache:", err)
-				os.Exit(1)
+				return exitAnalysis
 			}
 			eng = loaded
 			if *cachestats {
@@ -65,32 +107,44 @@ func main() {
 	}
 
 	cfg := &retypd.Config{
-		Monomorphic:   *mono,
-		Workers:       *workers,
-		NoSchemeCache: *nocache,
-		NoShapeCache:  *nocache,
-		NoBodyDedup:   *nobodydedup || *nocache,
+		Monomorphic:     *mono,
+		Workers:         *workers,
+		NoSchemeCache:   *nocache,
+		NoShapeCache:    *nocache,
+		NoBodyDedup:     *nobodydedup || *nocache,
+		MaxInstructions: *maxInsts,
+		MaxProcedures:   *maxProcs,
 	}
 
 	for argi, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "retypd:", err)
-			os.Exit(1)
+			return exitInput
 		}
 		prog, err := retypd.ParseAsm(string(src))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "retypd:", err)
-			os.Exit(1)
+			// Structured parse errors render as file:line so editors and
+			// humans land on the offending source line directly.
+			var pe *retypd.ParseError
+			if errors.As(err, &pe) && pe.Line > 0 {
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, pe.Line, pe.Msg)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			}
+			return exitInput
 		}
 		var res *retypd.Result
 		switch {
 		case *nocache:
-			res = retypd.Infer(prog, cfg)
+			res, err = retypd.InferContext(ctx, prog, cfg)
 		case *incremental && argi > 0:
-			res = eng.Reanalyze(prog)
+			res, err = eng.ReanalyzeContext(ctx, prog)
 		default:
-			res = eng.Infer(prog, cfg)
+			res, err = eng.InferContext(ctx, prog, cfg)
+		}
+		if err != nil {
+			return reportAnalysisErr(path, err)
 		}
 		if *cachestats || (*incremental && argi > 0) {
 			st := res.CacheStats()
@@ -126,11 +180,33 @@ func main() {
 	if *cachefile != "" {
 		if err := eng.SaveCache(*cachefile); err != nil {
 			fmt.Fprintln(os.Stderr, "retypd: save cache:", err)
-			os.Exit(1)
+			return exitAnalysis
 		}
 		if *cachestats {
 			sn, shn := eng.CacheLen()
 			fmt.Fprintf(os.Stderr, "saved %s: %d scheme entries, %d shape entries\n", *cachefile, sn, shn)
 		}
 	}
+	return exitOK
+}
+
+// reportAnalysisErr maps an inference error to a diagnostic and exit
+// code: cancellation/deadline → timeout code, admission rejection →
+// input code, contained task fault → analysis code.
+func reportAnalysisErr(path string, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "retypd: %s: timed out\n", path)
+		return exitTimeout
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "retypd: %s: interrupted\n", path)
+		return exitTimeout
+	}
+	var le *retypd.LimitError
+	if errors.As(err, &le) {
+		fmt.Fprintf(os.Stderr, "retypd: %s: %v\n", path, le)
+		return exitInput
+	}
+	fmt.Fprintf(os.Stderr, "retypd: %s: %v\n", path, err)
+	return exitAnalysis
 }

@@ -1,6 +1,7 @@
 package retypd
 
 import (
+	"context"
 	"sync"
 
 	"retypd/internal/ctype"
@@ -69,12 +70,34 @@ func NewEngine(opts *EngineOptions) *Engine {
 // ignored — the engine's own caches are used (Config.NoSchemeCache and
 // friends still disable layers for baseline measurements).
 func (e *Engine) Infer(prog *Program, cfg *Config) *Result {
+	res, err := e.InferContext(context.Background(), prog, cfg)
+	if err != nil {
+		// Background is never cancelled; the error is an *AnalysisError
+		// or *LimitError, re-raised under the legacy contract.
+		panic(err)
+	}
+	return res
+}
+
+// InferContext is Infer under a context — the entry point a service
+// should call. Cancellation and deadlines are observed at task
+// boundaries (an already-cancelled ctx returns before any worker
+// spawns); a panic inside an analysis task comes back as a structured
+// *AnalysisError and an oversized input as a *LimitError. On any error
+// the engine publishes nothing — no session is recorded and the shared
+// caches hold only completed computes — so the engine stays warm and
+// usable, and its next run is byte-identical to one on a never-faulted
+// engine.
+func (e *Engine) InferContext(ctx context.Context, prog *Program, cfg *Config) (*Result, error) {
 	cfg, lat, opts := resolveConfig(cfg)
-	res := e.eng.Infer(prog, lat, cfg.Summaries, opts)
+	res, err := e.eng.InferContext(ctx, prog, lat, cfg.Summaries, opts)
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	e.lastCfg = cfg
 	e.mu.Unlock()
-	return &Result{inner: res, conv: ctype.NewConverter(lat)}
+	return &Result{inner: res, conv: ctype.NewConverter(lat)}, nil
 }
 
 // Reanalyze infers prog incrementally against the engine's previous
@@ -87,15 +110,31 @@ func (e *Engine) Infer(prog *Program, cfg *Config) *Result {
 // a previous run this is a plain (recorded) Infer with the default
 // configuration.
 func (e *Engine) Reanalyze(prog *Program) *Result {
+	res, err := e.ReanalyzeContext(context.Background(), prog)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ReanalyzeContext is Reanalyze under a context, with the same error
+// and no-partial-state contract as InferContext: on cancellation, task
+// panic, or admission rejection the engine's previous session stays
+// current — the next Reanalyze diffs against it as if the failed run
+// had never been attempted.
+func (e *Engine) ReanalyzeContext(ctx context.Context, prog *Program) (*Result, error) {
 	e.mu.Lock()
 	cfg := e.lastCfg
 	e.mu.Unlock()
 	cfg, lat, opts := resolveConfig(cfg)
-	res := e.eng.Reanalyze(prog, lat, cfg.Summaries, opts)
+	res, err := e.eng.ReanalyzeContext(ctx, prog, lat, cfg.Summaries, opts)
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	e.lastCfg = cfg
 	e.mu.Unlock()
-	return &Result{inner: res, conv: ctype.NewConverter(lat)}
+	return &Result{inner: res, conv: ctype.NewConverter(lat)}, nil
 }
 
 // SaveCache persists the engine's scheme and shape memos to path as a

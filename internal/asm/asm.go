@@ -247,6 +247,29 @@ var condNames = map[string]bool{
 	"jb": true, "jbe": true, "js": true, "jns": true,
 }
 
+// ParseError is a structured parse failure: Line is the 1-based source
+// line the error is anchored to (0 when the failure is not tied to one,
+// like a missing endproc), Msg the bare message. It renders as the
+// historical "asm:LINE: message" text, so callers that matched the
+// string keep working; new callers (the CLIs' file:line diagnostics,
+// the future server's input validation) destructure it instead.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("asm:%d: %s", e.Line, e.Msg)
+	}
+	return "asm: " + e.Msg
+}
+
+// parseErrf builds a *ParseError anchored to line.
+func parseErrf(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Parse parses the textual assembly format:
 //
 //	; comment
@@ -277,19 +300,19 @@ func Parse(src string) (*Program, error) {
 		switch fields[0] {
 		case "proc":
 			if cur != nil {
-				return nil, fmt.Errorf("asm:%d: nested proc", lineNo)
+				return nil, parseErrf(lineNo, "nested proc")
 			}
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("asm:%d: proc needs a name", lineNo)
+				return nil, parseErrf(lineNo, "proc needs a name")
 			}
 			cur = &Proc{Name: fields[1], Labels: map[string]int{}}
 			continue
 		case "endproc":
 			if cur == nil {
-				return nil, fmt.Errorf("asm:%d: endproc outside proc", lineNo)
+				return nil, parseErrf(lineNo, "endproc outside proc")
 			}
 			if prog.ProcIndex[cur.Name] != nil {
-				return nil, fmt.Errorf("asm:%d: duplicate proc %q", lineNo, cur.Name)
+				return nil, parseErrf(lineNo, "duplicate proc %q", cur.Name)
 			}
 			prog.Procs = append(prog.Procs, cur)
 			prog.ProcIndex[cur.Name] = cur
@@ -297,7 +320,7 @@ func Parse(src string) (*Program, error) {
 			continue
 		}
 		if cur == nil {
-			return nil, fmt.Errorf("asm:%d: instruction outside proc: %q", lineNo, line)
+			return nil, parseErrf(lineNo, "instruction outside proc: %q", line)
 		}
 		if strings.HasSuffix(fields[0], ":") && len(fields) == 1 {
 			cur.Labels[strings.TrimSuffix(fields[0], ":")] = len(cur.Insts)
@@ -305,19 +328,19 @@ func Parse(src string) (*Program, error) {
 		}
 		inst, err := parseInst(line)
 		if err != nil {
-			return nil, fmt.Errorf("asm:%d: %v", lineNo, err)
+			return nil, parseErrf(lineNo, "%v", err)
 		}
 		cur.Insts = append(cur.Insts, inst)
 	}
 	if cur != nil {
-		return nil, fmt.Errorf("asm: missing endproc for %q", cur.Name)
+		return nil, parseErrf(0, "missing endproc for %q", cur.Name)
 	}
 	// Validate label targets.
 	for _, pr := range prog.Procs {
 		for i, in := range pr.Insts {
 			if in.Op == JCC {
 				if _, ok := pr.Labels[in.Target]; !ok {
-					return nil, fmt.Errorf("asm: %s:%d: unknown label %q", pr.Name, i, in.Target)
+					return nil, parseErrf(0, "%s:%d: unknown label %q", pr.Name, i, in.Target)
 				}
 			}
 		}

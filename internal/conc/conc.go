@@ -1,14 +1,20 @@
-// Package conc provides the bounded fork/join primitive the solver
-// pipeline schedules on: an errgroup-style indexed ForEach, implemented
-// on the standard library only (the module has no external
-// dependencies).
+// Package conc provides the bounded fork/join primitives the solver
+// pipeline schedules on: an errgroup-style indexed ForEach and a
+// work-stealing task-graph executor (RunPool), implemented on the
+// standard library only (the module has no external dependencies).
 //
-// Panics raised inside workers are captured and re-raised on the waiting
-// goroutine, so a crash in one shard of a parallel phase surfaces with
-// its original message instead of deadlocking the pipeline.
+// Panics raised inside workers are captured and surfaced on the waiting
+// goroutine — re-raised by the legacy entry points, returned as errors
+// by the context-aware ones — so a crash in one shard of a parallel
+// phase shows its original message instead of deadlocking the pipeline.
+// The context-aware entry points (ForEachCtx, RunPoolCtx) additionally
+// observe cancellation at work-item boundaries: an item that has
+// started always finishes, and the primitive then stops handing out
+// work and returns ctx.Err().
 package conc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -16,17 +22,35 @@ import (
 	"sync/atomic"
 )
 
-// WorkerPanic wraps a panic captured inside a ForEach worker: Value is
-// the original panic value (recover on this type and inspect Value to
-// handle typed panics), Stack the panicking worker's stack trace.
+// WorkerPanic wraps a panic captured inside a worker: Value is the
+// original panic value (recover on this type and inspect Value to
+// handle typed panics), Stack the panicking worker's stack trace, and
+// Label the identity of the task that died ("" when the work was
+// anonymous, as in ForEach items). Schedulers built on this package
+// normally contain task panics themselves and convert them into richer
+// structured errors; Label keeps any residual escape diagnosable.
 type WorkerPanic struct {
 	Value any
 	Stack []byte
+	Label string
 }
 
-// Error renders the original value and the worker's stack.
+// Error renders the original value, the task identity, and the
+// panicking worker's stack.
 func (p *WorkerPanic) Error() string {
+	if p.Label != "" {
+		return fmt.Sprintf("conc: worker panic in task %q: %v\n%s", p.Label, p.Value, p.Stack)
+	}
 	return fmt.Sprintf("conc: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through the wrapper.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Limit normalizes a worker-count knob: values ≤ 0 mean "one worker per
@@ -44,26 +68,55 @@ func Limit(workers int) int {
 // With workers == 1 (or n == 1) the calls run inline on the caller's
 // goroutine in index order, which keeps the sequential path allocation-
 // and scheduler-free.
+func ForEach(workers, n int, f func(i int)) {
+	if err := ForEachCtx(context.Background(), workers, n, f); err != nil {
+		// Background is never cancelled; the only possible error is a
+		// *WorkerPanic — re-raise it, preserving the legacy contract.
+		panic(err)
+	}
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: ctx is checked
+// between work chunks (never inside f), and on cancellation the loop
+// stops handing out further items and returns ctx.Err() — items
+// already started still finish. A panic inside f stops the loop and is
+// returned (not re-raised) as a *WorkerPanic error; a panic wins over
+// a concurrent cancellation.
 //
 // Work is handed out in chunks of contiguous indices (guided by n and
 // the worker count) so that claiming an item is one atomic add per
 // chunk, not one per item: with many small items (thousands of leaf
 // procedures per phase) the per-item fetch-add line becomes a real
 // contention point in CPU profiles. Chunks shrink to 1 for small n, so
-// load balance for coarse items is unchanged.
-func ForEach(workers, n int, f func(i int)) {
+// load balance for coarse items is unchanged. Cancellation granularity
+// follows the chunk size: a chunk that has started runs to its end.
+func ForEachCtx(ctx context.Context, workers, n int, f func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	w := Limit(workers)
 	if w > n {
 		w = n
 	}
+	// ctx.Err() takes a lock in the runtime's cancelCtx; checking it
+	// once per chunk (parallel path) or once per stride (sequential
+	// path) keeps the guard off the per-item fast path.
 	if w == 1 {
+		const stride = 64
 		for i := 0; i < n; i++ {
-			f(i)
+			if i%stride == 0 && i > 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := runItem(f, i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 
 	// 8 chunks per worker keeps the tail balanced while cutting the
@@ -77,6 +130,7 @@ func ForEach(workers, n int, f func(i int)) {
 	var wg sync.WaitGroup
 	var once sync.Once
 	var pval *WorkerPanic
+	var cancelled atomic.Bool
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
@@ -92,6 +146,11 @@ func ForEach(workers, n int, f func(i int)) {
 				if start >= n {
 					return
 				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					next.Store(int64(n))
+					return
+				}
 				end := start + chunk
 				if end > n {
 					end = n
@@ -104,6 +163,24 @@ func ForEach(workers, n int, f func(i int)) {
 	}
 	wg.Wait()
 	if pval != nil {
-		panic(pval)
+		return pval
 	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// runItem runs one sequential-path item, converting a panic into a
+// *WorkerPanic error (the parallel path recovers at worker scope; the
+// sequential path has no worker goroutine to recover in, so it wraps
+// per item — the overhead is one deferred call).
+func runItem(f func(int), i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WorkerPanic{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	f(i)
+	return nil
 }

@@ -1,6 +1,8 @@
 package conc
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -82,5 +84,64 @@ func TestLimit(t *testing.T) {
 	}
 	if Limit(0) < 1 || Limit(-1) < 1 {
 		t.Errorf("Limit must be ≥ 1 for auto values")
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 4, 100, func(int) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("ran %d items on a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestForEachCtxMidRunCancel(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, w, 100000, func(int) {
+			if ran.Add(1) == 100 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("w=%d: err = %v, want context.Canceled", w, err)
+		}
+		if n := ran.Load(); n == 100000 {
+			t.Fatalf("w=%d: cancel did not stop the loop early (ran all %d)", w, n)
+		}
+	}
+}
+
+func TestForEachCtxPanicReturnsError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := ForEachCtx(context.Background(), w, 64, func(i int) {
+			if i == 7 {
+				panic("item boom")
+			}
+		})
+		wp, ok := err.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("w=%d: err = %v (%T), want *WorkerPanic", w, err, err)
+		}
+		if wp.Value != "item boom" {
+			t.Fatalf("w=%d: panic value = %v", w, wp.Value)
+		}
+	}
+}
+
+func TestWorkerPanicUnwrap(t *testing.T) {
+	inner := errors.New("inner")
+	wp := &WorkerPanic{Value: inner}
+	if !errors.Is(wp, inner) {
+		t.Fatal("errors.Is should see through WorkerPanic to the error value")
+	}
+	if (&WorkerPanic{Value: "not an error"}).Unwrap() != nil {
+		t.Fatal("Unwrap of non-error value should be nil")
 	}
 }

@@ -1,16 +1,23 @@
 package conc
 
 import (
+	"context"
 	"runtime/debug"
 	"sync"
 )
 
-// Task is one unit of executor work. It receives a Submitter so that
+// Task is one unit of executor work. Run receives a Submitter so that
 // completing one unit can make further units runnable (the solver's
 // readiness scheduler submits an SCC's callers the moment their last
 // callee finishes) without threading the executor through every call
-// site.
-type Task func(sub Submitter)
+// site. Label is the task's diagnostic identity ("F.1 scc=3 proc=foo"):
+// it costs nothing while tasks succeed and is attached to the
+// *WorkerPanic when a panic escapes the task, so even a failure that
+// slipped past a higher layer's containment names the work that died.
+type Task struct {
+	Label string
+	Run   func(sub Submitter)
+}
 
 // Submitter enqueues tasks for execution. Submit may be called from
 // inside a running task (the task goes to the submitting worker's own
@@ -21,10 +28,11 @@ type Submitter interface {
 	Submit(t Task)
 }
 
-// SchedHooks lets tests perturb executor scheduling without changing
-// its semantics. Both fields may be nil. The hooks exist so the
+// SchedHooks lets tests perturb and observe executor scheduling without
+// changing its semantics. All fields may be nil. The hooks exist so the
 // determinism suite can prove output invariance under adversarial
-// schedules — production code never sets them.
+// schedules and so the fault-injection harness can kill or stall
+// specific tasks — production code never sets them.
 type SchedHooks struct {
 	// BeforeRun is called on the executing worker immediately before
 	// each task runs (schedtest injects randomized delays here).
@@ -35,6 +43,15 @@ type SchedHooks struct {
 	// (values == self or out of range are skipped). Nil means ascending
 	// order starting after self.
 	StealOrder func(self, workers int) []int
+	// BeforeTask is invoked by schedulers built on the executor (the
+	// solver's readiness pipeline) immediately before each identified
+	// task body runs, INSIDE that scheduler's panic containment: a hook
+	// that panics is reported as that task's structured failure, and a
+	// hook that blocks delays it. phase is the pipeline phase ("F.0"
+	// through "F.3"), name the task's SCC/procedure identity. This is
+	// the seam internal/faultinject rides; the executor itself never
+	// calls it.
+	BeforeTask func(phase, name string)
 }
 
 // Executor runs tasks on a fixed pool of workers with per-worker
@@ -52,16 +69,20 @@ type SchedHooks struct {
 // variable instead of spinning.
 //
 // A panic inside a task stops the pool (pending work is dropped) and
-// is re-raised on the Run caller as a *WorkerPanic, matching ForEach.
+// surfaces as a *WorkerPanic carrying the task's label. Cancellation
+// (RunPoolCtx) is checked at task boundaries only: a task that has
+// started always runs to completion, so a cancelled pool never leaves
+// a half-executed task behind — it drains and exits.
 type Executor struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	deques  [][]Task // deques[w]: owner pops tail, thieves pop head
-	global  []Task   // injection queue, FIFO
-	pending int      // tasks queued or running
-	stopped bool     // panic observed: drain and exit
-	hooks   SchedHooks
-	pval    *WorkerPanic
+	mu        sync.Mutex
+	cond      *sync.Cond
+	deques    [][]Task // deques[w]: owner pops tail, thieves pop head
+	global    []Task   // injection queue, FIFO
+	pending   int      // tasks queued or running
+	stopped   bool     // panic or cancellation observed: drain and exit
+	cancelled bool     // stop came from context cancellation
+	hooks     SchedHooks
+	pval      *WorkerPanic
 }
 
 // workerSub is the Submitter handed to tasks running on worker w.
@@ -97,25 +118,27 @@ func (e *Executor) submit(w int, t Task) {
 }
 
 // next blocks until worker w has a task to run or the pool is
-// quiescent/stopped. ok == false means the worker should exit.
+// quiescent/stopped. ok == false means the worker should exit. This is
+// the executor's task boundary: stop (panic or cancellation) is
+// observed here, between tasks, never inside one.
 func (e *Executor) next(w int) (Task, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for {
 		if e.stopped {
-			return nil, false
+			return Task{}, false
 		}
 		// Own deque, tail (LIFO).
 		if d := e.deques[w]; len(d) > 0 {
 			t := d[len(d)-1]
-			d[len(d)-1] = nil
+			d[len(d)-1] = Task{}
 			e.deques[w] = d[:len(d)-1]
 			return t, true
 		}
 		// Global injection queue, head (FIFO).
 		if len(e.global) > 0 {
 			t := e.global[0]
-			e.global[0] = nil
+			e.global[0] = Task{}
 			e.global = e.global[1:]
 			return t, true
 		}
@@ -128,7 +151,7 @@ func (e *Executor) next(w int) (Task, bool) {
 			}
 			if d := e.deques[v]; len(d) > 0 {
 				t := d[0]
-				d[0] = nil
+				d[0] = Task{}
 				e.deques[v] = d[1:]
 				return t, true
 			}
@@ -136,7 +159,7 @@ func (e *Executor) next(w int) (Task, bool) {
 		if e.pending == 0 {
 			// Quiescent: nothing queued, nothing running anywhere.
 			e.cond.Broadcast()
-			return nil, false
+			return Task{}, false
 		}
 		e.cond.Wait()
 	}
@@ -155,15 +178,29 @@ func (e *Executor) stealOrder(w int) []int {
 	return order
 }
 
+// stop halts the pool: queued work is dropped, running tasks finish,
+// parked workers wake and exit.
+func (e *Executor) stop(cancelled bool) {
+	e.mu.Lock()
+	e.stopped = true
+	if cancelled {
+		e.cancelled = true
+	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
 // runWorker is one worker's loop: pull, run, account, repeat.
 func (e *Executor) runWorker(w int, once *sync.Once) {
+	// cur is the label of the task this worker is currently running;
+	// the deferred recover attaches it to the WorkerPanic so a residual
+	// escape — one the owning scheduler's containment did not catch —
+	// still names the work that died.
+	var cur string
 	defer func() {
 		if r := recover(); r != nil {
-			once.Do(func() { e.pval = &WorkerPanic{Value: r, Stack: debug.Stack()} })
-			e.mu.Lock()
-			e.stopped = true
-			e.mu.Unlock()
-			e.cond.Broadcast()
+			once.Do(func() { e.pval = &WorkerPanic{Value: r, Stack: debug.Stack(), Label: cur} })
+			e.stop(false)
 		}
 	}()
 	sub := workerSub{e: e, w: w}
@@ -175,7 +212,9 @@ func (e *Executor) runWorker(w int, once *sync.Once) {
 		if e.hooks.BeforeRun != nil {
 			e.hooks.BeforeRun(w)
 		}
-		t(sub)
+		cur = t.Label
+		t.Run(sub)
+		cur = ""
 		e.mu.Lock()
 		e.pending--
 		quiescent := e.pending == 0
@@ -195,12 +234,49 @@ func (e *Executor) runWorker(w int, once *sync.Once) {
 // is the reference schedule the solver's determinism suite compares
 // against. Task panics are re-raised on the caller as *WorkerPanic.
 func RunPool(workers int, hooks *SchedHooks, seed func(sub Submitter)) {
+	if err := RunPoolCtx(context.Background(), workers, hooks, seed); err != nil {
+		// Background is never cancelled, so the only possible error is a
+		// *WorkerPanic — re-raise it, preserving the legacy contract.
+		panic(err)
+	}
+}
+
+// RunPoolCtx is RunPool with cooperative cancellation: when ctx is
+// cancelled the pool stops handing out tasks (running tasks finish —
+// cancellation is observed at task boundaries only), drains, and
+// RunPoolCtx returns ctx.Err(). An already-cancelled context returns
+// immediately without running the seed or spawning any worker. A task
+// panic stops the pool the same way and is returned (not re-raised) as
+// a *WorkerPanic error carrying the task's label; a panic wins over a
+// concurrent cancellation, since it is strictly more informative.
+func RunPoolCtx(ctx context.Context, workers int, hooks *SchedHooks, seed func(sub Submitter)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	w := Limit(workers)
 	e := &Executor{deques: make([][]Task, w)}
 	e.cond = sync.NewCond(&e.mu)
 	if hooks != nil {
 		e.hooks = *hooks
 	}
+
+	// The watcher turns ctx cancellation into a pool stop, waking parked
+	// workers. Background/TODO contexts (Done() == nil) skip it, so the
+	// uncancellable path spawns no extra goroutine.
+	var watchWG sync.WaitGroup
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctx.Done():
+				e.stop(true)
+			case <-watchDone:
+			}
+		}()
+	}
+
 	seed(globalSub{e: e})
 
 	var once sync.Once
@@ -217,7 +293,16 @@ func RunPool(workers int, hooks *SchedHooks, seed func(sub Submitter)) {
 	// the others, which then exit too.
 	e.cond.Broadcast()
 	wg.Wait()
+	close(watchDone)
+	watchWG.Wait()
+
 	if e.pval != nil {
-		panic(e.pval)
+		return e.pval
 	}
+	// cancelled was set by the watcher (before it exited, so the
+	// WaitGroup gives the happens-before edge): queued work was dropped.
+	if e.cancelled {
+		return ctx.Err()
+	}
+	return nil
 }

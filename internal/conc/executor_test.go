@@ -1,8 +1,10 @@
 package conc
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestRunPoolRunsEverything: a dynamic fan-out tree (each task spawns
@@ -13,13 +15,13 @@ func TestRunPoolRunsEverything(t *testing.T) {
 		var ran atomic.Int64
 		var spawn func(depth int) Task
 		spawn = func(depth int) Task {
-			return func(sub Submitter) {
+			return Task{Run: func(sub Submitter) {
 				ran.Add(1)
 				if depth > 0 {
 					sub.Submit(spawn(depth - 1))
 					sub.Submit(spawn(depth - 1))
 				}
-			}
+			}}
 		}
 		RunPool(workers, nil, func(sub Submitter) {
 			sub.Submit(spawn(6))
@@ -35,13 +37,13 @@ func TestRunPoolRunsEverything(t *testing.T) {
 // schedule.
 func TestRunPoolSequentialOrder(t *testing.T) {
 	var order []int
-	mk := func(id int) Task { return func(Submitter) { order = append(order, id) } }
+	mk := func(id int) Task { return Task{Run: func(Submitter) { order = append(order, id) }} }
 	RunPool(1, nil, func(sub Submitter) {
-		sub.Submit(func(s Submitter) {
+		sub.Submit(Task{Run: func(s Submitter) {
 			order = append(order, 0)
 			s.Submit(mk(1))
 			s.Submit(mk(2))
-		})
+		}})
 		sub.Submit(mk(3))
 	})
 	// Global queue is FIFO (task 0 then 3); worker-local is LIFO (2
@@ -70,11 +72,11 @@ func TestRunPoolQuiescence(t *testing.T) {
 		var ran atomic.Int64
 		const n = 200
 		RunPool(4, nil, func(sub Submitter) {
-			sub.Submit(func(s Submitter) {
+			sub.Submit(Task{Run: func(s Submitter) {
 				for i := 0; i < n; i++ {
-					s.Submit(func(Submitter) { ran.Add(1) })
+					s.Submit(Task{Run: func(Submitter) { ran.Add(1) }})
 				}
-			})
+			}})
 		})
 		if got := ran.Load(); got != n {
 			t.Fatalf("trial %d: ran %d, want %d", trial, got, n)
@@ -94,12 +96,15 @@ func TestRunPoolPanic(t *testing.T) {
 		if wp.Value != "boom" {
 			t.Errorf("panic value = %v, want boom", wp.Value)
 		}
+		if wp.Label != "doomed" {
+			t.Errorf("panic label = %q, want doomed", wp.Label)
+		}
 	}()
 	RunPool(4, nil, func(sub Submitter) {
 		for i := 0; i < 50; i++ {
-			sub.Submit(func(Submitter) {})
+			sub.Submit(Task{Run: func(Submitter) {}})
 		}
-		sub.Submit(func(Submitter) { panic("boom") })
+		sub.Submit(Task{Label: "doomed", Run: func(Submitter) { panic("boom") }})
 	})
 	t.Fatal("RunPool returned instead of panicking")
 }
@@ -135,12 +140,12 @@ func TestRunPoolHooks(t *testing.T) {
 	const n = 100
 	var ran atomic.Int64
 	RunPool(4, hooks, func(sub Submitter) {
-		sub.Submit(func(s Submitter) {
+		sub.Submit(Task{Run: func(s Submitter) {
 			for i := 0; i < n-1; i++ {
-				s.Submit(func(Submitter) { ran.Add(1) })
+				s.Submit(Task{Run: func(Submitter) { ran.Add(1) }})
 			}
 			ran.Add(1)
-		})
+		}})
 	})
 	if ran.Load() != n {
 		t.Errorf("ran %d, want %d", ran.Load(), n)
@@ -150,5 +155,79 @@ func TestRunPoolHooks(t *testing.T) {
 	}
 	if stealCalls.Load() == 0 {
 		t.Error("StealOrder never consulted (expected idle workers to scan)")
+	}
+}
+
+func TestRunPoolCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	seeded := false
+	err := RunPoolCtx(ctx, 4, nil, func(sub Submitter) { seeded = true })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seeded {
+		t.Fatal("seed ran on a pre-cancelled context")
+	}
+}
+
+func TestRunPoolCtxMidRunCancel(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := RunPoolCtx(ctx, w, nil, func(sub Submitter) {
+			var spawn func() Task
+			spawn = func() Task {
+				return Task{Run: func(s Submitter) {
+					if ran.Add(1) == 10 {
+						cancel()
+					}
+					// Keep the graph alive indefinitely; only
+					// cancellation can terminate the pool.
+					s.Submit(spawn())
+				}}
+			}
+			for i := 0; i < w; i++ {
+				sub.Submit(spawn())
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("w=%d: err = %v, want context.Canceled", w, err)
+		}
+	}
+}
+
+func TestRunPoolCtxPanicWinsOverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := RunPoolCtx(ctx, 2, nil, func(sub Submitter) {
+		sub.Submit(Task{Label: "bad", Run: func(Submitter) {
+			cancel()
+			panic("boom")
+		}})
+	})
+	wp, ok := err.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *WorkerPanic", err, err)
+	}
+	if wp.Value != "boom" || wp.Label != "bad" {
+		t.Fatalf("WorkerPanic = %+v, want Value=boom Label=bad", wp)
+	}
+}
+
+func TestRunPoolCtxNoErrCleanRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var ran atomic.Int64
+	err := RunPoolCtx(ctx, 4, nil, func(sub Submitter) {
+		for i := 0; i < 100; i++ {
+			sub.Submit(Task{Run: func(Submitter) { ran.Add(1) }})
+		}
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran = %d, want 100", ran.Load())
 	}
 }

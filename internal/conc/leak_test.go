@@ -1,0 +1,69 @@
+package conc
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"retypd/internal/leakcheck"
+)
+
+// These tests pin the executor's drain guarantee at its own layer: no
+// exit path — quiescence, cancellation, or a worker panic — may strand
+// a worker or the cancel watcher. The solver and faultinject suites
+// check the same property end to end; this one localizes a regression
+// to the executor.
+
+// TestRunPoolCtxCancelNoLeak: cancelling a self-perpetuating task graph
+// drains every worker and the watcher goroutine.
+func TestRunPoolCtxCancelNoLeak(t *testing.T) {
+	leakcheck.Install(t)
+	for _, w := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		var spawn func(s Submitter)
+		spawn = func(s Submitter) {
+			if ran.Add(1) == 25 {
+				cancel()
+			}
+			s.Submit(Task{Run: spawn})
+			s.Submit(Task{Run: spawn})
+		}
+		err := RunPoolCtx(ctx, w, nil, spawn)
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("w=%d: err = %v, want context.Canceled", w, err)
+		}
+	}
+}
+
+// TestRunPoolPanicNoLeak: a worker panic tears the pool down without
+// stranding its siblings.
+func TestRunPoolPanicNoLeak(t *testing.T) {
+	leakcheck.Install(t)
+	for _, w := range []int{1, 4} {
+		err := RunPoolCtx(context.Background(), w, nil, func(s Submitter) {
+			for i := 0; i < 50; i++ {
+				s.Submit(Task{Run: func(Submitter) {}})
+			}
+			s.Submit(Task{Label: "bomb", Run: func(Submitter) { panic("boom") }})
+		})
+		if _, ok := err.(*WorkerPanic); !ok {
+			t.Fatalf("w=%d: err = %v (%T), want *WorkerPanic", w, err, err)
+		}
+	}
+}
+
+// TestForEachCtxCancelNoLeak: cancelling a parallel ForEachCtx mid-run
+// drains every chunk worker.
+func TestForEachCtxCancelNoLeak(t *testing.T) {
+	leakcheck.Install(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	_ = ForEachCtx(ctx, 8, 100000, func(int) {
+		if seen.Add(1) == 500 {
+			cancel()
+		}
+	})
+}

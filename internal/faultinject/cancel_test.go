@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"retypd/internal/asm"
+	"retypd/internal/conc"
+	"retypd/internal/corpus"
+	"retypd/internal/lattice"
+	"retypd/internal/leakcheck"
+	"retypd/internal/solver"
+)
+
+// TestPreCancelledReturnsPromptly: an already-cancelled context is
+// rejected before any scheduler work — no worker goroutines spawn, no
+// task runs, and the call returns essentially immediately.
+func TestPreCancelledReturnsPromptly(t *testing.T) {
+	leakcheck.Install(t)
+	lat := lattice.Default()
+	prog := sweepProg(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// A BeforeTask hook that records any invocation: pre-cancelled runs
+	// must never reach a task boundary.
+	ran := false
+	opts := solver.DefaultOptions()
+	opts.Workers = 8
+	opts.SchedHooks = &conc.SchedHooks{BeforeTask: func(string, string) { ran = true }}
+
+	start := time.Now()
+	eng := solver.NewEngine(0, 0)
+	res, err := eng.InferContext(ctx, prog, lat, nil, opts)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("pre-cancelled run returned a result")
+	}
+	if ran {
+		t.Fatal("pre-cancelled run executed a task")
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("pre-cancelled run took %v, want prompt return", elapsed)
+	}
+}
+
+// TestMidRunCancelLatency: cancelling partway through a 4000-inst
+// analysis returns well under the full analysis time. The fault plan
+// cancels at an early F.2 task, so most of the pipeline's work is still
+// outstanding when the cancel lands.
+func TestMidRunCancelLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	leakcheck.Install(t)
+	lat := lattice.Default()
+	prog, err := asm.Parse(corpus.Generate("cancellat", 13, 4000).Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-analysis baseline on a cold engine (median of 3 to damp noise).
+	full := medianRunTime(t, 3, func() {
+		eng := solver.NewEngine(0, 0)
+		if _, err := eng.InferContext(context.Background(), prog, lat, nil, solver.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan := &Plan{Phase: "F.2", N: 0, Kind: Cancel, Cancel: cancel}
+	opts := solver.DefaultOptions()
+	opts.SchedHooks = plan.Hooks()
+
+	eng := solver.NewEngine(0, 0)
+	start := time.Now()
+	_, err = eng.InferContext(ctx, prog, lat, nil, opts)
+	elapsed := time.Since(start)
+
+	if !plan.Fired() {
+		t.Fatal("cancel plan never fired")
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled or clean finish", err)
+	}
+	// "Well under one full analysis": allow 75% headroom for scheduler
+	// drain and in-flight tasks finishing.
+	if limit := full * 3 / 4; elapsed >= limit {
+		t.Errorf("mid-run cancel took %v, want < %v (full analysis %v)", elapsed, limit, full)
+	}
+
+	// The engine stays usable after the abandoned run.
+	if _, err := eng.InferContext(context.Background(), prog, lat, nil, solver.DefaultOptions()); err != nil {
+		t.Fatalf("engine unusable after cancelled run: %v", err)
+	}
+}
+
+// medianRunTime times f n times and returns the median.
+func medianRunTime(t *testing.T, n int, f func()) time.Duration {
+	t.Helper()
+	times := make([]time.Duration, n)
+	for i := range times {
+		start := time.Now()
+		f()
+		times[i] = time.Since(start)
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[n/2]
+}
+
+// TestAdmissionGuards: oversize programs are rejected with a typed
+// *solver.LimitError before any analysis work begins.
+func TestAdmissionGuards(t *testing.T) {
+	leakcheck.Install(t)
+	lat := lattice.Default()
+	prog := sweepProg(t)
+	eng := solver.NewEngine(0, 0)
+
+	opts := solver.DefaultOptions()
+	opts.MaxInstructions = 10
+	_, err := eng.InferContext(context.Background(), prog, lat, nil, opts)
+	var le *solver.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v (%T), want *solver.LimitError", err, err)
+	}
+	if le.What != "instructions" || le.Limit != 10 {
+		t.Errorf("LimitError = %+v, want instructions/10", le)
+	}
+
+	opts = solver.DefaultOptions()
+	opts.MaxProcedures = 1
+	_, err = eng.InferContext(context.Background(), prog, lat, nil, opts)
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v (%T), want *solver.LimitError", err, err)
+	}
+	if le.What != "procedures" || le.Limit != 1 {
+		t.Errorf("LimitError = %+v, want procedures/1", le)
+	}
+
+	// Rejection publishes nothing and the engine still works.
+	res, err := eng.InferContext(context.Background(), prog, lat, nil, solver.DefaultOptions())
+	if err != nil {
+		t.Fatalf("engine unusable after admission rejection: %v", err)
+	}
+	if res == nil {
+		t.Fatal("nil result from clean run")
+	}
+}

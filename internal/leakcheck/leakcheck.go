@@ -1,0 +1,97 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// The engine's crash-safety contract says a cancelled or faulted run
+// drains its worker pool completely; these helpers turn that into a
+// checkable property for the conc, solver, and faultinject suites.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// scaffolding reports whether a goroutine stack belongs to the
+// runtime/testing machinery that legitimately persists across tests.
+func scaffolding(stack string) bool {
+	for _, benign := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runFuzzing",
+		"testing.tRunner",
+		"runtime.goexit",
+		"created by runtime",
+		"signal.signal_recv",
+		"runtime/pprof",
+		"leakcheck.Snapshot",
+	} {
+		if strings.Contains(stack, benign) {
+			return true
+		}
+	}
+	return false
+}
+
+// suspects returns the stacks of currently-live goroutines that are not
+// recognized scaffolding.
+func suspects() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if g == "" || scaffolding(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Snapshot records the current goroutine count. Take one before the
+// code under test runs and Check against it afterwards.
+type Snapshot struct{ n int }
+
+// Take returns the current baseline.
+func Take() Snapshot { return Snapshot{n: runtime.NumGoroutine()} }
+
+// Check asserts the goroutine count has returned to (at most) the
+// baseline, retrying for a bounded window first: pool workers observe
+// quiescence and exit after the submitting side returns, so a small
+// settle delay is expected and not a leak. On failure it returns an
+// error listing the non-scaffolding goroutines still alive.
+func (s Snapshot) Check() error {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= s.n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	live := suspects()
+	return fmt.Errorf("goroutine leak: %d live, baseline %d; non-scaffolding stacks:\n%s",
+		runtime.NumGoroutine(), s.n, strings.Join(live, "\n\n"))
+}
+
+// TB is the subset of testing.TB the helper needs (avoids importing
+// testing into non-test binaries that link this package).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Install takes a baseline now and registers a cleanup that fails the
+// test if the count has not settled back by test end.
+func Install(t TB) {
+	t.Helper()
+	s := Take()
+	t.Cleanup(func() {
+		if err := s.Check(); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+}

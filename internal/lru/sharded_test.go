@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // applyOps drives the same randomized Add/Get/Do sequence against any
@@ -271,4 +272,63 @@ func BenchmarkShardedContention(b *testing.B) {
 		b.SetParallelism(8)
 		run(b, NewSharded[int, int](keyspace, 8, idHash))
 	})
+}
+
+// TestShardedDoLeaderPanicReleasesWaiters: a leader whose compute
+// panics inside a sharded cache must release every concurrent waiter on
+// the same key (with ok == false), re-panic to its own caller, and
+// leave the shard's single-flight table clean so a later Do computes
+// fresh. A regression here strands solver workers forever on the memo
+// lock the first time a contained task fault hits a cache compute.
+func TestShardedDoLeaderPanicReleasesWaiters(t *testing.T) {
+	sh := NewSharded[int, int](64, 8, idHash)
+	const waiters = 8
+
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	var released atomic.Int64
+
+	// Leader: panics mid-compute after the waiters have queued.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate to its caller")
+			}
+		}()
+		sh.Do(7, func() (int, bool) {
+			close(leaderIn)
+			// Give the waiters time to join the in-flight chain. A missed
+			// window only weakens the test (waiters become leaders of
+			// their own flights); it cannot produce a false failure.
+			time.Sleep(20 * time.Millisecond)
+			panic("leader boom")
+		})
+	}()
+
+	<-leaderIn
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Waiters must return, not hang. ok may be false (released by
+			// the panicking leader) or true (this goroutine led its own
+			// flight after the chain was cleaned).
+			sh.Do(7, func() (int, bool) { return 70, true })
+			released.Add(1)
+		}()
+	}
+	wg.Wait()
+
+	if released.Load() != waiters {
+		t.Fatalf("only %d/%d waiters returned", released.Load(), waiters)
+	}
+	// The flight table is clean: a fresh Do computes and caches normally.
+	if v, ok := sh.Do(7, func() (int, bool) { return 71, true }); v != 70 && (!ok || v != 71) {
+		t.Errorf("post-panic Do = %d,%v; want a normal compute", v, ok)
+	}
+	if v, ok := sh.Get(7); !ok || (v != 70 && v != 71) {
+		t.Errorf("post-panic Get = %d,%v; want cached value", v, ok)
+	}
 }

@@ -16,10 +16,10 @@ func TestPerturbedPoolCompletes(t *testing.T) {
 			p := New(seed)
 			conc.RunPool(workers, p.Hooks(), func(sub conc.Submitter) {
 				for i := 0; i < 64; i++ {
-					sub.Submit(func(s conc.Submitter) {
+					sub.Submit(conc.Task{Run: func(s conc.Submitter) {
 						ran.Add(1)
-						s.Submit(func(conc.Submitter) { ran.Add(1) })
-					})
+						s.Submit(conc.Task{Run: func(conc.Submitter) { ran.Add(1) }})
+					}})
 				}
 			})
 			if got := ran.Load(); got != 128 {

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
 
 	"retypd/internal/asm"
@@ -183,15 +185,46 @@ func (e *Engine) withEngineCaches(opts Options) Options {
 }
 
 // Infer runs the full pipeline with the engine's caches and records the
-// run as the engine's current session.
+// run as the engine's current session. It cannot be cancelled; a
+// contained task panic (*AnalysisError) or an admission rejection
+// (*LimitError) is re-raised. Services use InferContext.
 func (e *Engine) Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) *Result {
+	res, err := e.InferContext(context.Background(), prog, lat, sums, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// InferContext is Infer under a context: cancellation and deadlines are
+// observed cooperatively at task boundaries (an already-cancelled ctx
+// returns before any worker spawns), task panics come back as
+// structured *AnalysisError, and oversized inputs as *LimitError. On
+// any error the engine publishes nothing — no session is recorded, the
+// shared caches hold only completed computes — so the engine stays
+// usable and its next run is byte-identical to one on a never-faulted
+// engine.
+func (e *Engine) InferContext(ctx context.Context, prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) (res *Result, err error) {
+	// Backstop containment: the pipeline converts task panics itself;
+	// anything that still unwinds to here (a fault in pre-pipeline
+	// analysis or in session recording) must not crash the process the
+	// engine serves.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &AnalysisError{SCC: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if sums == nil {
 		sums = summaries.Default()
 	}
 	opts = e.withEngineCaches(opts)
-	res, art := infer(prog, lat, sums, opts, nil, nil, nil)
+	opts.ctx = ctx
+	res, art, err := infer(prog, lat, sums, opts, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
 	e.record(lat, sums, opts, res, art, nil)
-	return res
+	return res, nil
 }
 
 // Reanalyze infers prog incrementally against the engine's previous
@@ -204,6 +237,23 @@ func (e *Engine) Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.T
 // becomes the engine's new session. Without a compatible previous
 // session this degrades to a full (recorded) run.
 func (e *Engine) Reanalyze(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) *Result {
+	res, err := e.ReanalyzeContext(context.Background(), prog, lat, sums, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ReanalyzeContext is Reanalyze under a context, with the same error
+// and no-partial-state contract as InferContext: on cancellation, task
+// panic, or admission rejection the previous session stays current and
+// nothing of the aborted run is published.
+func (e *Engine) ReanalyzeContext(ctx context.Context, prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &AnalysisError{SCC: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if sums == nil {
 		sums = summaries.Default()
 	}
@@ -213,9 +263,16 @@ func (e *Engine) Reanalyze(prog *asm.Program, lat *lattice.Lattice, sums summari
 	if sess == nil || !sessionable(opts) ||
 		sess.latSig != lat.Signature() || !optsCompatible(sess.opts, opts) ||
 		!sumsCompatible(sess.sums, sums) {
-		return e.Infer(prog, lat, sums, opts)
+		return e.InferContext(ctx, prog, lat, sums, opts)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := admit(prog, opts); err != nil {
+		return nil, err
 	}
 	opts = e.withEngineCaches(opts)
+	opts.ctx = ctx
 
 	// Rebuild the program analyses, rebasing every unchanged procedure
 	// body onto the new program instead of re-running its per-procedure
@@ -236,9 +293,11 @@ func (e *Engine) Reanalyze(prog *asm.Program, lat *lattice.Lattice, sums summari
 	order := prog.Procs
 	fps := make([]*bodyfp.FP, len(order))
 	workers := conc.Limit(opts.Workers)
-	conc.ForEach(workers, len(order), func(i int) {
+	if err := conc.ForEachCtx(ctx, workers, len(order), func(i int) {
 		fps[i] = bodyfp.Compute(infos[order[i].Name], conf, namedCallee)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	fpOf := make(map[string]*bodyfp.FP, len(order))
 	for i, p := range order {
 		fpOf[p.Name] = fps[i]
@@ -325,9 +384,12 @@ func (e *Engine) Reanalyze(prog *asm.Program, lat *lattice.Lattice, sums summari
 		}
 	}
 
-	res, art := infer(prog, lat, sums, opts, infos, cg, &incrementalPlan{dirty: dirty, replay: replay})
+	res, art, err := infer(prog, lat, sums, opts, infos, cg, &incrementalPlan{dirty: dirty, replay: replay})
+	if err != nil {
+		return nil, err
+	}
 	e.record(lat, sums, opts, res, art, fpOf)
-	return res
+	return res, nil
 }
 
 // sccKeys renders each procedure's SCC membership canonically (members
@@ -374,6 +436,8 @@ func (e *Engine) record(lat *lattice.Lattice, sums summaries.Table, opts Options
 	if e.noSessions || !sessionable(opts) {
 		return
 	}
+	// Sessions outlive the run; never retain its cancellation context.
+	opts.ctx = nil
 	conf := sessionConfig(lat, opts)
 	if fpOf == nil {
 		fps := make([]*bodyfp.FP, len(art.order))

@@ -1,0 +1,62 @@
+package solver
+
+import (
+	"fmt"
+)
+
+// AnalysisError is the structured failure of one inference run: a task
+// panicked inside the pipeline, the scheduler contained it, drained the
+// pool, and published nothing. It carries the identity of the task that
+// died — Phase is the pipeline phase ("F.0" classification, "F.1"
+// scheme inference, "F.2" sketch solving, "F.3" parameter refinement,
+// or "" for faults outside an identified task), SCC the SCC index for
+// F.1 faults (-1 otherwise), Proc the procedure name when the task was
+// per-procedure — plus the original panic value and the panicking
+// goroutine's stack. The engine that returned an AnalysisError remains
+// usable: no cache, scheme, or session state of the faulted run was
+// published.
+type AnalysisError struct {
+	Phase string
+	SCC   int
+	Proc  string
+	Value any
+	Stack []byte
+}
+
+// Error renders the task identity and the original panic value; the
+// stack is appended so a log line captures the full fault.
+func (e *AnalysisError) Error() string {
+	id := "task"
+	switch {
+	case e.Phase != "" && e.Proc != "":
+		id = fmt.Sprintf("%s task for %s", e.Phase, e.Proc)
+	case e.Phase != "" && e.SCC >= 0:
+		id = fmt.Sprintf("%s task for scc %d", e.Phase, e.SCC)
+	case e.Phase != "":
+		id = e.Phase + " task"
+	}
+	return fmt.Sprintf("solver: panic in %s: %v\n%s", id, e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through the wrapper (fault-injected sentinel errors
+// rely on this).
+func (e *AnalysisError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// LimitError reports an input rejected by an admission guard
+// (Options.MaxInstructions / MaxProcedures) before any pipeline work —
+// or goroutine — was started.
+type LimitError struct {
+	What   string // "instructions" or "procedures"
+	Limit  int
+	Actual int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("solver: program exceeds %s limit: %d > %d", e.What, e.Actual, e.Limit)
+}

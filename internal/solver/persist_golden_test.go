@@ -98,7 +98,7 @@ func TestPR5GoldenWarmPerturbed(t *testing.T) {
 		}
 		opts := DefaultOptions()
 		opts.Workers = 4
-		opts.schedHooks = schedtest.New(seed).Hooks()
+		opts.SchedHooks = schedtest.New(seed).Hooks()
 		res := eng.Infer(goldenProg(t), lattice.Default(), nil, opts)
 		if got := res.DumpSchemes() + "\n===\n" + res.DumpSpecialized(); got != want {
 			t.Fatalf("seed %d: perturbed warm run diverged from recorded dump", seed)

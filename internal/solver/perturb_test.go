@@ -124,7 +124,7 @@ func runPerturbed(prog *asm.Program, lat *lattice.Lattice, seed int64, workers i
 	opts := DefaultOptions()
 	opts.Workers = workers
 	if seed >= 0 {
-		opts.schedHooks = schedtest.New(seed).Hooks()
+		opts.SchedHooks = schedtest.New(seed).Hooks()
 	}
 	return Infer(prog, lat, nil, opts)
 }
@@ -199,7 +199,7 @@ func TestPerturbedSharedCaches(t *testing.T) {
 		opts.Workers = int(2 + seed%3)
 		opts.SchemeCache = scheme
 		opts.ShapeCache = shape
-		opts.schedHooks = schedtest.New(seed).Hooks()
+		opts.SchedHooks = schedtest.New(seed).Hooks()
 		if got := dump(Infer(prog, lat, nil, opts)); got != want {
 			t.Fatalf("seed %d: shared-cache perturbed run diverged", seed)
 		}
@@ -220,7 +220,7 @@ func TestPerturbedIncremental(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		opts := DefaultOptions()
 		opts.Workers = int(1 + seed%4)
-		opts.schedHooks = schedtest.New(seed).Hooks()
+		opts.SchedHooks = schedtest.New(seed).Hooks()
 
 		eng := NewEngine(0, 0)
 		eng.Infer(prog1, lat, nil, opts)

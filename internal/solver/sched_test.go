@@ -134,7 +134,7 @@ func runTraced(t *testing.T, prog *asm.Program, seed int64, workers int) (*cfg.C
 	opts.Workers = workers
 	opts.schedTrace = rec.hook
 	if seed >= 0 {
-		opts.schedHooks = schedtest.New(seed).Hooks()
+		opts.SchedHooks = schedtest.New(seed).Hooks()
 	}
 	res := Infer(prog, lattice.Default(), nil, opts)
 	cg := cfg.BuildCallGraph(prog)

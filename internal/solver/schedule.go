@@ -2,6 +2,7 @@ package solver
 
 import (
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"retypd/internal/bodyfp"
@@ -77,7 +78,10 @@ func sccLevels(cg *cfg.CallGraph) [][]int {
 // callee classes, hence their depths, coincide), so a representative
 // is classified before every one of its members; the scheduler turns
 // that into a member→representative readiness edge.
-func (pl *pipeline) classifyBodies(cg *cfg.CallGraph) []*memberPlan {
+// Fingerprint items run under the run's panic containment (phase F.0)
+// and the fan-out observes the run context, so classification aborts at
+// an item boundary on fault or cancellation.
+func (pl *pipeline) classifyBodies(cg *cfg.CallGraph) ([]*memberPlan, error) {
 	plans := make([]*memberPlan, len(cg.SCCs))
 	isProc := func(name string) bool {
 		_, ok := pl.infos[name]
@@ -85,20 +89,25 @@ func (pl *pipeline) classifyBodies(cg *cfg.CallGraph) []*memberPlan {
 	}
 	for _, level := range sccLevels(cg) {
 		fps := make([]*bodyfp.FP, len(level))
-		conc.ForEach(pl.workers, len(level), func(i int) {
+		err := conc.ForEachCtx(pl.ctx, pl.workers, len(level), func(i int) {
 			scc := cg.SCCs[level[i]]
-			if len(scc) != 1 || !pl.dedup.eligible(scc[0], cg) {
-				return
-			}
-			fps[i] = bodyfp.Compute(pl.infos[scc[0]], pl.dedup.conf, pl.dedup.calleeID)
+			pl.runGuarded("F.0", level[i], scc[0], func() {
+				if len(scc) != 1 || !pl.dedup.eligible(scc[0], cg) {
+					return
+				}
+				fps[i] = bodyfp.Compute(pl.infos[scc[0]], pl.dedup.conf, pl.dedup.calleeID)
+			})
 		})
+		if err != nil {
+			return plans, err
+		}
 		for i := range level {
 			if fps[i] != nil {
 				plans[level[i]] = pl.dedup.classify(cg.SCCs[level[i]][0], fps[i], isProc)
 			}
 		}
 	}
-	return plans
+	return plans, nil
 }
 
 // schedGraph is the per-run readiness graph the F.1/F.2 pipeline
@@ -146,11 +155,11 @@ type schedEvent struct {
 }
 
 const (
-	evF1Start = iota // SCC F.1 task picked up
-	evF1Done         // SCC schemes published, dependents about to be signaled
-	evF2Start        // procedure F.2 task picked up
-	evF2Done         // procedure result written, waiters about to be signaled
-	evF2Translate    // F.2 served by dedup translation from representative aux
+	evF1Start     = iota // SCC F.1 task picked up
+	evF1Done             // SCC schemes published, dependents about to be signaled
+	evF2Start            // procedure F.2 task picked up
+	evF2Done             // procedure result written, waiters about to be signaled
+	evF2Translate        // F.2 served by dedup translation from representative aux
 )
 
 // trace emits ev when the test seam is installed.
@@ -221,8 +230,15 @@ func (pl *pipeline) buildSched(cg *cfg.CallGraph, plans []*memberPlan) *schedGra
 // run executes the graph to quiescence: seed the dependency-free SCCs,
 // let completions cascade. The pool's worker count and any test hooks
 // (schedtest perturbation) change only the schedule, never the output.
-func (s *schedGraph) run() {
-	conc.RunPool(s.pl.workers, s.pl.opts.schedHooks, func(sub conc.Submitter) {
+//
+// The pool runs under the run context: a cancellation — the caller's or
+// the one a contained task fault triggers — drains the pool at a task
+// boundary and run returns ctx.Err() (the fault itself is recorded on
+// the pipeline and resolved by finish). A faulted task signals no
+// dependents, so even before the cancel watcher fires the pool can only
+// shrink toward quiescence, never start work downstream of a fault.
+func (s *schedGraph) run() error {
+	return conc.RunPoolCtx(s.pl.ctx, s.pl.workers, s.pl.opts.SchedHooks, func(sub conc.Submitter) {
 		for i := range s.cg.SCCs {
 			if s.f1Pending[i].Load() == 0 {
 				sub.Submit(s.f1Task(i))
@@ -233,23 +249,28 @@ func (s *schedGraph) run() {
 
 // f1Task returns the F.1 task of SCC i: infer (or translate, or replay)
 // its schemes, then signal its procedures' F.2 gates and its caller
-// SCCs.
+// SCCs. The task body runs guarded; on a fault nothing is signalled.
 func (s *schedGraph) f1Task(i int) conc.Task {
-	return func(sub conc.Submitter) {
-		s.trace(evF1Start, i, 0)
-		s.runF1(i)
-		s.trace(evF1Done, i, 0)
-		for _, p := range s.cg.SCCs[i] {
-			pi := s.pl.procIdx[p]
-			if s.f2Pending[pi].Add(-1) == 0 {
-				sub.Submit(s.f2Task(pi))
+	return conc.Task{
+		Label: "F.1 scc=" + strconv.Itoa(i) + " proc=" + s.cg.SCCs[i][0],
+		Run: func(sub conc.Submitter) {
+			s.trace(evF1Start, i, 0)
+			if !s.pl.runGuarded("F.1", i, s.cg.SCCs[i][0], func() { s.runF1(i) }) {
+				return
 			}
-		}
-		for _, c := range s.f1Callers[i] {
-			if s.f1Pending[c].Add(-1) == 0 {
-				sub.Submit(s.f1Task(c))
+			s.trace(evF1Done, i, 0)
+			for _, p := range s.cg.SCCs[i] {
+				pi := s.pl.procIdx[p]
+				if s.f2Pending[pi].Add(-1) == 0 {
+					sub.Submit(s.f2Task(pi))
+				}
 			}
-		}
+			for _, c := range s.f1Callers[i] {
+				if s.f1Pending[c].Add(-1) == 0 {
+					sub.Submit(s.f1Task(c))
+				}
+			}
+		},
 	}
 }
 
@@ -269,32 +290,51 @@ func (s *schedGraph) runF1(i int) {
 
 // f2Task returns the F.2 task of procedure index pi: solve (or
 // translate, or replay) its sketch, then signal any dedup members
-// waiting to translate this procedure's result.
+// waiting to translate this procedure's result. The task body runs
+// guarded; on a fault nothing is signalled.
 func (s *schedGraph) f2Task(pi int) conc.Task {
-	return func(sub conc.Submitter) {
-		pl := s.pl
-		p := pl.order[pi]
-		s.trace(evF2Start, pi, 0)
-		switch {
-		case pl.inc != nil && !pl.inc.dirty[p]:
-			pl.prs[pi], pl.obs[pi] = pl.replayProc(p)
-		case pl.memberOf[pi] != nil:
-			plan := pl.memberOf[pi]
-			ri := pl.procIdx[plan.rep]
-			s.trace(evF2Translate, pi, ri)
-			pl.prs[pi], pl.obs[pi] = pl.translateProc(p, plan, pl.prs[ri], pl.obs[ri])
-		default:
-			// Includes members whose F.1 translation fell back to the
-			// full path (memberOf stayed nil): they solve like any other
-			// procedure; the leftover gate on the representative's F.2
-			// only delayed, never blocked, this task.
-			pl.prs[pi], pl.obs[pi] = pl.solveProc(p)
-		}
-		s.trace(evF2Done, pi, 0)
-		for _, w := range s.f2Waiters[pi] {
-			if s.f2Pending[w].Add(-1) == 0 {
-				sub.Submit(s.f2Task(w))
+	pl := s.pl
+	p := pl.order[pi]
+	return conc.Task{
+		Label: "F.2 proc=" + p,
+		Run: func(sub conc.Submitter) {
+			s.trace(evF2Start, pi, 0)
+			ok := pl.runGuarded("F.2", -1, p, func() {
+				switch {
+				case pl.inc != nil && !pl.inc.dirty[p]:
+					pl.prs[pi], pl.obs[pi] = pl.replayProc(p)
+				case pl.memberOf[pi] != nil:
+					plan := pl.memberOf[pi]
+					ri := pl.procIdx[plan.rep]
+					s.trace(evF2Translate, pi, ri)
+					pl.prs[pi], pl.obs[pi] = pl.translateProc(p, plan, pl.prs[ri], pl.obs[ri])
+				default:
+					// Includes members whose F.1 translation fell back to the
+					// full path (memberOf stayed nil): they solve like any other
+					// procedure; the leftover gate on the representative's F.2
+					// only delayed, never blocked, this task.
+					pl.prs[pi], pl.obs[pi] = pl.solveProc(p)
+				}
+			})
+			if !ok {
+				return
 			}
-		}
+			s.trace(evF2Done, pi, 0)
+			// Seal before signalling: members share this sketch and would
+			// otherwise race calling Seal on it concurrently (the shape
+			// cache serves sketches pre-sealed, but cache-off and
+			// fallback paths publish unsealed ones). The waiters' atomic
+			// gate decrement orders this write before their reads.
+			if len(s.f2Waiters[pi]) > 0 {
+				if pr := pl.prs[pi]; pr != nil && pr.Sketch != nil {
+					pr.Sketch.Seal()
+				}
+			}
+			for _, w := range s.f2Waiters[pi] {
+				if s.f2Pending[w].Add(-1) == 0 {
+					sub.Submit(s.f2Task(w))
+				}
+			}
+		},
 	}
 }

@@ -51,9 +51,12 @@
 package solver
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 
 	"retypd/internal/absint"
 	"retypd/internal/asm"
@@ -111,12 +114,25 @@ type Options struct {
 	// automatically off when Absint.Covered is set (trace-restricted
 	// generation distinguishes procedures by name).
 	NoBodyDedup bool
-	// schedHooks perturbs the work-stealing executor's scheduling
-	// (delays, steal-order bias). Test-only: the determinism suite sets
-	// it to prove output invariance under adversarial schedules;
-	// production callers leave it nil. Never part of output, never
-	// compared across runs.
-	schedHooks *conc.SchedHooks
+	// MaxInstructions and MaxProcedures are admission guards: a program
+	// exceeding either bound is rejected with a *LimitError before any
+	// pipeline work — or goroutine — starts. 0 means unlimited. They
+	// exist for multi-tenant callers that must bound the cost of one
+	// analysis unit; they never change output for admitted programs.
+	MaxInstructions int
+	MaxProcedures   int
+	// SchedHooks perturbs and observes the work-stealing executor's
+	// scheduling (delays, steal-order bias, per-task fault injection via
+	// BeforeTask). Test-only: the determinism suite sets it to prove
+	// output invariance under adversarial schedules and the
+	// fault-injection harness (internal/faultinject) rides it to kill or
+	// stall chosen tasks; production callers leave it nil. Never part of
+	// output, never compared across runs.
+	SchedHooks *conc.SchedHooks
+	// ctx is the run's cancellation context, set by InferContext (nil
+	// means context.Background()). Unexported: cancellation enters
+	// through the context-aware entry points, never as an ad-hoc knob.
+	ctx context.Context
 	// schedTrace observes readiness-scheduler events (see schedEvent).
 	// Test-only, like schedHooks: the property tests record the event
 	// stream to check exactly-once execution and dependency ordering.
@@ -196,10 +212,47 @@ type Result struct {
 	ReplayedProcs, RecomputedProcs uint64
 }
 
-// Infer runs the full pipeline.
+// Infer runs the full pipeline. It cannot be cancelled; a task panic —
+// contained into an *AnalysisError by the scheduler — is re-raised.
+// Cancellable, error-returning callers use InferContext.
 func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) *Result {
-	res, _ := infer(prog, lat, sums, opts, nil, nil, nil)
+	res, err := InferContext(context.Background(), prog, lat, sums, opts)
+	if err != nil {
+		// Background is never cancelled, so err is an *AnalysisError or
+		// a *LimitError; the legacy contract surfaces both as panics.
+		panic(err)
+	}
 	return res
+}
+
+// InferContext runs the full pipeline under ctx. Cancellation is
+// cooperative, observed at task boundaries: the pipeline stops handing
+// out tasks, drains its pool, and returns ctx.Err() — an
+// already-cancelled ctx returns before any worker is spawned. A task
+// panic is contained by the scheduler and returned as a structured
+// *AnalysisError; inputs exceeding Options.MaxInstructions /
+// MaxProcedures are rejected with a *LimitError. In every error case
+// nothing was published: shared caches hold only completed computes and
+// the returned Result is nil.
+func InferContext(ctx context.Context, prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options) (*Result, error) {
+	opts.ctx = ctx
+	res, _, err := infer(prog, lat, sums, opts, nil, nil, nil)
+	return res, err
+}
+
+// admit applies the admission guards to prog. It runs before the
+// pipeline allocates anything, so a rejected program costs no goroutine
+// and touches no cache.
+func admit(prog *asm.Program, opts Options) error {
+	if opts.MaxProcedures > 0 && len(prog.Procs) > opts.MaxProcedures {
+		return &LimitError{What: "procedures", Limit: opts.MaxProcedures, Actual: len(prog.Procs)}
+	}
+	if opts.MaxInstructions > 0 {
+		if n := prog.NumInsts(); n > opts.MaxInstructions {
+			return &LimitError{What: "instructions", Limit: opts.MaxInstructions, Actual: n}
+		}
+	}
+	return nil
 }
 
 // infer is the pipeline entry shared by Infer and the engine. infos and
@@ -208,8 +261,24 @@ func Infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 // procedures outside inc.dirty are replayed from their session
 // snapshots instead of re-solved. The returned artifacts carry the
 // per-procedure outputs the engine records into its next session.
+//
+// On error the partially-built Result is discarded (nil, nil, err):
+// admission guards reject before any work, cancellation surfaces as
+// ctx.Err(), and a contained task panic as *AnalysisError. Shared
+// caches are safe in every case — they only ever store completed
+// computes, and their single-flight entries release waiters on panic.
 func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts Options,
-	infos map[string]*cfg.ProcInfo, cg *cfg.CallGraph, inc *incrementalPlan) (*Result, *runArtifacts) {
+	infos map[string]*cfg.ProcInfo, cg *cfg.CallGraph, inc *incrementalPlan) (*Result, *runArtifacts, error) {
+	ctx := opts.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := admit(prog, opts); err != nil {
+		return nil, nil, err
+	}
 	if sums == nil {
 		sums = summaries.Default()
 	}
@@ -247,6 +316,12 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		shapeCache = sketch.NewShapeCache(0)
 	}
 
+	// The run context is cancelled when any task faults, so a contained
+	// panic drains the pool promptly instead of letting unrelated
+	// subtrees finish work whose results will be discarded.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
 	pl := &pipeline{
 		lat:        lat,
 		infos:      infos,
@@ -257,6 +332,8 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		shapeCache: shapeCache,
 		workers:    conc.Limit(opts.Workers),
 		inc:        inc,
+		ctx:        runCtx,
+		cancelRun:  cancelRun,
 	}
 	pl.initIndex(cg)
 	if inc == nil && !opts.NoBodyDedup && opts.Absint.Covered == nil {
@@ -285,16 +362,32 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	// dedup classification pre-pass pins class representatives
 	// deterministically, then every SCC's scheme inference and every
 	// procedure's sketch solving run as readiness-gated tasks on the
-	// work-stealing pool.
+	// work-stealing pool. Each phase's error is resolved through
+	// pl.finish: a recorded task fault (*AnalysisError) wins over the
+	// cancellation it triggered.
 	var plans []*memberPlan
 	if pl.dedup != nil {
-		plans = pl.classifyBodies(cg)
+		var err error
+		plans, err = pl.classifyBodies(cg)
+		if err = pl.finish(err); err != nil {
+			return nil, nil, err
+		}
 	} else {
 		plans = make([]*memberPlan, len(cg.SCCs))
 	}
-	pl.buildSched(cg, plans).run()
-	actuals := pl.collectActuals(res)
-	pl.refineParameters(res, actuals) // Phase 3 (F.3)
+	if err := pl.finish(pl.buildSched(cg, plans).run()); err != nil {
+		return nil, nil, err
+	}
+	// Phase 3 (F.3): the sequential actuals join and the per-procedure
+	// refinement fan-out, both under the same containment.
+	var actuals map[actualKey]*sketch.Sketch
+	pl.runGuarded("F.3", -1, "", func() { actuals = pl.collectActuals(res) })
+	if err := pl.finish(nil); err != nil {
+		return nil, nil, err
+	}
+	if err := pl.finish(pl.refineParameters(res, actuals)); err != nil {
+		return nil, nil, err
+	}
 
 	if cache != nil {
 		h, m := cache.Stats()
@@ -316,7 +409,7 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 			}
 		}
 	}
-	return res, &runArtifacts{cg: cg, order: pl.order, prs: pl.prs, obs: pl.obs}
+	return res, &runArtifacts{cg: cg, order: pl.order, prs: pl.prs, obs: pl.obs}, nil
 }
 
 // runArtifacts carries the per-procedure outputs of one pipeline run in
@@ -351,6 +444,16 @@ type pipeline struct {
 	cache      *pgraph.SimplifyCache
 	shapeCache *sketch.ShapeCache
 	workers    int
+
+	// ctx is the run context (the caller's ctx wrapped in a cancel);
+	// cancelRun cancels it. The first task fault records itself in ferr
+	// under failMu and then calls cancelRun — in that order, so by the
+	// time any phase observes the cancellation the structured error is
+	// already readable.
+	ctx       context.Context
+	cancelRun context.CancelFunc
+	failMu    sync.Mutex
+	ferr      *AnalysisError
 
 	// order is the canonical procedure order (top-down SCC order,
 	// members in SCC slice order); procIdx its inverse. Both are frozen
@@ -413,6 +516,60 @@ func (pl *pipeline) initIndex(cg *cfg.CallGraph) {
 	pl.memberOf = make([]*memberPlan, n)
 	pl.prs = make([]*ProcResult, n)
 	pl.obs = make([][]actualObs, n)
+}
+
+// fail records a task fault (first one wins) and cancels the run
+// context so every pool drains at its next task boundary.
+func (pl *pipeline) fail(phase string, scc int, proc string, value any, stack []byte) {
+	pl.failMu.Lock()
+	if pl.ferr == nil {
+		pl.ferr = &AnalysisError{Phase: phase, SCC: scc, Proc: proc, Value: value, Stack: stack}
+	}
+	pl.failMu.Unlock()
+	pl.cancelRun()
+}
+
+// failed returns the run's recorded fault, if any.
+func (pl *pipeline) failed() *AnalysisError {
+	pl.failMu.Lock()
+	defer pl.failMu.Unlock()
+	return pl.ferr
+}
+
+// finish resolves one phase's outcome into the run's authoritative
+// error: a recorded task fault wins over the pool cancellation it
+// triggered (phaseErr is then the run context's Canceled); otherwise
+// the phase error — the caller's own cancellation or deadline — stands.
+func (pl *pipeline) finish(phaseErr error) error {
+	if e := pl.failed(); e != nil {
+		return e
+	}
+	return phaseErr
+}
+
+// runGuarded is the pipeline's panic containment: every identified task
+// body — F.0 classification items, F.1 scheme inference, F.2 sketch
+// solving, F.3 refinement items — runs inside it. A panic (from the
+// task or from an injected SchedHooks.BeforeTask hook, which runs in
+// the same scope precisely so injected faults surface with the task's
+// identity) is converted into the run's *AnalysisError and cancels the
+// run; it never crosses a goroutine boundary raw. ok reports whether f
+// completed, so schedulers signal dependents only for real results.
+func (pl *pipeline) runGuarded(phase string, scc int, proc string, f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pl.fail(phase, scc, proc, r, debug.Stack())
+		}
+	}()
+	if h := pl.opts.SchedHooks; h != nil && h.BeforeTask != nil {
+		name := proc
+		if name == "" && scc >= 0 {
+			name = fmt.Sprintf("scc=%d", scc)
+		}
+		h.BeforeTask(phase, name)
+	}
+	f()
+	return true
 }
 
 // schemeOf resolves a procedure's published scheme (the absint
@@ -685,30 +842,34 @@ func (pl *pipeline) solveProc(p string) (*ProcResult, []actualObs) {
 }
 
 // refineParameters is Phase 3 (F.3): refine formals with the joined
-// observed actuals, per procedure in sorted name order.
-func (pl *pipeline) refineParameters(res *Result, actuals map[actualKey]*sketch.Sketch) {
+// observed actuals, per procedure in sorted name order. Items run under
+// the run's panic containment and the fan-out observes the run context,
+// so a fault or a cancellation stops the phase at an item boundary.
+func (pl *pipeline) refineParameters(res *Result, actuals map[actualKey]*sketch.Sketch) error {
 	if pl.opts.NoSpecialize {
-		return
+		return nil
 	}
 	names := make([]string, 0, len(res.Procs))
 	for n := range res.Procs {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	conc.ForEach(pl.workers, len(names), func(i int) {
-		pr := res.Procs[names[i]]
-		for _, l := range pr.FormalIns {
-			k := actualKey{names[i], l.ParamName()}
-			joined, ok := actuals[k]
-			if !ok {
-				continue
+	return conc.ForEachCtx(pl.ctx, pl.workers, len(names), func(i int) {
+		pl.runGuarded("F.3", -1, names[i], func() {
+			pr := res.Procs[names[i]]
+			for _, l := range pr.FormalIns {
+				k := actualKey{names[i], l.ParamName()}
+				joined, ok := actuals[k]
+				if !ok {
+					continue
+				}
+				if formal, ok := pr.Sketch.Descend(label.Word{label.In(l.ParamName())}); ok {
+					pr.SpecializedIns[l.ParamName()] = formal.Meet(joined)
+				} else {
+					pr.SpecializedIns[l.ParamName()] = joined
+				}
 			}
-			if formal, ok := pr.Sketch.Descend(label.Word{label.In(l.ParamName())}); ok {
-				pr.SpecializedIns[l.ParamName()] = formal.Meet(joined)
-			} else {
-				pr.SpecializedIns[l.ParamName()] = joined
-			}
-		}
+		})
 	})
 }
 

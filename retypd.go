@@ -26,6 +26,7 @@
 package retypd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,6 +68,20 @@ type (
 	// ShapeCache is a shareable memo of phase-2 shape solving; see
 	// NewShapeCache and Config.ShapeCache.
 	ShapeCache = sketch.ShapeCache
+	// AnalysisError is the structured failure of one inference run: a
+	// task panicked, the scheduler contained it, and nothing was
+	// published. It carries the faulting task's identity (phase, SCC
+	// index, procedure) and the original panic value and stack; the
+	// engine that returned it remains usable. Returned by the *Context
+	// entry points; the legacy entry points re-raise it as a panic.
+	AnalysisError = solver.AnalysisError
+	// LimitError reports an input rejected by the admission guards
+	// (Config.MaxInstructions / MaxProcedures) before any analysis work
+	// started.
+	LimitError = solver.LimitError
+	// ParseError is a structured assembly parse failure carrying the
+	// 1-based source line; rendered as "asm:LINE: message".
+	ParseError = asm.ParseError
 )
 
 // NewSimplifyCache returns a scheme-simplification memo bounded to
@@ -153,6 +168,13 @@ type Config struct {
 	// NoShapeCache disables shape memoization entirely, even when
 	// ShapeCache is set.
 	NoShapeCache bool
+	// MaxInstructions and MaxProcedures are admission guards for
+	// multi-tenant callers: a program exceeding either bound is rejected
+	// with a *LimitError before any analysis work — or goroutine —
+	// starts. The zero value means unlimited. They never change
+	// inference output for admitted programs.
+	MaxInstructions int
+	MaxProcedures   int
 	// NoBodyDedup disables the solver's earliest memo layer:
 	// whole-procedure body deduplication ahead of constraint
 	// generation. By default, procedures whose IR bodies are equivalent
@@ -195,6 +217,23 @@ func Infer(prog *Program, cfg *Config) *Result {
 	return &Result{inner: res, conv: ctype.NewConverter(lat)}
 }
 
+// InferContext is Infer under a context: cancellation and deadlines are
+// observed cooperatively at task boundaries — the pipeline drains its
+// worker pool and returns ctx.Err() instead of a partial result, and an
+// already-cancelled context returns before any worker spawns. A panic
+// inside an analysis task is contained and returned as a structured
+// *AnalysisError; a program exceeding Config.MaxInstructions or
+// MaxProcedures is rejected with a *LimitError. On any error no cache
+// or session state of the failed run was published.
+func InferContext(ctx context.Context, prog *Program, cfg *Config) (*Result, error) {
+	cfg, lat, opts := resolveConfig(cfg)
+	res, err := solver.InferContext(ctx, prog, lat, cfg.Summaries, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res, conv: ctype.NewConverter(lat)}, nil
+}
+
 // solverOptions maps the public Config knobs onto solver.Options.
 func solverOptions(cfg *Config) solver.Options {
 	opts := solver.DefaultOptions()
@@ -206,6 +245,8 @@ func solverOptions(cfg *Config) solver.Options {
 	opts.ShapeCache = cfg.ShapeCache
 	opts.NoShapeCache = cfg.NoShapeCache
 	opts.NoBodyDedup = cfg.NoBodyDedup
+	opts.MaxInstructions = cfg.MaxInstructions
+	opts.MaxProcedures = cfg.MaxProcedures
 	if cfg.MaxSketchDepth > 0 {
 		opts.MaxSketchDepth = cfg.MaxSketchDepth
 	}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check_faults.sh — crash-safety gate.
+#
+# Runs the seeded fault-injection sweep and its supporting suites under
+# the race detector: internal/faultinject (every pipeline phase × fault
+# kind × worker count, asserting the engine survives, recovers
+# byte-identically, persists a loadable cache, and leaks no
+# goroutines), the executor drain tests in internal/conc, the
+# single-flight panic-release tests in internal/lru, and the
+# cancel-mid-steal / panic-mid-F.2 tests in internal/solver.
+#
+# -race matters here more than anywhere else: the faults land on
+# whichever task the concurrent schedule makes "Nth", so each run
+# exercises a different interleaving of fault, cancellation, and pool
+# drain. A containment bug that only races under contention shows up
+# in this lane before it shows up in a service.
+#
+# Usage: scripts/check_faults.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== fault-injection gate: sweep + drain + single-flight release under -race =="
+go test -race -count=1 \
+  ./internal/faultinject/ \
+  ./internal/conc/ \
+  ./internal/lru/
+go test -race -count=1 -run 'TestCancelMidStealDrains|TestPanicMidF2Contained' \
+  ./internal/solver/
+echo "check_faults: OK"

@@ -1,0 +1,74 @@
+#!/bin/sh
+# check_guard_overhead.sh — guard/cancellation overhead gate.
+#
+# The context plumbing and per-task panic guards sit on the hot path of
+# every pipeline task; this gate asserts they cost ≤2% on the CI-gated
+# benchmark (BenchmarkInferParallel at workers=1 — the sequential
+# configuration, where per-task overhead cannot hide behind
+# parallelism) against the checked-in perf snapshot: the slowest plain
+# workers=1 measurement of the 4000-instruction corpus in BENCH_6.json,
+# which predates the guards.
+#
+# The run is a median of 5 to damp scheduler noise. The tolerance is
+# multiplicative and env-overridable (CHECK_GUARD_TOL, default 1.02 —
+# the ≤2% budget) because an absolute wall-clock comparison is only
+# meaningful on hardware comparable to the snapshot's; on a different
+# machine, override the tolerance or re-baseline the snapshot rather
+# than deleting the gate.
+#
+# Usage: scripts/check_guard_overhead.sh [baseline.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+base="${1-BENCH_6.json}"
+tol="${CHECK_GUARD_TOL-1.02}"
+if [ ! -f "$base" ]; then
+  echo "check_guard_overhead: baseline $base missing" >&2
+  exit 1
+fi
+
+# Slowest plain (no "Kind") workers=1 row at the 4000-instruction
+# scale: the most generous pre-guard reference, so the gate measures
+# added overhead, not run-to-run noise in the snapshot itself.
+basesec=$(awk '
+  /^ *\{/ { insts = 0; workers = -1; sec = 0; kind = 0 }
+  /"Insts"/   { gsub(/[^0-9]/, "", $2); insts = $2 + 0 }
+  /"Workers"/ { gsub(/[^0-9]/, "", $2); workers = $2 + 0 }
+  /"Seconds"/ { split($0, a, ":"); sec = a[2] + 0 }
+  /"Kind"/    { kind = 1 }
+  /^ *\}/ {
+    if (workers == 1 && insts >= 4000 && !kind && sec > m) m = sec
+  }
+  END { if (m == 0) exit 1; printf "%.9f", m }
+' "$base")
+
+thresh=$(awk -v b="$basesec" -v t="$tol" 'BEGIN { printf "%.9f", b * t }')
+echo "== guard-overhead gate: w1 median must stay <= ${thresh}s (${tol} x ${basesec}s from $base) =="
+
+set +e
+out=$(go test -run '^$' -bench 'BenchmarkInferParallel/workers=1$' -benchtime=5x -count=5 2>&1)
+status=$?
+set -e
+echo "$out"
+if [ "$status" -ne 0 ]; then
+  echo "check_guard_overhead: FAIL — go test -bench exited $status" >&2
+  exit "$status"
+fi
+
+median=$(echo "$out" | awk '/BenchmarkInferParallel/ {
+    for (i = 1; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+  }' | sort -n | awk '{ v[NR] = $1 } END {
+    if (NR == 0) exit 1
+    printf "%.9f", v[int((NR + 1) / 2)] / 1e9
+  }')
+if [ -z "$median" ]; then
+  echo "check_guard_overhead: could not parse ns/op from benchmark output" >&2
+  exit 1
+fi
+
+echo "w1 median over 5 runs: ${median}s"
+if awk -v m="$median" -v t="$thresh" 'BEGIN { exit !(m > t) }'; then
+  echo "check_guard_overhead: FAIL — ${median}s > threshold ${thresh}s" >&2
+  exit 1
+fi
+echo "check_guard_overhead: OK — ${median}s <= threshold ${thresh}s"
