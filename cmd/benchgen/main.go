@@ -1,6 +1,14 @@
 // Command benchgen writes the synthetic benchmark suite (the stand-in
 // for the paper's §6.2 binaries) to a directory: one .sasm program and
 // one .truth ground-truth listing per benchmark.
+//
+// With -fleet N it instead writes a fleet of N binaries built from one
+// codebase: -shared F of each binary's instructions is a common
+// library under a binary-local rename (identical bodies, systematically
+// renamed procedures), the rest binary-unique code. Analyzing the fleet
+// through one engine — or through a persisted cache file — exercises
+// the cross-program body-class layer; scripts/check_fleet.sh gates on
+// it.
 package main
 
 import (
@@ -17,15 +25,23 @@ func main() {
 	scale := flag.Int("scale", 40, "divide the paper's instruction counts by this factor")
 	members := flag.Int("members", 6, "max cluster members (paper: up to 107 coreutils)")
 	seed := flag.Int64("seed", 20160613, "generation seed")
+	fleet := flag.Int("fleet", 0, "emit a fleet of N binaries sharing a rename-perturbed library instead of the benchmark suite")
+	shared := flag.Float64("shared", 0.5, "with -fleet: fraction of each binary's instructions drawn from the shared library")
+	fleetInsts := flag.Int("fleetinsts", 4000, "with -fleet: instructions per binary")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)
 	}
-	benches := corpus.GenerateSuite(corpus.SuiteOptions{
-		Scale: *scale, MaxClusterMembers: *members, Seed: *seed,
-	})
+	var benches []*corpus.Benchmark
+	if *fleet > 0 {
+		benches = corpus.GenerateFleet("fleet", *seed, *fleetInsts, *fleet, *shared)
+	} else {
+		benches = corpus.GenerateSuite(corpus.SuiteOptions{
+			Scale: *scale, MaxClusterMembers: *members, Seed: *seed,
+		})
+	}
 	for _, b := range benches {
 		if err := os.WriteFile(filepath.Join(*dir, b.Name+".sasm"), []byte(b.Source), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgen:", err)

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|par|warm|all]
+//	retypd-eval [-exp fig7|fig8|fig9|fig10|fig11|fig12|const|par|warm|fleet|all]
 //	            [-scale N] [-quick] [-j N] [-timeout d] [-timings out.json]
+//	            [-fleetn N] [-fleetshared F]
 //
 // -timeout bounds the whole invocation; SIGINT aborts it. Both exit
 // with code 4 (experiments are not incrementally cancellable — the
@@ -25,11 +26,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, fig12, const, par, warm, all")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, fig12, const, par, warm, fleet, all")
 	scale := flag.Int("scale", 0, "override corpus scale divisor (default from config)")
 	quick := flag.Bool("quick", false, "use the small smoke-test configuration")
 	workers := flag.Int("j", 0, "solver worker count for the scaling harness (0 = one per CPU)")
-	parSize := flag.Int("parsize", 4000, "program size (instructions) for the -exp par sweep")
+	parSize := flag.Int("parsize", 4000, "program size (instructions) for the -exp par, warm and fleet experiments")
+	fleetN := flag.Int("fleetn", 4, "number of binaries in the -exp fleet experiment")
+	fleetShared := flag.Float64("fleetshared", 0.5, "shared-library fraction of each -exp fleet binary")
 	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	timings := flag.String("timings", "", "write scaling/parallel measurements to this JSON file")
 	flag.Parse()
@@ -95,12 +98,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "running warm-start experiment (cold / persisted-cache / incremental)…")
 		warm = eval.RunWarmStart(*parSize, 8, *workers)
 	}
+	var fleet []eval.ScalingPoint
+	if *exp == "fleet" || *exp == "all" {
+		fmt.Fprintln(os.Stderr, "running fleet experiment (cross-program body classes via the persisted cache)…")
+		fleet = eval.RunFleet(*fleetN, *fleetShared, *parSize, 20160613, *workers)
+	}
 
 	if *timings != "" {
 		// Non-nil so an experiment without timing points writes "[]",
 		// not JSON null.
 		points := []eval.ScalingPoint{}
-		points = append(append(append(points, scaling...), sweep...), warm...)
+		points = append(append(append(append(points, scaling...), sweep...), warm...), fleet...)
 		blob, err := json.MarshalIndent(points, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*timings, append(blob, '\n'), 0o644)
@@ -132,10 +140,12 @@ func main() {
 			fmt.Println(eval.FigureParallel(sweep))
 		case "warm":
 			fmt.Println(eval.FigureWarmStart(warm))
+		case "fleet":
+			fmt.Println(eval.FigureFleet(fleet))
 		}
 	}
 	if *exp == "all" {
-		for _, e := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "const", "par", "warm"} {
+		for _, e := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "const", "par", "warm", "fleet"} {
 			show(e)
 			fmt.Println()
 		}

@@ -5,16 +5,22 @@
 // Usage:
 //
 //	retypd [-schemes] [-sketches] [-j N] [-nocache] [-nobodydedup]
-//	       [-cachestats] [-cachefile path] [-incremental]
-//	       [-timeout d] [-maxinsts N] [-maxprocs N] file.sasm...
+//	       [-cachestats] [-cachefile path] [-sessionfile path]
+//	       [-incremental] [-timeout d] [-maxinsts N] [-maxprocs N]
+//	       file.sasm...
 //
 // All files are analyzed by one long-lived engine, so duplicate
 // procedures across files are solved once. -cachefile loads a
 // persisted cache stack before the first file (if the file exists) and
-// saves it after the last, warming future invocations. -incremental
-// re-analyzes the second and later files against the previous one's
-// session — only changed procedures and their callers recompute —
-// and reports the replayed/recomputed split on stderr.
+// saves it after the last, warming future invocations — including
+// whole-procedure body classes served across differently-named
+// programs. -sessionfile does the same for the engine session: when
+// the file exists, the first input is re-analyzed incrementally
+// against it with zero warm-up (an unchanged program replays
+// entirely), and the session after the last input is saved back.
+// -incremental re-analyzes the second and later files against the
+// previous file's session — only changed procedures and their callers
+// recompute — and reports the replayed/recomputed split on stderr.
 //
 // -timeout bounds the whole invocation; SIGINT cancels the analysis
 // cooperatively (the engine drains its workers and exits cleanly).
@@ -62,6 +68,7 @@ func run() int {
 	nobodydedup := flag.Bool("nobodydedup", false, "disable only whole-procedure body deduplication ahead of constraint generation")
 	cachestats := flag.Bool("cachestats", false, "print memo-layer hit/miss counts to stderr")
 	cachefile := flag.String("cachefile", "", "load the cache stack from this file before analyzing (if it exists) and save it back after")
+	sessionfile := flag.String("sessionfile", "", "load the engine session from this file before analyzing (if it exists) and save it back after; the first input then re-analyzes incrementally with zero warm-up")
 	incremental := flag.Bool("incremental", false, "re-analyze the 2nd+ input files incrementally against the previous file's session")
 	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	maxInsts := flag.Int("maxinsts", 0, "reject programs with more than N instructions (0 = no limit)")
@@ -79,6 +86,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "retypd: -nocache and -incremental are mutually exclusive (incremental replay rides the engine session)")
 		return exitUsage
 	}
+	if *nocache && *sessionfile != "" {
+		fmt.Fprintln(os.Stderr, "retypd: -nocache and -sessionfile are mutually exclusive")
+		return exitUsage
+	}
 
 	// SIGINT cancels the context; the pipeline drains at the next task
 	// boundary and we exit with a distinct code instead of dying mid-run.
@@ -90,22 +101,6 @@ func run() int {
 		defer cancel()
 	}
 
-	eng := retypd.NewEngine(nil)
-	if *cachefile != "" {
-		if _, err := os.Stat(*cachefile); err == nil {
-			loaded, err := retypd.LoadCache(*cachefile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "retypd: load cache:", err)
-				return exitAnalysis
-			}
-			eng = loaded
-			if *cachestats {
-				sn, shn := eng.CacheLen()
-				fmt.Fprintf(os.Stderr, "loaded %s: %d scheme entries, %d shape entries\n", *cachefile, sn, shn)
-			}
-		}
-	}
-
 	cfg := &retypd.Config{
 		Monomorphic:     *mono,
 		Workers:         *workers,
@@ -114,6 +109,43 @@ func run() int {
 		NoBodyDedup:     *nobodydedup || *nocache,
 		MaxInstructions: *maxInsts,
 		MaxProcedures:   *maxProcs,
+	}
+
+	eng := retypd.NewEngine(nil)
+	sessionLoaded := false
+	if *sessionfile != "" {
+		if _, err := os.Stat(*sessionfile); err == nil {
+			loaded, err := retypd.LoadSession(*sessionfile, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "retypd: load session:", err)
+				return exitAnalysis
+			}
+			eng = loaded
+			sessionLoaded = true
+		}
+	}
+	if *cachefile != "" {
+		if _, err := os.Stat(*cachefile); err == nil {
+			if sessionLoaded {
+				// Compose: the session supplies the replay baseline, the
+				// cache warms whatever still recomputes.
+				if err := eng.LoadCacheFile(*cachefile); err != nil {
+					fmt.Fprintln(os.Stderr, "retypd: load cache:", err)
+					return exitAnalysis
+				}
+			} else {
+				loaded, err := retypd.LoadCache(*cachefile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "retypd: load cache:", err)
+					return exitAnalysis
+				}
+				eng = loaded
+			}
+			if *cachestats {
+				sn, shn := eng.CacheLen()
+				fmt.Fprintf(os.Stderr, "loaded %s: %d scheme entries, %d shape entries\n", *cachefile, sn, shn)
+			}
+		}
 	}
 
 	for argi, path := range flag.Args() {
@@ -134,11 +166,12 @@ func run() int {
 			}
 			return exitInput
 		}
+		incrementalRun := (*incremental && argi > 0) || (sessionLoaded && argi == 0)
 		var res *retypd.Result
 		switch {
 		case *nocache:
 			res, err = retypd.InferContext(ctx, prog, cfg)
-		case *incremental && argi > 0:
+		case incrementalRun:
 			res, err = eng.ReanalyzeContext(ctx, prog)
 		default:
 			res, err = eng.InferContext(ctx, prog, cfg)
@@ -146,15 +179,15 @@ func run() int {
 		if err != nil {
 			return reportAnalysisErr(path, err)
 		}
-		if *cachestats || (*incremental && argi > 0) {
+		if *cachestats || incrementalRun {
 			st := res.CacheStats()
-			if *incremental && argi > 0 {
+			if incrementalRun {
 				fmt.Fprintf(os.Stderr, "%s: incremental — %d procs replayed, %d recomputed\n",
 					path, st.ReplayedProcs, st.RecomputedProcs)
 			}
 			if *cachestats {
-				fmt.Fprintf(os.Stderr, "%s: body dedup: %d hits / %d misses; scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses\n",
-					path, st.BodyDedupHits, st.BodyDedupMisses, st.SchemeHits, st.SchemeMisses, st.ShapeHits, st.ShapeMisses)
+				fmt.Fprintf(os.Stderr, "%s: body dedup: %d hits / %d misses (%d cross-program); scheme cache: %d hits / %d misses; shape cache: %d hits / %d misses\n",
+					path, st.BodyDedupHits, st.BodyDedupMisses, st.BodyDedupCrossHits, st.SchemeHits, st.SchemeMisses, st.ShapeHits, st.ShapeMisses)
 			}
 		}
 		if flag.NArg() > 1 {
@@ -185,6 +218,12 @@ func run() int {
 		if *cachestats {
 			sn, shn := eng.CacheLen()
 			fmt.Fprintf(os.Stderr, "saved %s: %d scheme entries, %d shape entries\n", *cachefile, sn, shn)
+		}
+	}
+	if *sessionfile != "" {
+		if err := eng.SaveSession(*sessionfile); err != nil {
+			fmt.Fprintln(os.Stderr, "retypd: save session:", err)
+			return exitAnalysis
 		}
 	}
 	return exitOK

@@ -2,6 +2,7 @@ package retypd
 
 import (
 	"context"
+	"os"
 	"sync"
 
 	"retypd/internal/ctype"
@@ -21,8 +22,11 @@ import (
 //	res2 := eng.Reanalyze(prog2)         // warm: only changed SCCs and
 //	                                     // their callers recompute
 //	eng.SaveCache("retypd.cache")        // persist the memo stack
+//	eng.SaveSession("retypd.session")    // persist the replay baseline
 //	...
 //	eng2, _ := retypd.LoadCache("retypd.cache") // fresh process, warm caches
+//	eng3, _ := retypd.LoadSession("retypd.session", nil)
+//	res3 := eng3.Reanalyze(prog3)        // zero warm-up: replays directly
 //
 // Inference output is byte-identical however it is reached: through a
 // cold Infer, a warm Engine, a Reanalyze, or a cache loaded from disk —
@@ -137,10 +141,54 @@ func (e *Engine) ReanalyzeContext(ctx context.Context, prog *Program) (*Result, 
 	return &Result{inner: res, conv: ctype.NewConverter(lat)}, nil
 }
 
-// SaveCache persists the engine's scheme and shape memos to path as a
-// versioned, checksummed, process-portable file; see LoadCache. The
-// session state backing Reanalyze is in-memory only and not saved.
+// SaveCache persists the engine's memo stack — the scheme and shape
+// memos plus the persistent body-class table — to path as a versioned,
+// checksummed, process-portable file; see LoadCache. The session state
+// backing Reanalyze is saved separately by SaveSession.
 func (e *Engine) SaveCache(path string) error { return e.eng.SaveCache(path) }
+
+// SaveSession persists the engine's session — the per-procedure
+// snapshots Reanalyze diffs against — to path as a versioned,
+// checksummed file; see LoadSession. ErrNoSession reports an engine
+// with nothing to save (no completed run, or session recording
+// disabled).
+func (e *Engine) SaveSession(path string) error { return e.eng.SaveSession(path) }
+
+// ErrNoSession reports a SaveSession call on an engine that has not
+// recorded a run.
+var ErrNoSession = solver.ErrNoSession
+
+// LoadSession reads a session file written by Engine.SaveSession into a
+// fresh engine, under cfg (nil selects the defaults; it must name the
+// same lattice and summaries the saved run used — a mismatch is not an
+// error here, but the first Reanalyze will fall back to a full Infer).
+// A process that loads the predecessor's session (and, optionally, its
+// cache file via Engine.LoadCacheData-carrying workflows) goes straight
+// to Reanalyze with zero warm-up: an unchanged program replays entirely,
+// and an edited one recomputes only the edit's ancestor cone — in both
+// cases byte-identical to a from-scratch run.
+func LoadSession(path string, cfg *Config) (*Engine, error) {
+	cfg, _, _ = resolveConfig(cfg) // builds the lattice sketch blobs name
+	eng, _, err := solver.LoadSession(path, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, lastCfg: cfg}, nil
+}
+
+// LoadCacheFile merges a cache file written by Engine.SaveCache into
+// this engine's live caches (the function-form LoadCache builds a fresh
+// engine instead). Composes with LoadSession: load the session to get
+// the replay baseline, then merge the cache so recomputed procedures
+// still hit the memo stack.
+func (e *Engine) LoadCacheFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = e.eng.LoadCacheData(data)
+	return err
+}
 
 // CacheLen reports the current entry counts of the two shared memo
 // layers (observability for CLIs and tests).

@@ -18,21 +18,21 @@ func TestRenamerForms(t *testing.T) {
 	cases := []struct {
 		in, want string
 	}{
-		{"rep", "mem"},                          // the procedure variable
-		{"rep!eax@3", "mem!eax@3"},              // defVar (register)
-		{"rep!s-8@12", "mem!s-8@12"},            // defVar (slot)
-		{"rep!frm!stack0", "mem!frm!stack0"},    // formal entry
-		{"rep!rgn8", "mem!rgn8"},                // region
-		{"rep!u4!stbase", "mem!u4!stbase"},      // merge intermediate
-		{"rep!zero", "mem!zero"},                // zero pseudo-variable
-		{"leaf_a@rep!5", "leaf_b@mem!5"},        // tagged callee root, renamed target
-		{"τ3@rep!5", "τ3@mem!5"},                // tagged callee existential
-		{"ext@rep!9", "ext@mem!9"},              // tagged external root
-		{"leaf_a", "leaf_b"},                    // bare callee (monomorphic linking)
-		{"int", "int"},                          // lattice constant
-		{"other_proc", "other_proc"},            // foreign non-procedure name
-		{"repx", "repx"},                        // name sharing a prefix with rep
-		{"τ4", "τ4"},                            // bare existential
+		{"rep", "mem"},                       // the procedure variable
+		{"rep!eax@3", "mem!eax@3"},           // defVar (register)
+		{"rep!s-8@12", "mem!s-8@12"},         // defVar (slot)
+		{"rep!frm!stack0", "mem!frm!stack0"}, // formal entry
+		{"rep!rgn8", "mem!rgn8"},             // region
+		{"rep!u4!stbase", "mem!u4!stbase"},   // merge intermediate
+		{"rep!zero", "mem!zero"},             // zero pseudo-variable
+		{"leaf_a@rep!5", "leaf_b@mem!5"},     // tagged callee root, renamed target
+		{"τ3@rep!5", "τ3@mem!5"},             // tagged callee existential
+		{"ext@rep!9", "ext@mem!9"},           // tagged external root
+		{"leaf_a", "leaf_b"},                 // bare callee (monomorphic linking)
+		{"int", "int"},                       // lattice constant
+		{"other_proc", "other_proc"},         // foreign non-procedure name
+		{"repx", "repx"},                     // name sharing a prefix with rep
+		{"τ4", "τ4"},                         // bare existential
 	}
 	for _, tc := range cases {
 		got, ok := ren.Rename(constraints.Var(tc.in))
@@ -46,11 +46,11 @@ func TestRenamerForms(t *testing.T) {
 	// a variable leaked through a callee's simplified scheme, whose
 	// member-side name the callsite correspondence cannot supply.
 	for _, bad := range []string{
-		"x@other!3",         // tag of a different procedure
-		"x@rep!notanumber",  // malformed tag index
-		"other_leaf@rep!5",  // leaked program proc instantiated at a foreign callsite
-		"leaf_a@rep!7",      // the right callee but at a site that does not call it
-		"other_leaf",        // bare leaked program proc the body never calls
+		"x@other!3",        // tag of a different procedure
+		"x@rep!notanumber", // malformed tag index
+		"other_leaf@rep!5", // leaked program proc instantiated at a foreign callsite
+		"leaf_a@rep!7",     // the right callee but at a site that does not call it
+		"other_leaf",       // bare leaked program proc the body never calls
 	} {
 		if _, ok := ren.Rename(constraints.Var(bad)); ok {
 			t.Errorf("Rename(%q) succeeded; want failure", bad)

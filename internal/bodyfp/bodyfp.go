@@ -29,15 +29,31 @@
 //
 // It distinguishes everything the constraint generator's output depends
 // on besides names: opcodes, operand shapes, immediates and stack
-// displacements, the formal-in interface and HasOut, the positions of
-// calls, and the identity bound to every call target (supplied by the
-// caller as a CalleeID — typically the callee's own equivalence class,
-// so that wrappers around interchangeable callees still dedup, while
-// calls to genuinely different code never do). Call-target identities
-// are encoded together with the first-occurrence index of the target
+// displacements, the register-parameter interface (the entry-liveness
+// mask, pinned under canonicalization), the positions of calls, and the
+// identity bound to every call target (supplied by the caller as a
+// CalleeID — typically the callee's own equivalence class, so that
+// wrappers around interchangeable callees still dedup, while calls to
+// genuinely different code never do). Call-target identities are
+// encoded together with the first-occurrence index of the target
 // *name*, because under monomorphic linking two calls to one callee
 // share a single interface variable — a repetition pattern a member
 // with two distinct (if class-equal) callees would not reproduce.
+//
+// The fingerprint is computed from the raw instruction stream alone —
+// no cfg.ProcInfo — so classification can run *before* any
+// per-procedure analysis and duplicate bodies can be served their CFG
+// analyses (cfg.ProcInfo.CloneForProgram) like they are served schemes.
+// The analysis outputs the encoding no longer carries explicitly are
+// derivable from it: stack-slot formals are a deterministic function of
+// the instruction stream under the pinned esp/ebp (the affine stack
+// analysis and positive-offset reads), and HasOut is the
+// intraprocedural eax-reaches-ret fact (structural, eax pinned) closed
+// over tail-callee identities — which ARE encoded, so equal encodings
+// yield equal HasOut inductively, provided every CalleeNamed target
+// resolves the same way (program procedure vs external) on both sides;
+// consumers that move fingerprints across programs must check that
+// (solver's body-class cache does).
 package bodyfp
 
 import (
@@ -51,11 +67,11 @@ import (
 )
 
 // Config carries the generation options and lattice identity mixed into
-// every fingerprint. The solver's body-dedup table lives within one
-// Infer call, where these are constant; they are encoded anyway so the
-// fingerprint stays self-contained if the table's lifetime ever grows
-// (the documented invariant: every absint-affecting option must reach
-// the body key).
+// every fingerprint. The solver's body-class table is engine-scoped and
+// persistent (PR 10), so these are no longer constant over a table's
+// lifetime: encoding them is what keeps entries from different
+// configurations apart (the documented invariant: every
+// output-affecting option must reach the body key).
 //
 //retypd:cachekey Compute
 type Config struct {
@@ -69,6 +85,12 @@ type Config struct {
 	// for constant detection. Encoded as bytes, so fingerprints are
 	// identical across processes.
 	LatticeSig string
+	// CtxSig folds in the run context beyond constraint generation that
+	// the solver's persistent body-class cache must distinguish — the
+	// summaries-table digest and the solve options (MaxSketchDepth,
+	// NoSpecialize) that shape the cached sketches. Empty for uses that
+	// check those separately (the engine's session fingerprints).
+	CtxSig string
 }
 
 // CalleeKind discriminates CalleeID.
@@ -151,8 +173,11 @@ func (fp *FP) Calls() []Call { return fp.calls }
 // encVersion versions the canonical encoding's layout. DecodeFP refuses
 // blobs of other versions; bump it whenever the encoded content changes
 // shape (the engine's persisted sessions and the property tests pin the
-// round trip).
-const encVersion = 2
+// round trip). v3: computed from the raw instruction stream — the
+// header carries the entry-liveness register mask and CtxSig instead of
+// the analyzed formal list and HasOut (both derivable; see the package
+// comment).
+const encVersion = 3
 
 // seed is the process-stable seed of the grouping hash. The hash is a
 // grouping accelerator only — it is recomputed from the (portable)
@@ -181,18 +206,29 @@ func classOf(r asm.Reg) int {
 
 const unassigned = asm.Reg(0xfe)
 
-// Compute fingerprints pi's body. calleeID supplies the identity of
-// every call target; returning ok == false marks the target (and hence
-// this body) ineligible, and Compute returns nil. The caller is
-// responsible for excluding procedures that are ineligible for reasons
-// outside the body (multi-member SCCs, self-calls, reserved characters
-// in the procedure's own name, trace-restricted generation).
-func Compute(pi *cfg.ProcInfo, conf Config, calleeID func(target string) (CalleeID, bool)) *FP {
+// Compute fingerprints proc's body from its raw instruction stream.
+// calleeID supplies the identity of every call target; returning
+// ok == false marks the target (and hence this body) ineligible, and
+// Compute returns nil. The caller is responsible for excluding
+// procedures that are ineligible for reasons outside the body
+// (multi-member SCCs, self-calls, reserved characters in the
+// procedure's own name, trace-restricted generation).
+func Compute(proc *asm.Proc, conf Config, calleeID func(target string) (CalleeID, bool)) *FP {
+	return ComputeWithLiveMask(proc, conf, calleeID, cfg.EntryLiveRegs(proc))
+}
+
+// ComputeWithLiveMask is Compute for callers that already know the
+// entry-liveness mask (a cfg.ProcInfo's EntryLive, when the front end
+// has run) — it skips the block rebuild EntryLiveRegs would do. The
+// mask is an input to the encoding, not an identity field: passing the
+// value EntryLiveRegs(proc) would return yields the identical
+// fingerprint.
+func ComputeWithLiveMask(proc *asm.Proc, conf Config, calleeID func(target string) (CalleeID, bool), liveMask uint8) *FP {
 	fp := &FP{}
-	insts := pi.Proc.Insts
+	insts := proc.Insts
 	enc := make([]byte, 0, 16+12*len(insts))
 
-	// Header: options, lattice, interface.
+	// Header: options, lattice, run context, interface.
 	var optBits byte
 	if conf.MonomorphicCalls {
 		optBits |= 1
@@ -206,12 +242,17 @@ func Compute(pi *cfg.ProcInfo, conf Config, calleeID func(target string) (Callee
 	enc = append(enc, encVersion, optBits)
 	enc = binary.AppendUvarint(enc, uint64(len(conf.LatticeSig)))
 	enc = append(enc, conf.LatticeSig...)
-	if pi.HasOut {
-		enc = append(enc, 1)
-	} else {
-		enc = append(enc, 0)
-	}
-	enc = binary.AppendUvarint(enc, uint64(len(pi.FormalIns)))
+	enc = binary.AppendUvarint(enc, uint64(len(conf.CtxSig)))
+	enc = append(enc, conf.CtxSig...)
+
+	// The register-parameter interface: the entry-liveness mask. It must
+	// be explicit even though the registers it names are pinned below —
+	// without it, a body using ebx as a parameter and a body using ebx
+	// as its first {ebx,esi,edi}-class scratch register would canonize
+	// to the same operand stream while having different type interfaces.
+	// (Stack-slot formals and HasOut, by contrast, are derivable from
+	// the encoded stream; see the package comment.)
+	enc = append(enc, liveMask)
 
 	// Canonical register assignment. Formal-in registers are pinned
 	// before any instruction is scanned: their names are part of the
@@ -230,15 +271,9 @@ func Compute(pi *cfg.ProcInfo, conf Config, calleeID func(target string) (Callee
 	pin(asm.EAX)
 	pin(asm.EBP)
 	pin(asm.ESP)
-	for _, l := range pi.FormalIns {
-		if !l.IsSlot {
-			pin(l.Reg)
-		}
-		if l.IsSlot {
-			enc = append(enc, 1)
-			enc = binary.AppendVarint(enc, int64(l.Slot))
-		} else {
-			enc = append(enc, 0, byte(l.Reg))
+	for r := asm.Reg(0); r < 6; r++ {
+		if liveMask&cfg.RegBit(r) != 0 {
+			pin(r)
 		}
 	}
 	// Free slots per class, in fixed class order, pinned members
@@ -273,8 +308,8 @@ func Compute(pi *cfg.ProcInfo, conf Config, calleeID func(target string) (Callee
 
 	// Label positions: block boundaries affect the flow-sensitive
 	// analyses even when a label is never jumped to.
-	labelPos := make([]int, 0, len(pi.Proc.Labels))
-	for _, idx := range pi.Proc.Labels {
+	labelPos := make([]int, 0, len(proc.Labels))
+	for _, idx := range proc.Labels {
 		labelPos = append(labelPos, idx)
 	}
 	sort.Ints(labelPos)
@@ -329,9 +364,9 @@ func Compute(pi *cfg.ProcInfo, conf Config, calleeID func(target string) (Callee
 		case asm.JCC:
 			// Cond is display-only; the target label resolves to an
 			// instruction index.
-			enc = binary.AppendUvarint(enc, uint64(pi.Proc.Labels[in.Target]))
+			enc = binary.AppendUvarint(enc, uint64(proc.Labels[in.Target]))
 		case asm.JMP:
-			if tgt, ok := pi.Proc.Labels[in.Target]; ok {
+			if tgt, ok := proc.Labels[in.Target]; ok {
 				enc = append(enc, 0)
 				enc = binary.AppendUvarint(enc, uint64(tgt))
 			} else {

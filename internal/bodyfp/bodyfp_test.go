@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"retypd/internal/asm"
-	"retypd/internal/cfg"
 )
 
 // fpOf analyzes the named procedure of src and fingerprints it, with
@@ -18,12 +17,11 @@ func fpOf(t *testing.T, src, proc string, conf Config) *FP {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	infos := cfg.AnalyzeProgram(prog)
-	pi, ok := infos[proc]
+	p, ok := prog.ProcIndex[proc]
 	if !ok {
 		t.Fatalf("no procedure %q", proc)
 	}
-	fp := Compute(pi, conf, func(target string) (CalleeID, bool) {
+	fp := Compute(p, conf, func(target string) (CalleeID, bool) {
 		return CalleeID{Kind: CalleeNamed, ID: uint64(len(target)*1000 + int(target[0]))}, true
 	})
 	if fp == nil {
@@ -153,9 +151,8 @@ proc callee
 endproc
 `
 	prog := asm.MustParse(src)
-	infos := cfg.AnalyzeProgram(prog)
 	with := func(id CalleeID) *FP {
-		fp := Compute(infos["f"], Config{}, func(string) (CalleeID, bool) { return id, true })
+		fp := Compute(prog.ProcIndex["f"], Config{}, func(string) (CalleeID, bool) { return id, true })
 		if fp == nil {
 			t.Fatal("Compute returned nil")
 		}
@@ -179,7 +176,7 @@ endproc
 	}
 
 	// Ineligible callee poisons the body.
-	if fp := Compute(infos["f"], Config{}, func(string) (CalleeID, bool) { return CalleeID{}, false }); fp != nil {
+	if fp := Compute(prog.ProcIndex["f"], Config{}, func(string) (CalleeID, bool) { return CalleeID{}, false }); fp != nil {
 		t.Error("Compute must return nil when a callee identity is unavailable")
 	}
 }
@@ -203,8 +200,8 @@ endproc
 `
 	split := strings.Replace(twice, "call a\n    call a", "call a\n    call b", 1)
 	sameClass := func(string) (CalleeID, bool) { return CalleeID{Kind: CalleeClass, ID: 7}, true }
-	fpTwice := Compute(cfg.AnalyzeProgram(asm.MustParse(twice))["f"], Config{}, sameClass)
-	fpSplit := Compute(cfg.AnalyzeProgram(asm.MustParse(split))["f"], Config{}, sameClass)
+	fpTwice := Compute(asm.MustParse(twice).ProcIndex["f"], Config{}, sameClass)
+	fpSplit := Compute(asm.MustParse(split).ProcIndex["f"], Config{}, sameClass)
 	if fpTwice == nil || fpSplit == nil {
 		t.Fatal("Compute returned nil")
 	}

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"retypd/internal/asm"
-	"retypd/internal/cfg"
 )
 
 // TestFPWireRoundTrip: AppendWire→DecodeFPWire→AppendWire is
@@ -23,12 +22,11 @@ proc w
     ret
 endproc
 `)
-	pi := cfg.Analyze(prog, prog.Procs[0])
 	conf := Config{LatticeSig: "test-sig"}
 	named := func(target string) (CalleeID, bool) {
 		return CalleeID{Kind: CalleeNamed, Name: target}, true
 	}
-	fp := Compute(pi, conf, named)
+	fp := Compute(prog.Procs[0], conf, named)
 	if fp == nil {
 		t.Fatal("Compute returned nil")
 	}
@@ -64,8 +62,7 @@ endproc
 // from a different encoder version is refused.
 func TestFPWireRejectsOtherVersion(t *testing.T) {
 	prog := asm.MustParse("proc f\n    ret\nendproc\n")
-	pi := cfg.Analyze(prog, prog.Procs[0])
-	fp := Compute(pi, Config{LatticeSig: "s"}, func(string) (CalleeID, bool) {
+	fp := Compute(prog.Procs[0], Config{LatticeSig: "s"}, func(string) (CalleeID, bool) {
 		return CalleeID{Kind: CalleeNamed, Name: "x"}, true
 	})
 	enc := fp.AppendWire(nil)

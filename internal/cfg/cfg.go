@@ -85,6 +85,11 @@ type ProcInfo struct {
 	// FormalIns lists the formal-in locations in canonical order
 	// (stack slots ascending, then registers).
 	FormalIns []Loc
+	// EntryLive is the register mask live at entry (RegBit bits), the
+	// same value EntryLiveRegs computes from the raw stream. Captured
+	// by findFormals so callers that already hold a ProcInfo can feed
+	// bodyfp.ComputeWithLiveMask without rebuilding blocks.
+	EntryLive uint8
 	// HasOut reports whether the procedure produces a value in eax
 	// (possibly via tail call; completed by AnalyzeProgram's fixpoint).
 	HasOut bool
@@ -143,11 +148,18 @@ func Analyze(prog *asm.Program, proc *asm.Proc) *ProcInfo {
 // buildBlocks splits the instruction list into basic blocks and wires
 // successor edges.
 func (pi *ProcInfo) buildBlocks() {
-	insts := pi.Proc.Insts
+	pi.Blocks, pi.BlockOf, pi.TailCalls = buildBlocksFor(pi.Proc)
+}
+
+// buildBlocksFor is the block construction shared by the full Analyze
+// and the lightweight EntryLiveRegs: basic blocks with successor edges,
+// the instruction→block index, and the tail-call sites.
+func buildBlocksFor(proc *asm.Proc) (blocks []Block, blockOf []int, tailCalls []int) {
+	insts := proc.Insts
 	n := len(insts)
 	leader := make([]bool, n+1)
 	leader[0] = true
-	for _, idx := range pi.Proc.Labels {
+	for _, idx := range proc.Labels {
 		if idx <= n {
 			leader[idx] = true
 		}
@@ -160,43 +172,44 @@ func (pi *ProcInfo) buildBlocks() {
 			}
 		}
 	}
-	pi.BlockOf = make([]int, n)
+	blockOf = make([]int, n)
 	for i := 0; i < n; {
 		j := i + 1
 		for j < n && !leader[j] {
 			j++
 		}
-		b := len(pi.Blocks)
-		pi.Blocks = append(pi.Blocks, Block{Start: i, End: j})
+		b := len(blocks)
+		blocks = append(blocks, Block{Start: i, End: j})
 		for k := i; k < j; k++ {
-			pi.BlockOf[k] = b
+			blockOf[k] = b
 		}
 		i = j
 	}
-	for b := range pi.Blocks {
-		blk := &pi.Blocks[b]
+	for b := range blocks {
+		blk := &blocks[b]
 		last := insts[blk.End-1]
 		addSucc := func(idx int) {
 			if idx < n {
-				blk.Succs = append(blk.Succs, pi.BlockOf[idx])
+				blk.Succs = append(blk.Succs, blockOf[idx])
 			}
 		}
 		switch last.Op {
 		case asm.RET:
 		case asm.JMP:
-			if tgt, ok := pi.Proc.Labels[last.Target]; ok {
+			if tgt, ok := proc.Labels[last.Target]; ok {
 				addSucc(tgt)
 			} else {
 				// Tail call to another procedure: terminator.
-				pi.TailCalls = append(pi.TailCalls, blk.End-1)
+				tailCalls = append(tailCalls, blk.End-1)
 			}
 		case asm.JCC:
-			addSucc(pi.Proc.Labels[last.Target])
+			addSucc(proc.Labels[last.Target])
 			addSucc(blk.End)
 		default:
 			addSucc(blk.End)
 		}
 	}
+	return blocks, blockOf, tailCalls
 }
 
 // stackAnalysis computes the affine esp/ebp values before each
@@ -363,40 +376,38 @@ func instRegDefs(out []asm.Reg, in asm.Inst) []asm.Reg {
 	return out
 }
 
-// findFormals detects the formal-in locations: stack slots at positive
-// offsets read with the entry value live, and registers live-in at
-// entry (§2.5 — this conservatively reports the "push ecx" idiom as a
-// register parameter, which is exactly the over-unification stressor
-// the paper discusses).
-func (pi *ProcInfo) findFormals() {
-	insts := pi.Proc.Insts
-
-	// Register liveness, backward to a fixpoint.
-	liveIn := make([]uint8, len(pi.Blocks))  // bitmask of first 6 regs
-	liveOut := make([]uint8, len(pi.Blocks)) // bitmask
-	bit := func(r asm.Reg) uint8 {
-		if r >= 6 {
-			return 0
-		}
-		return 1 << r
+// RegBit returns the liveness-bitmask bit of r (zero for registers
+// outside the first six — esp and ebp never participate).
+func RegBit(r asm.Reg) uint8 {
+	if r >= 6 {
+		return 0
 	}
+	return 1 << r
+}
+
+// entryLiveRegs runs the backward register-liveness fixpoint over the
+// blocks and returns the live-in mask at block 0 (the entry): exactly
+// the register-parameter set of §2.5.
+func entryLiveRegs(insts []asm.Inst, blocks []Block) uint8 {
+	liveIn := make([]uint8, len(blocks))  // bitmask of first 6 regs
+	liveOut := make([]uint8, len(blocks)) // bitmask
 	changed := true
 	for changed {
 		changed = false
-		for b := len(pi.Blocks) - 1; b >= 0; b-- {
+		for b := len(blocks) - 1; b >= 0; b-- {
 			var out uint8
-			for _, s := range pi.Blocks[b].Succs {
+			for _, s := range blocks[b].Succs {
 				out |= liveIn[s]
 			}
 			// Tail calls keep nothing live (stack args only in corpus).
 			live := out
 			var rbuf [4]asm.Reg
-			for i := pi.Blocks[b].End - 1; i >= pi.Blocks[b].Start; i-- {
+			for i := blocks[b].End - 1; i >= blocks[b].Start; i-- {
 				for _, r := range instRegDefs(rbuf[:0], insts[i]) {
-					live &^= bit(r)
+					live &^= RegBit(r)
 				}
 				for _, r := range instUses(rbuf[:0], insts[i]) {
-					live |= bit(r)
+					live |= RegBit(r)
 				}
 			}
 			if live != liveIn[b] || out != liveOut[b] {
@@ -406,6 +417,35 @@ func (pi *ProcInfo) findFormals() {
 			}
 		}
 	}
+	if len(liveIn) == 0 {
+		return 0
+	}
+	return liveIn[0]
+}
+
+// EntryLiveRegs computes the set of registers live at procedure entry
+// (the register-parameter mask, RegBit bits) from the raw instruction
+// stream — no ProcInfo required. It is the interface piece of the body
+// fingerprint (internal/bodyfp): formal-in registers are part of a
+// procedure's type interface and must be pinned under the fingerprint's
+// scratch-register canonicalization, and the fingerprint is computed
+// before any per-procedure analysis has run.
+func EntryLiveRegs(proc *asm.Proc) uint8 {
+	blocks, _, _ := buildBlocksFor(proc)
+	return entryLiveRegs(proc.Insts, blocks)
+}
+
+// findFormals detects the formal-in locations: stack slots at positive
+// offsets read with the entry value live, and registers live-in at
+// entry (§2.5 — this conservatively reports the "push ecx" idiom as a
+// register parameter, which is exactly the over-unification stressor
+// the paper discusses).
+func (pi *ProcInfo) findFormals() {
+	insts := pi.Proc.Insts
+
+	// Register liveness, backward to a fixpoint.
+	entryLive := entryLiveRegs(insts, pi.Blocks)
+	pi.EntryLive = entryLive
 
 	// Stack parameter slots: positive-offset slot reads.
 	paramSlots := map[int32]bool{}
@@ -448,7 +488,7 @@ func (pi *ProcInfo) findFormals() {
 		pi.FormalIns = append(pi.FormalIns, SlotLoc(off))
 	}
 	for r := asm.EAX; r < 6; r++ {
-		if liveIn[0]&bit(r) != 0 {
+		if entryLive&RegBit(r) != 0 {
 			pi.FormalIns = append(pi.FormalIns, RegLoc(r))
 		}
 	}
@@ -672,9 +712,18 @@ func BuildCallGraph(prog *asm.Program) *CallGraph {
 		Callees:   map[string][]string{},
 		Externals: map[string][]string{},
 	}
+	// Distinct-callee lists are short, so dedup by linear scan — two
+	// per-procedure maps here dominated the whole build's allocations.
+	contains := func(list []string, s string) bool {
+		for _, v := range list {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
 	for _, p := range prog.Procs {
-		seen := map[string]bool{}
-		seenExt := map[string]bool{}
+		var callees, exts []string
 		for _, in := range p.Insts {
 			var tgt string
 			switch in.Op {
@@ -689,14 +738,18 @@ func BuildCallGraph(prog *asm.Program) *CallGraph {
 				continue
 			}
 			if _, ok := prog.ProcIndex[tgt]; ok {
-				if !seen[tgt] {
-					seen[tgt] = true
-					cg.Callees[p.Name] = append(cg.Callees[p.Name], tgt)
+				if !contains(callees, tgt) {
+					callees = append(callees, tgt)
 				}
-			} else if !seenExt[tgt] {
-				seenExt[tgt] = true
-				cg.Externals[p.Name] = append(cg.Externals[p.Name], tgt)
+			} else if !contains(exts, tgt) {
+				exts = append(exts, tgt)
 			}
+		}
+		if len(callees) > 0 {
+			cg.Callees[p.Name] = callees
+		}
+		if len(exts) > 0 {
+			cg.Externals[p.Name] = exts
 		}
 	}
 
@@ -791,14 +844,22 @@ func FinishHasOut(infos map[string]*ProcInfo) {
 }
 
 // CloneForProgram returns a shallow copy of pi rebased onto prog and
-// proc, which must have an instruction stream and label set identical
-// to pi's (the caller verifies with asm.Proc.EqualBody). Every
-// per-procedure analysis result is shared read-only with the receiver;
-// HasOut is reset to its intraprocedural value so a following
-// FinishHasOut can re-run the tail-call fixpoint against the new
-// program without mutating pi. This is what lets incremental
-// re-analysis skip re-running the per-procedure analyses for unchanged
-// procedures.
+// proc, whose body must be identical to pi's up to label names,
+// conditional-jump mnemonics, and call-target names — the renamings
+// every analysis here is invariant under: label positions (not names)
+// define blocks, Cond is display-only, and call targets affect only the
+// interprocedural HasOut, which the following FinishHasOut recomputes
+// against the new program. Callers verify with asm.Proc.EqualBody, or
+// with a body-fingerprint match under the identity register assignment
+// (bodyfp.FP.EquivalentTo plus SameRegisters — scratch-register
+// renamings are NOT admissible: reaching definitions and the entry
+// formals are keyed by actual register names). Every per-procedure
+// analysis result is shared read-only with the receiver; HasOut is
+// reset to its intraprocedural value so a following FinishHasOut can
+// re-run the tail-call fixpoint against the new program without
+// mutating pi. This is what lets incremental re-analysis — and the
+// solver's body-class layer, for in-program duplicates — skip
+// re-running the per-procedure analyses.
 func (pi *ProcInfo) CloneForProgram(prog *asm.Program, proc *asm.Proc) *ProcInfo {
 	ci := *pi
 	ci.Prog = prog

@@ -228,11 +228,56 @@ func ParseConstraint(s string) (Constraint, error) {
 
 // Set is a deduplicated constraint set over some collection of type
 // variables (Definition 3.3). The zero value is ready to use.
-// Deduplication keys the comparable Constraint value directly — no
-// rendering, no allocation per insert.
+// Deduplication keys a precomputed 64-bit hash of the comparable
+// Constraint value — mixing the kind tag and the five interned operand
+// handles — with a full-key equality check on hash equality, so the
+// runtime never hashes the 24-byte struct itself (the aeshash over
+// large map keys that used to dominate insert-heavy profiles). Same
+// collision discipline as internal/lru: the hash only groups, equality
+// decides.
 type Set struct {
 	list []Constraint
-	seen map[Constraint]struct{}
+	// seen maps a constraint's hash64 to its index in list; collide
+	// chains the (rare) later entries whose hashes coincide with an
+	// earlier one's. seen == nil means the index has not been
+	// materialized (SubstituteBases fast paths hand out lists that are
+	// already distinct); the first mutation rebuilds it.
+	seen    map[uint64]int32
+	collide map[uint64][]int32
+}
+
+// hash64 mixes the constraint into a 64-bit dedup key. Operands are
+// 4-byte interned handles, so two multiply-xor rounds over packed
+// halves plus a splitmix64-style finalizer give full avalanche without
+// touching memory.
+func (c Constraint) hash64() uint64 {
+	h := uint64(c.Kind) + 0x9e3779b97f4a7c15
+	h = (h ^ (uint64(c.L.ref)<<32 | uint64(c.R.ref))) * 0x100000001b3
+	h = (h ^ (uint64(c.X.ref)<<32 | uint64(c.Y.ref))) * 0x100000001b3
+	h = (h ^ uint64(c.Z.ref)) * 0x100000001b3
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// buildIndex materializes the membership index over list, which is
+// already deduplicated by invariant.
+func (s *Set) buildIndex() {
+	s.seen = make(map[uint64]int32, len(s.list)+1)
+	for i, old := range s.list {
+		h := old.hash64()
+		if _, ok := s.seen[h]; ok {
+			if s.collide == nil {
+				s.collide = map[uint64][]int32{}
+			}
+			s.collide[h] = append(s.collide[h], int32(i))
+		} else {
+			s.seen[h] = int32(i)
+		}
+	}
 }
 
 // NewSet returns an empty set.
@@ -272,15 +317,26 @@ func (s *Set) Insert(c Constraint) bool {
 		// Sets produced by the SubstituteBases fast paths carry a list
 		// of already-distinct constraints and no index; build it on the
 		// first mutation that needs one.
-		s.seen = make(map[Constraint]struct{}, len(s.list)+1)
-		for _, old := range s.list {
-			s.seen[old] = struct{}{}
+		s.buildIndex()
+	}
+	h := c.hash64()
+	if i, ok := s.seen[h]; ok {
+		if s.list[i] == c {
+			return false
 		}
+		for _, j := range s.collide[h] {
+			if s.list[j] == c {
+				return false
+			}
+		}
+		if s.collide == nil {
+			s.collide = map[uint64][]int32{}
+		}
+		s.collide[h] = append(s.collide[h], int32(len(s.list)))
+		s.list = append(s.list, c)
+		return true
 	}
-	if _, ok := s.seen[c]; ok {
-		return false
-	}
-	s.seen[c] = struct{}{}
+	s.seen[h] = int32(len(s.list))
 	s.list = append(s.list, c)
 	return true
 }
@@ -356,6 +412,8 @@ func (s *Set) Has(c Constraint) bool {
 		return false
 	}
 	if s.seen == nil {
+		// Unindexed sets (SubstituteBases fast-path output) may be read
+		// concurrently; scan rather than mutate.
 		for _, old := range s.list {
 			if old == c {
 				return true
@@ -363,8 +421,18 @@ func (s *Set) Has(c Constraint) bool {
 		}
 		return false
 	}
-	_, ok := s.seen[c]
-	return ok
+	h := c.hash64()
+	if i, ok := s.seen[h]; ok {
+		if s.list[i] == c {
+			return true
+		}
+		for _, j := range s.collide[h] {
+			if s.list[j] == c {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Vars returns the set of base variables mentioned, sorted.

@@ -33,7 +33,7 @@ func DecodeDTVWire(data []byte) (DTV, int, error) {
 	if n <= 0 || uint64(len(data)-n) < ln {
 		return DTV{}, 0, fmt.Errorf("constraints: truncated base variable in wire form")
 	}
-	base := intern.Intern(string(data[n : n+int(ln)]))
+	base := intern.InternBytes(data[n : n+int(ln)])
 	n += int(ln)
 	w, m, err := intern.DecodeWordWire(data[n:])
 	if err != nil {
@@ -65,13 +65,19 @@ func (s *Set) AppendWire(buf []byte) []byte {
 
 // DecodeSetWire re-interns one constraint set from the front of data,
 // returning the bytes consumed. The decoded set preserves the encoded
-// insertion order.
+// insertion order. Decoding appends without consulting the membership
+// index (producers only encode deduplicated sets, and the files the
+// blobs travel in are checksummed); the index materializes lazily on
+// the first mutation, exactly like the SubstituteBases fast paths.
 func DecodeSetWire(data []byte) (*Set, int, error) {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("constraints: truncated set length in wire form")
 	}
-	s := NewSet()
+	if count > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("constraints: set length %d exceeds wire form size", count)
+	}
+	s := &Set{list: make([]Constraint, 0, count)}
 	for i := uint64(0); i < count; i++ {
 		if n >= len(data) {
 			return nil, 0, fmt.Errorf("constraints: truncated constraint in wire form")
@@ -93,7 +99,7 @@ func DecodeSetWire(data []byte) (*Set, int, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			s.Insert(Sub(l, r))
+			s.list = append(s.list, Sub(l, r))
 		case KindAdd, KindSubtract:
 			x, err := dec()
 			if err != nil {
@@ -107,10 +113,67 @@ func DecodeSetWire(data []byte) (*Set, int, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			s.Insert(Constraint{Kind: kind, X: x, Y: y, Z: z})
+			s.list = append(s.list, Constraint{Kind: kind, X: x, Y: y, Z: z})
 		default:
 			return nil, 0, fmt.Errorf("constraints: unknown constraint kind %d in wire form", kind)
 		}
 	}
 	return s, n, nil
+}
+
+// AppendSchemeWire appends sc's canonical wire form to buf:
+// uvarint(len(root)) ++ root bytes ++ constraint-set wire ++
+// uvarint(count) existential names. Like the set encoding it is a pure
+// function of rendered content, and an encode→decode→encode round trip
+// is byte-identical.
+func AppendSchemeWire(buf []byte, sc *Scheme) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(sc.Root)))
+	buf = append(buf, sc.Root...)
+	buf = sc.Constraints.AppendWire(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(sc.Existential)))
+	for _, v := range sc.Existential {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// DecodeSchemeWire decodes one scheme from the front of data, returning
+// the bytes consumed.
+func DecodeSchemeWire(data []byte) (*Scheme, int, error) {
+	decStr := func(n int, what string) (string, int, error) {
+		ln, m := binary.Uvarint(data[n:])
+		if m <= 0 || uint64(len(data)-n-m) < ln {
+			return "", 0, fmt.Errorf("constraints: truncated %s in scheme wire form", what)
+		}
+		n += m
+		return string(data[n : n+int(ln)]), n + int(ln), nil
+	}
+	root, n, err := decStr(0, "root variable")
+	if err != nil {
+		return nil, 0, err
+	}
+	cs, m, err := DecodeSetWire(data[n:])
+	if err != nil {
+		return nil, 0, err
+	}
+	n += m
+	count, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("constraints: truncated existential count in scheme wire form")
+	}
+	n += m
+	if count > uint64(len(data)-n) {
+		return nil, 0, fmt.Errorf("constraints: existential count %d exceeds wire form size", count)
+	}
+	sc := &Scheme{Root: Var(root), Constraints: cs}
+	for i := uint64(0); i < count; i++ {
+		var v string
+		v, n, err = decStr(n, "existential variable")
+		if err != nil {
+			return nil, 0, err
+		}
+		sc.Existential = append(sc.Existential, Var(v))
+	}
+	return sc, n, nil
 }

@@ -143,6 +143,50 @@ func GenerateWithPrefix(name, prefix string, seed int64, targetInsts int) *Bench
 	}
 }
 
+// GenerateFleet produces n binaries modeling a fleet built from one
+// codebase: a fraction shared of each binary's instructions is a
+// common library generated from the same seed under a binary-local
+// name prefix — identical procedure bodies under a systematic rename,
+// which is exactly what the engine's persistent body-class layer
+// serves across programs — and the rest is binary-unique code from a
+// per-binary seed.
+func GenerateFleet(name string, seed int64, targetInsts, n int, shared float64) []*Benchmark {
+	if shared < 0 {
+		shared = 0
+	}
+	if shared > 1 {
+		shared = 1
+	}
+	out := make([]*Benchmark, n)
+	for i := 0; i < n; i++ {
+		memberName := fmt.Sprintf("%s-%02d", name, i)
+		sharedInsts := int(float64(targetInsts) * shared)
+		var src strings.Builder
+		var truths []metrics.VarTruth
+		insts := 0
+		if sharedInsts > 0 {
+			lib := GenerateWithPrefix(memberName, fmt.Sprintf("b%d_", i), seed, sharedInsts)
+			src.WriteString(lib.Source)
+			truths = append(truths, lib.Truths...)
+			insts += lib.Insts
+		}
+		if targetInsts > sharedInsts {
+			uniq := GenerateWithPrefix(memberName, fmt.Sprintf("u%d_", i), seed+101*int64(i+1), targetInsts-sharedInsts)
+			src.WriteString(uniq.Source)
+			truths = append(truths, uniq.Truths...)
+			insts += uniq.Insts
+		}
+		out[i] = &Benchmark{
+			Name:    memberName,
+			Cluster: name,
+			Source:  src.String(),
+			Truths:  truths,
+			Insts:   insts,
+		}
+	}
+	return out
+}
+
 // driver emits a void function calling a few generated zero-argument
 // functions.
 func (g *gen) driver() {

@@ -202,8 +202,13 @@ type ScalingPoint struct {
 	// sweep, "cold"/"warm" for the persistence experiment (infer with
 	// empty caches vs. infer after loading the saved cache stack in a
 	// fresh engine), "incremental" for Engine.Reanalyze after a
-	// 1-procedure mutation.
+	// 1-procedure mutation, "fleet-cold"/"fleet-warm" for the fleet
+	// experiment (RunFleet).
 	Kind string `json:",omitempty"`
+	// CrossHits counts procedures served from the persistent
+	// body-class table across program boundaries (fleet experiment
+	// only).
+	CrossHits uint64 `json:",omitempty"`
 }
 
 // RunScaling measures inference time and allocation across program
@@ -345,6 +350,125 @@ func RunWarmStart(size int, seed int64, workers int) []ScalingPoint {
 	}
 	out = append(out, measure("incremental", func() { eng.Reanalyze(mut, lat, nil, opts) }))
 	return out
+}
+
+// RunFleet measures what the persistent body-class table is worth
+// across a fleet of binaries built from one codebase: n binaries of
+// `size` instructions each, a `shared` fraction of which is a common
+// library under a binary-local rename (corpus.GenerateFleet). Binary 1
+// is analyzed cold and its cache stack saved; each subsequent binary is
+// analyzed by a fresh engine that loaded the accumulated cache file —
+// one process per binary, the fleet-serving deployment shape. The
+// returned points carry Kind "fleet-cold" (binary 1) and "fleet-warm"
+// (binaries 2..n, with CrossHits = procedures served across program
+// boundaries from the persisted table). Each point is the median of
+// scaleTrials repetitions — the cold/warm ratio feeds the
+// scripts/check_fleet.sh gate, which needs the same noise immunity as
+// the scaling gate.
+func RunFleet(n int, shared float64, size int, seed int64, workers int) []ScalingPoint {
+	lat := lattice.Default()
+	benches := corpus.GenerateFleet("fleet", seed, size, n, shared)
+	opts := solver.DefaultOptions()
+	opts.KeepIntermediates = false
+	opts.Workers = workers
+
+	progs := make([]*asm.Program, len(benches))
+	for i, b := range benches {
+		p, err := asm.Parse(b.Source)
+		if err != nil {
+			panic(err)
+		}
+		progs[i] = p
+	}
+
+	// measure runs one binary scaleTrials times, each trial against a
+	// freshly built engine (cold: empty; warm: loaded from the
+	// accumulated cache file), and records the median inference time.
+	// Engine construction and cache decode stay outside the timer: a
+	// serving process pays them once, the per-binary analysis many
+	// times. The last trial's engine is returned so its grown cache can
+	// be saved for the next binary.
+	measure := func(kind string, insts int, newEngine func() *solver.Engine, prog *asm.Program) (ScalingPoint, *solver.Engine, *solver.Result) {
+		secs := make([]float64, scaleTrials)
+		allocs := make([]float64, scaleTrials)
+		var eng *solver.Engine
+		var res *solver.Result
+		for t := range secs {
+			eng = newEngine()
+			eng.DisableSessionRecording()
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			res = eng.Infer(prog, lat, nil, opts)
+			secs[t] = time.Since(start).Seconds()
+			runtime.ReadMemStats(&m1)
+			allocs[t] = float64(m1.TotalAlloc - m0.TotalAlloc)
+		}
+		return ScalingPoint{
+			Insts:      insts,
+			Workers:    conc.Limit(workers),
+			Seconds:    median(secs),
+			AllocBytes: median(allocs),
+			Kind:       kind,
+		}, eng, res
+	}
+
+	dir, err := os.MkdirTemp("", "retypd-fleet")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/cache"
+
+	// The fleet never re-analyzes an edited binary; every engine is a
+	// pure cache sharer.
+	var out []ScalingPoint
+	p, eng, _ := measure("fleet-cold", benches[0].Insts,
+		func() *solver.Engine { return solver.NewEngine(0, 0) }, progs[0])
+	out = append(out, p)
+	if err := eng.SaveCache(path); err != nil {
+		panic(err)
+	}
+	for i := 1; i < len(progs); i++ {
+		p, weng, res := measure("fleet-warm", benches[i].Insts, func() *solver.Engine {
+			e, _, err := solver.LoadCache(path, 0, 0)
+			if err != nil {
+				panic(err)
+			}
+			return e
+		}, progs[i])
+		p.CrossHits = res.BodyDedupCrossHits
+		out = append(out, p)
+		// Accumulate: binary i's classes serve binary i+1 too.
+		if err := weng.SaveCache(path); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// FigureFleet renders the fleet-serving table from RunFleet's points.
+func FigureFleet(points []ScalingPoint) string {
+	t := &Table{
+		Title:   "Fleet serving — cross-program body classes via the persisted cache",
+		Headers: []string{"binary", "mode", "instructions", "wall seconds", "speedup", "cross-program hits"},
+	}
+	var cold float64
+	for _, p := range points {
+		if p.Kind == "fleet-cold" {
+			cold = p.Seconds
+		}
+	}
+	for i, p := range points {
+		sp := "—"
+		if p.Kind != "fleet-cold" && cold > 0 && p.Seconds > 0 {
+			sp = fmt.Sprintf("%.1f×", cold/p.Seconds)
+		}
+		t.AddRow(fmt.Sprint(i+1), strings.TrimPrefix(p.Kind, "fleet-"),
+			fmt.Sprint(p.Insts), fmt.Sprintf("%.4f", p.Seconds), sp, fmt.Sprint(p.CrossHits))
+	}
+	return t.String()
 }
 
 // FigureWarmStart renders the persistence/incrementality table from

@@ -502,6 +502,10 @@ func (t *Table) Stats() (syms, words, dtvs int) {
 // Intern interns s in the global table.
 func Intern(s string) Sym { return global.Sym(s) }
 
+// InternBytes interns b via the global table without allocating a
+// string on the (common) already-interned path.
+func InternBytes(b []byte) Sym { return global.SymBytes(b) }
+
 // StringOf resolves y from the global table.
 func StringOf(y Sym) string { return global.StringOf(y) }
 

@@ -1,0 +1,261 @@
+package solver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"retypd/internal/bodyfp"
+	"retypd/internal/constraints"
+	"retypd/internal/sketch"
+)
+
+// Wire form of the engine's body-class table — the body section of a
+// cache file (layout in persist.go). Classes travel with their
+// table-scoped ids because caller fingerprints filed in the same table
+// embed callee class ids; loadWire therefore refuses any table that
+// has already filed a class.
+
+func appendCacheString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func decodeCacheString(data []byte, what string) (string, int, error) {
+	ln, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < ln {
+		return "", 0, fmt.Errorf("solver: truncated %s in body section", what)
+	}
+	return string(data[n : n+int(ln)]), n + int(ln), nil
+}
+
+// appendWire appends the table's wire form to buf: classes in id order,
+// each entry blob length-prefixed so loaders can skip it whole.
+func (bc *bodyCache) appendWire(buf []byte) []byte {
+	bc.mu.Lock()
+	nextID := bc.nextID
+	type pair struct {
+		cls   *bodyClass
+		entry *bodyEntry // snapshotted under the lock (set-once after)
+	}
+	pairs := make([]pair, 0, len(bc.byHash))
+	for _, chain := range bc.byHash {
+		for _, c := range chain {
+			pairs = append(pairs, pair{c, c.entry})
+		}
+	}
+	bc.mu.Unlock()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].cls.id < pairs[j].cls.id })
+
+	buf = binary.AppendUvarint(buf, uint64(nextID))
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(p.cls.id))
+		buf = p.cls.fp.AppendWire(buf)
+		if p.entry == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		blob := appendEntryWire(nil, p.entry)
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf
+}
+
+func appendEntryWire(buf []byte, e *bodyEntry) []byte {
+	buf = appendCacheString(buf, e.rep)
+	buf = e.fp.AppendWire(buf)
+	buf = constraints.AppendSchemeWire(buf, e.scheme)
+	buf = e.sk.AppendWire(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(e.namedProc)))
+	for _, b := range e.namedProc {
+		if b {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(e.obs)))
+	for _, o := range e.obs {
+		buf = binary.AppendUvarint(buf, uint64(o.inst))
+		buf = appendCacheString(buf, o.loc)
+		buf = o.sk.AppendWire(buf)
+	}
+	if e.raw != nil {
+		buf = append(buf, 1)
+		buf = e.raw.AppendWire(buf)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// loadWire decodes a body section into bc, which must never have filed
+// a class (see the persistence doc: merging would renumber ids that
+// caller fingerprints embed). Returns bytes consumed, classes and
+// entries loaded, and entries skipped for an unbuilt lattice.
+func (bc *bodyCache) loadWire(data []byte) (n, classes, entries, skipped int, err error) {
+	if !bc.empty() {
+		return 0, 0, 0, 0, fmt.Errorf("solver: body-class section can only load into an empty table")
+	}
+	nextID, m := binary.Uvarint(data)
+	if m <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("solver: truncated body table size")
+	}
+	n += m
+	count, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("solver: truncated body class count")
+	}
+	n += m
+	if count > uint64(len(data)-n) {
+		return 0, 0, 0, 0, fmt.Errorf("solver: body class count %d exceeds section size", count)
+	}
+	byHash := map[uint64][]*bodyClass{}
+	var lastID int64 = -1
+	for i := uint64(0); i < count; i++ {
+		id, m := binary.Uvarint(data[n:])
+		if m <= 0 {
+			return 0, 0, 0, 0, fmt.Errorf("solver: truncated body class id")
+		}
+		n += m
+		if int64(id) <= lastID || id >= nextID {
+			return 0, 0, 0, 0, fmt.Errorf("solver: body class id %d out of order or beyond table size", id)
+		}
+		lastID = int64(id)
+		fp, m, err := bodyfp.DecodeFPWire(data[n:])
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		n += m
+		if n >= len(data) {
+			return 0, 0, 0, 0, fmt.Errorf("solver: truncated body entry flag")
+		}
+		hasEntry := data[n]
+		n++
+		cls := &bodyClass{id: uint32(id), fp: fp}
+		if hasEntry == 1 {
+			ln, m := binary.Uvarint(data[n:])
+			if m <= 0 || uint64(len(data)-n-m) < ln {
+				return 0, 0, 0, 0, fmt.Errorf("solver: truncated body entry blob")
+			}
+			n += m
+			e, err := decodeEntryWire(data[n : n+int(ln)])
+			switch {
+			case errors.Is(err, sketch.ErrUnknownLattice):
+				skipped++ // class survives; the entry could never be hit here
+			case err != nil:
+				return 0, 0, 0, 0, err
+			default:
+				cls.entry = e
+				entries++
+			}
+			n += int(ln)
+		} else if hasEntry != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("solver: invalid body entry flag %d", hasEntry)
+		}
+		byHash[fp.Hash()] = append(byHash[fp.Hash()], cls)
+		classes++
+	}
+	bc.mu.Lock()
+	bc.byHash = byHash
+	bc.nextID = uint32(nextID)
+	bc.mu.Unlock()
+	return n, classes, entries, skipped, nil
+}
+
+// decodeEntryWire decodes one entry blob; it must consume the blob
+// exactly.
+func decodeEntryWire(data []byte) (*bodyEntry, error) {
+	e := &bodyEntry{}
+	var n int
+	var err error
+	e.rep, n, err = decodeCacheString(data, "entry rep name")
+	if err != nil {
+		return nil, err
+	}
+	fp, m, err := bodyfp.DecodeFPWire(data[n:])
+	if err != nil {
+		return nil, err
+	}
+	e.fp = fp
+	n += m
+	e.scheme, m, err = constraints.DecodeSchemeWire(data[n:])
+	if err != nil {
+		return nil, err
+	}
+	n += m
+	e.sk, m, err = sketch.DecodeSketchWire(data[n:])
+	if err != nil {
+		return nil, err
+	}
+	e.sk.Seal()
+	n += m
+	nCalls, m := binary.Uvarint(data[n:])
+	if m <= 0 || uint64(len(data)-n-m) < nCalls {
+		return nil, fmt.Errorf("solver: truncated body entry call flags")
+	}
+	n += m
+	e.namedProc = make([]bool, nCalls)
+	for i := range e.namedProc {
+		switch data[n] {
+		case 1:
+			e.namedProc[i] = true
+		case 0:
+		default:
+			return nil, fmt.Errorf("solver: invalid body entry call flag %d", data[n])
+		}
+		n++
+	}
+	nObs, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return nil, fmt.Errorf("solver: truncated body entry observation count")
+	}
+	n += m
+	if nObs > uint64(len(data)-n) {
+		return nil, fmt.Errorf("solver: body entry observation count %d exceeds blob size", nObs)
+	}
+	e.obs = make([]entryObs, nObs)
+	for i := range e.obs {
+		inst, m := binary.Uvarint(data[n:])
+		if m <= 0 {
+			return nil, fmt.Errorf("solver: truncated body entry observation")
+		}
+		n += m
+		e.obs[i].inst = int(inst)
+		e.obs[i].loc, m, err = decodeCacheString(data[n:], "observation location")
+		if err != nil {
+			return nil, err
+		}
+		n += m
+		e.obs[i].sk, m, err = sketch.DecodeSketchWire(data[n:])
+		if err != nil {
+			return nil, err
+		}
+		e.obs[i].sk.Seal()
+		n += m
+	}
+	if n >= len(data) {
+		return nil, fmt.Errorf("solver: truncated body entry raw flag")
+	}
+	switch data[n] {
+	case 1:
+		n++
+		e.raw, m, err = constraints.DecodeSetWire(data[n:])
+		if err != nil {
+			return nil, err
+		}
+		n += m
+	case 0:
+		n++
+	default:
+		return nil, fmt.Errorf("solver: invalid body entry raw flag %d", data[n])
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("solver: %d trailing bytes in body entry blob", len(data)-n)
+	}
+	return e, nil
+}

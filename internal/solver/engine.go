@@ -2,6 +2,8 @@ package solver
 
 import (
 	"context"
+	"encoding/binary"
+	"hash/maphash"
 	"runtime/debug"
 	"sync"
 
@@ -32,6 +34,11 @@ import (
 type Engine struct {
 	schemes *pgraph.SimplifyCache
 	shapes  *sketch.ShapeCache
+	// bodies is the engine-scoped body-class table: the third, topmost
+	// cache layer. Runs through this engine file every analyzed body
+	// here; a later run (of this or any other program) whose body is
+	// equivalent is served the sealed entry before its front end runs.
+	bodies *bodyCache
 
 	// noSessions disables session recording (DisableSessionRecording):
 	// the engine is then a pure cache sharer.
@@ -47,6 +54,7 @@ func NewEngine(schemeCap, shapeCap int) *Engine {
 	return &Engine{
 		schemes: pgraph.NewSimplifyCache(schemeCap),
 		shapes:  sketch.NewShapeCache(shapeCap),
+		bodies:  newBodyCache(),
 	}
 }
 
@@ -73,12 +81,19 @@ func (e *Engine) DisableSessionRecording() {
 
 // session is the recorded outcome of the engine's most recent run: the
 // inputs that parameterized it and, per procedure, everything a clean
-// replay needs. Sessions are immutable once published.
+// replay needs. Sessions are immutable once published. Every field must
+// reach the persisted wire form (SaveSessionTo) — a session loaded in a
+// fresh process must replay exactly like the one that was saved.
+//
+//retypd:cachekey Engine.SaveSessionTo
 type session struct {
 	latSig string
-	sums   summaries.Table
-	opts   Options
-	procs  map[string]*procSnap
+	// sumsDig is the content digest of the run's summaries table
+	// (sumsDigest): sessions loaded from disk carry only the digest,
+	// never the table, so compatibility is always a digest compare.
+	sumsDig string
+	opts    Options
+	procs   map[string]*procSnap
 	// sccKey maps each procedure to a canonical rendering of its SCC's
 	// member set; a membership change invalidates the whole SCC even
 	// when a member's own body did not change (its scheme was
@@ -87,13 +102,20 @@ type session struct {
 }
 
 // procSnap is one procedure's session snapshot.
+//
+//retypd:cachekey Engine.SaveSessionTo
 type procSnap struct {
 	// fp is the portable body fingerprint (named callee identities), the
 	// dirtiness oracle: equal fingerprints plus clean transitive callees
 	// imply byte-identical pipeline output for the procedure.
 	fp *bodyfp.FP
 	// info carries the per-procedure CFG analyses for rebasing onto the
-	// next program (cfg.ProcInfo.CloneForProgram).
+	// next program (cfg.ProcInfo.CloneForProgram). Deliberately absent
+	// from the session wire form: ProcInfo holds program-relative state
+	// that is cheap to recompute and must never reach a persisted key
+	// (docs/ARCHITECTURE.md invariant) — the first Reanalyze after a
+	// load rebuilds it from the new program's CFG.
+	//retypd:notkey program-relative CFG state, rebuilt on load by the first Reanalyze
 	info   *cfg.ProcInfo
 	scheme *constraints.Scheme
 	// pr is the full phase-2/3 result; its Sketch is sealed at record
@@ -142,45 +164,13 @@ func optsCompatible(a, b Options) bool {
 		a.KeepIntermediates == b.KeepIntermediates
 }
 
-// sumsCompatible compares summary tables: pointer-identical summaries
-// (the common case — summaries.Default is memoized) short-circuit, and
-// otherwise the summaries are compared structurally, so callers that
-// rebuild an equivalent table per run keep incrementality. A mismatch
-// only ever costs a full run, never correctness.
-func sumsCompatible(a, b summaries.Table) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, av := range a {
-		bv, ok := b[k]
-		if !ok {
-			return false
-		}
-		if av == bv {
-			continue
-		}
-		if av == nil || bv == nil || av.Name != bv.Name || av.HasOut != bv.HasOut ||
-			len(av.FormalIns) != len(bv.FormalIns) {
-			return false
-		}
-		for i := range av.FormalIns {
-			if av.FormalIns[i] != bv.FormalIns[i] {
-				return false
-			}
-		}
-		if av.Constraints.String() != bv.Constraints.String() {
-			return false
-		}
-	}
-	return true
-}
-
 // withEngineCaches forces the engine's caches into opts (the deprecated
 // per-call cache knobs are superseded; the No* escape hatches keep
 // working for baseline measurements).
 func (e *Engine) withEngineCaches(opts Options) Options {
 	opts.SchemeCache = e.schemes
 	opts.ShapeCache = e.shapes
+	opts.bodyCache = e.bodies
 	return opts
 }
 
@@ -262,7 +252,7 @@ func (e *Engine) ReanalyzeContext(ctx context.Context, prog *asm.Program, lat *l
 	e.mu.Unlock()
 	if sess == nil || !sessionable(opts) ||
 		sess.latSig != lat.Signature() || !optsCompatible(sess.opts, opts) ||
-		!sumsCompatible(sess.sums, sums) {
+		sess.sumsDig != sumsDigest(sums) {
 		return e.InferContext(ctx, prog, lat, sums, opts)
 	}
 	if err := ctx.Err(); err != nil {
@@ -274,16 +264,54 @@ func (e *Engine) ReanalyzeContext(ctx context.Context, prog *asm.Program, lat *l
 	opts = e.withEngineCaches(opts)
 	opts.ctx = ctx
 
-	// Rebuild the program analyses, rebasing every unchanged procedure
-	// body onto the new program instead of re-running its per-procedure
-	// analyses; the interprocedural HasOut fixpoint always re-runs.
-	infos := make(map[string]*cfg.ProcInfo, len(prog.Procs))
-	for _, p := range prog.Procs {
-		if snap, ok := sess.procs[p.Name]; ok && snap.info.Proc.EqualBody(p) {
-			infos[p.Name] = snap.info.CloneForProgram(prog, p)
-		} else {
-			infos[p.Name] = cfg.Analyze(prog, p)
+	// Rebuild the program analyses in parallel, rebasing every unchanged
+	// procedure body onto the new program instead of re-running its
+	// per-procedure analyses (a session loaded from disk carries no
+	// analyses, so its first Reanalyze re-analyzes everything); the
+	// interprocedural HasOut fixpoint always re-runs. Byte-identical
+	// bodies share one analysis: ProcInfo is a pure function of the
+	// instruction stream, so one representative per group is analyzed
+	// and the rest clone — the same economy the body-dedup layer gives a
+	// cold run (dedup.go), without which warm-path CFG analysis would
+	// dominate Reanalyze on duplicate-heavy programs.
+	workers := conc.Limit(opts.Workers)
+	infoList := make([]*cfg.ProcInfo, len(prog.Procs))
+	rep := make([]int, len(prog.Procs))
+	bodyGroups := make(map[uint64][]int, len(prog.Procs))
+	for i, p := range prog.Procs {
+		rep[i] = i
+		h := bodyHashOf(p)
+		for _, j := range bodyGroups[h] {
+			if prog.Procs[j].EqualBody(p) {
+				rep[i] = j
+				break
+			}
 		}
+		if rep[i] == i {
+			bodyGroups[h] = append(bodyGroups[h], i)
+		}
+	}
+	if err := conc.ForEachCtx(ctx, workers, len(prog.Procs), func(i int) {
+		if rep[i] != i {
+			return
+		}
+		p := prog.Procs[i]
+		if snap, ok := sess.procs[p.Name]; ok && snap.info != nil && snap.info.Proc.EqualBody(p) {
+			infoList[i] = snap.info.CloneForProgram(prog, p)
+		} else {
+			infoList[i] = cfg.Analyze(prog, p)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for i, p := range prog.Procs {
+		if rep[i] != i {
+			infoList[i] = infoList[rep[i]].CloneForProgram(prog, p)
+		}
+	}
+	infos := make(map[string]*cfg.ProcInfo, len(prog.Procs))
+	for i, p := range prog.Procs {
+		infos[p.Name] = infoList[i]
 	}
 	cfg.FinishHasOut(infos)
 	cg := cfg.BuildCallGraph(prog)
@@ -292,9 +320,8 @@ func (e *Engine) ReanalyzeContext(ctx context.Context, prog *asm.Program, lat *l
 	conf := sessionConfig(lat, opts)
 	order := prog.Procs
 	fps := make([]*bodyfp.FP, len(order))
-	workers := conc.Limit(opts.Workers)
 	if err := conc.ForEachCtx(ctx, workers, len(order), func(i int) {
-		fps[i] = bodyfp.Compute(infos[order[i].Name], conf, namedCallee)
+		fps[i] = bodyfp.ComputeWithLiveMask(order[i], conf, namedCallee, infoList[i].EntryLive)
 	}); err != nil {
 		return nil, err
 	}
@@ -427,6 +454,33 @@ func (pl *pipeline) replayProc(p string) (*ProcResult, []actualObs) {
 	return pr, snap.obs
 }
 
+// bodyHashSeed keys the in-memory body-grouping hash of Reanalyze. The
+// hash never leaves the process (candidates are confirmed with
+// EqualBody), so the per-process seed is fine.
+var bodyHashSeed = maphash.MakeSeed()
+
+// bodyHashOf hashes a procedure's raw instruction stream for exact
+// body grouping. Collisions are harmless (EqualBody arbitrates);
+// labels need not be folded in for the same reason.
+func bodyHashOf(p *asm.Proc) uint64 {
+	var h maphash.Hash
+	h.SetSeed(bodyHashSeed)
+	var word [8]byte
+	for _, in := range p.Insts {
+		binary.LittleEndian.PutUint32(word[:4], uint32(in.Op))
+		word[4] = byte(in.Dst.Kind)
+		word[5] = byte(in.Dst.Reg)
+		word[6] = byte(in.Src.Kind)
+		word[7] = byte(in.Src.Reg)
+		h.Write(word[:])
+		binary.LittleEndian.PutUint32(word[:4], uint32(in.Dst.Imm))
+		binary.LittleEndian.PutUint32(word[4:], uint32(in.Src.Imm))
+		h.Write(word[:])
+		h.WriteString(in.Target)
+	}
+	return h.Sum64()
+}
+
 // record publishes a run as the engine's session. fpOf carries the
 // session fingerprints when the caller already computed them
 // (Reanalyze); otherwise they are computed here. Runs whose options
@@ -443,7 +497,7 @@ func (e *Engine) record(lat *lattice.Lattice, sums summaries.Table, opts Options
 		fps := make([]*bodyfp.FP, len(art.order))
 		workers := conc.Limit(opts.Workers)
 		conc.ForEach(workers, len(art.order), func(i int) {
-			fps[i] = bodyfp.Compute(res.Infos[art.order[i]], conf, namedCallee)
+			fps[i] = bodyfp.Compute(res.Prog.ProcIndex[art.order[i]], conf, namedCallee)
 		})
 		fpOf = make(map[string]*bodyfp.FP, len(art.order))
 		for i, p := range art.order {
@@ -451,11 +505,11 @@ func (e *Engine) record(lat *lattice.Lattice, sums summaries.Table, opts Options
 		}
 	}
 	sess := &session{
-		latSig: lat.Signature(),
-		sums:   sums,
-		opts:   opts,
-		procs:  make(map[string]*procSnap, len(art.order)),
-		sccKey: sccKeys(art.cg),
+		latSig:  lat.Signature(),
+		sumsDig: sumsDigest(sums),
+		opts:    opts,
+		procs:   make(map[string]*procSnap, len(art.order)),
+		sccKey:  sccKeys(art.cg),
 	}
 	for i, p := range art.order {
 		pr := art.prs[i]

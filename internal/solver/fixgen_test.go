@@ -12,10 +12,10 @@ import (
 // TestGenerateShardGoldenFixture regenerates the cache-compatibility
 // fixture pair (testdata/cache_pr5_golden.{bin,dump}) that
 // persist_golden_test.go pins the wire format against. The checked-in
-// copy was recorded by the last UNSHARDED cache build; regenerate only
-// on a deliberate cacheFormatVersion/FPVersion bump, and bump those
-// versions rather than regenerating to paper over an accidental wire
-// change.
+// copy was last recorded at the v2 bump (body-class section);
+// regenerate only on a deliberate cacheFormatVersion/FPVersion bump,
+// and bump those versions rather than regenerating to paper over an
+// accidental wire change.
 func TestGenerateShardGoldenFixture(t *testing.T) {
 	if os.Getenv("RETYPD_GEN_FIXTURE") == "" {
 		t.Skip("set RETYPD_GEN_FIXTURE=1 to regenerate")

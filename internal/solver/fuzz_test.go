@@ -20,6 +20,63 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	if err := fuzzcorpus.Write("testdata/fuzz/FuzzLoadCache", fuzzCacheSeeds()); err != nil {
 		t.Fatal(err)
 	}
+	if err := fuzzcorpus.Write("testdata/fuzz/FuzzLoadSession", fuzzSessionSeeds()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzSessionSeeds mirrors fuzzCacheSeeds for the session file format:
+// a valid saved session plus corrupted-header variants.
+func fuzzSessionSeeds() [][]byte {
+	lat := lattice.Default()
+	eng := NewEngine(0, 0)
+	eng.Infer(asm.MustParse(engineProgSrc), lat, nil, DefaultOptions())
+	var buf bytes.Buffer
+	if err := eng.SaveSessionTo(&buf); err != nil {
+		panic(err)
+	}
+	valid := buf.Bytes()
+	flip := func(i int, mask byte) []byte {
+		c := append([]byte(nil), valid...)
+		c[i] ^= mask
+		return c
+	}
+	return [][]byte{
+		valid,
+		flip(0, 0xff),              // magic
+		flip(len(sessMagic), 0x01), // format version
+		valid[:len(valid)/2],       // truncation
+		flip(len(valid)-1, 0x80),   // checksum tail
+		flip(len(valid)/2, 0x20),   // interior byte
+		nil,
+	}
+}
+
+// FuzzLoadSession: like FuzzLoadCache, for session files. A clean load
+// must round-trip byte-identically (the session wire form is
+// canonical), and checksum-resealed mutations must reach the record
+// decoders without panicking.
+func FuzzLoadSession(f *testing.F) {
+	for _, seed := range fuzzSessionSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := NewEngine(0, 0)
+		if _, err := eng.LoadSessionData(data); err == nil {
+			var buf bytes.Buffer
+			if err := eng.SaveSessionTo(&buf); err != nil {
+				t.Fatalf("save after clean load: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Fatalf("session round-trip changed the wire bytes (len %d vs %d)",
+					buf.Len(), len(data))
+			}
+		}
+		// Checksum-sealed variant: exercises the record decoders.
+		sum := sha256.Sum256(data)
+		sealed := append(append([]byte(nil), data...), sum[:]...)
+		NewEngine(0, 0).LoadSessionData(sealed)
+	})
 }
 
 // fuzzCacheSeeds returns a valid saved cache plus corrupted-header

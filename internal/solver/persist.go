@@ -23,30 +23,46 @@ import (
 //	magic ++ uvarint(cacheFormatVersion) ++ byte(pgraph.FPVersion)
 //	++ scheme section (pgraph.SimplifyCache.AppendWire)
 //	++ shape section (sketch.ShapeCache.AppendWire)
+//	++ body section (bodyCache.appendWire):
+//	     uvarint(nextID) ++ uvarint(class count)
+//	     per class, ascending id:
+//	       uvarint(id) ++ fingerprint wire (bodyfp.FP.AppendWire)
+//	       ++ byte(hasEntry) [++ uvarint(len) ++ entry blob]
+//	     entry blob: rep name ++ publisher fingerprint wire
+//	       ++ scheme wire ++ sketch wire
+//	       ++ uvarint(call count) ++ namedProc bytes
+//	       ++ uvarint(obs count) per obs (uvarint(inst) ++ loc ++ sketch wire)
+//	       ++ byte(hasRaw) [++ constraint-set wire]
 //	++ sha256 of everything preceding (32 bytes)
 //
 // Version-bump rules (the wire-format invariant): any change to what a
 // memo key or value encodes must be reflected either in FPVersion
 // (content hashed into fingerprints — it already invalidates the keys
-// themselves) or in cacheFormatVersion (entry/value layout). A loader
-// refuses files whose versions differ from its own; there is no
-// migration path, by design — a stale cache is merely cold, never
-// wrong. The trailing checksum rejects truncated or corrupted files
-// before any entry is decoded.
+// themselves), in bodyfp's encVersion (body fingerprints prefix their
+// own version, so stale classes can simply never be hit), or in
+// cacheFormatVersion (entry/value layout). A loader refuses files whose
+// versions differ from its own; there is no migration path, by design —
+// a stale cache is merely cold, never wrong. The trailing checksum
+// rejects truncated or corrupted files before any entry is decoded.
 //
-// The body-dedup layer is deliberately absent from the file: its class
-// ids and rename plans are meaningful only within one program run. Its
-// cross-run benefit flows through the persisted scheme/shape entries —
-// a warm process serves every class representative from those, and
-// in-program duplication keeps producing body hits as usual.
+// Body classes persist WITH their table-scoped ids: caller fingerprints
+// filed in the same table embed callee class ids in their canonical
+// encodings, so the id assignment is part of the table's content. For
+// the same reason the body section only installs into an engine whose
+// body table has never filed a class (LoadCache's fresh engine; a
+// warmed engine refuses it) — merging two tables would renumber one
+// side's ids and silently corrupt every embedded CalleeClass reference.
+// Entry blobs are length-prefixed so an entry whose sketches reference
+// a lattice not built in this process is skipped whole (the class
+// survives — membership never needs the lattice).
 
 // cacheMagic identifies a retypd cache file.
 const cacheMagic = "retypd-cache\x00"
 
 // cacheFormatVersion versions the file layout and every embedded wire
 // encoding. Bump on any encoding change that FPVersion does not
-// already capture.
-const cacheFormatVersion = 1
+// already capture. v2 added the body-class section.
+const cacheFormatVersion = 2
 
 // CacheLoadStats reports what a LoadCache call decoded.
 type CacheLoadStats struct {
@@ -56,6 +72,12 @@ type CacheLoadStats struct {
 	// lattice has not been built in this process (harmless: they could
 	// never be hit here either).
 	SkippedShapeEntries int
+	// BodyClasses and BodyEntries count loaded body-dedup classes and
+	// the published entries they carried.
+	BodyClasses, BodyEntries int
+	// SkippedBodyEntries counts body entries dropped for an unbuilt
+	// lattice (their classes are kept — membership needs no lattice).
+	SkippedBodyEntries int
 }
 
 // SaveCacheTo writes the engine's cache stack to w.
@@ -66,6 +88,7 @@ func (e *Engine) SaveCacheTo(w io.Writer) error {
 	buf = append(buf, pgraph.FPVersion)
 	buf = e.schemes.AppendWire(buf)
 	buf = e.shapes.AppendWire(buf)
+	buf = e.bodies.appendWire(buf)
 	sum := sha256.Sum256(buf)
 	buf = append(buf, sum[:]...)
 	_, err := w.Write(buf)
@@ -140,6 +163,12 @@ func (e *Engine) LoadCacheData(data []byte) (CacheLoadStats, error) {
 		return st, err
 	}
 	st.ShapeEntries, st.SkippedShapeEntries = loaded, skipped
+	n += m
+	m, classes, bodyEntries, bodySkipped, err := e.bodies.loadWire(body[n:])
+	if err != nil {
+		return st, err
+	}
+	st.BodyClasses, st.BodyEntries, st.SkippedBodyEntries = classes, bodyEntries, bodySkipped
 	n += m
 	if n != len(body) {
 		return st, fmt.Errorf("solver: %d trailing bytes after cache sections", len(body)-n)

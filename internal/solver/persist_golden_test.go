@@ -10,12 +10,12 @@ import (
 	"retypd/internal/schedtest"
 )
 
-// testdata/cache_pr5_golden.{bin,dump} were recorded by the UNSHARDED
-// cache build (the PR-5 wire format), immediately before the caches
-// were sharded. These tests pin the compatibility contract: sharding is
-// invisible at the wire — the old blob loads into today's sharded
-// caches, round-trips byte-identically, and serves a warm run whose
-// output matches the recorded dump with zero cache misses.
+// testdata/cache_pr5_golden.{bin,dump} pin the persisted cache wire
+// format (v2: scheme + shape + body-class sections; originally recorded
+// at PR 5, regenerated on the v2 bump that added the body section).
+// These tests pin the compatibility contract: the checked-in blob loads
+// into today's caches, round-trips byte-identically, and serves a warm
+// run whose output matches the recorded dump with zero cache misses.
 // TestGenerateShardGoldenFixture (fixgen_test.go) regenerates the pair
 // if the wire format ever changes version.
 

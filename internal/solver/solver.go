@@ -133,6 +133,11 @@ type Options struct {
 	// means context.Background()). Unexported: cancellation enters
 	// through the context-aware entry points, never as an ad-hoc knob.
 	ctx context.Context
+	// bodyCache is the engine-scoped body-class table (nil for one-shot
+	// Infer calls, which get a run-private table). Unexported: the only
+	// way to share body classes across runs is through an Engine, whose
+	// persistence carries the table's invariants along.
+	bodyCache *bodyCache
 	// schedTrace observes readiness-scheduler events (see schedEvent).
 	// Test-only, like schedHooks: the property tests record the event
 	// stream to check exactly-once execution and dependency ordering.
@@ -199,11 +204,15 @@ type Result struct {
 	// memo's effectiveness for this run (both zero when disabled).
 	ShapeCacheHits, ShapeCacheMisses uint64
 	// BodyDedupHits counts procedures served by whole-body
-	// deduplication (they skipped constraint generation entirely);
+	// deduplication from a representative of the same run (they skipped
+	// constraint generation entirely); BodyDedupCrossHits counts
+	// procedures served from a stored body entry of the engine's
+	// persistent class table — published by an earlier run, possibly of
+	// a different program, possibly in a different process;
 	// BodyDedupMisses counts fingerprinted procedures that ran the full
-	// path (class representatives and excluded members). Both zero when
+	// path (class representatives and excluded members). All zero when
 	// the layer is disabled.
-	BodyDedupHits, BodyDedupMisses uint64
+	BodyDedupHits, BodyDedupCrossHits, BodyDedupMisses uint64
 	// ReplayedProcs and RecomputedProcs report incremental re-analysis
 	// (Engine.Reanalyze): procedures replayed verbatim from the
 	// previous session versus procedures that went through the full
@@ -282,9 +291,6 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	if sums == nil {
 		sums = summaries.Default()
 	}
-	if infos == nil {
-		infos = cfg.AnalyzeProgram(prog)
-	}
 	if cg == nil {
 		cg = cfg.BuildCallGraph(prog)
 	}
@@ -296,7 +302,6 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	res := &Result{
 		Prog:  prog,
 		Lat:   lat,
-		Infos: infos,
 		Procs: map[string]*ProcResult{},
 		SCCs:  cg.SCCs,
 	}
@@ -340,7 +345,11 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 		// Body dedup is skipped in incremental mode: the dirty set is
 		// small by construction, and dedup classification needs whole
 		// levels. Output is identical either way (golden-tested).
-		pl.dedup = newDedupState(lat, opts.Absint, isConst, opts.KeepIntermediates)
+		bodies := opts.bodyCache
+		if bodies == nil {
+			bodies = newBodyCache() // one-shot Infer: run-private table
+		}
+		pl.dedup = newDedupState(lat, opts, sums, isConst, bodies)
 	}
 	if inc != nil {
 		// Clean procedures replay their previous schemes; publish them
@@ -375,6 +384,16 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	} else {
 		plans = make([]*memberPlan, len(cg.SCCs))
 	}
+	// The per-procedure CFG analyses run *after* classification (the
+	// fingerprint needs only the raw instruction stream), so duplicate
+	// bodies are served their analyses like they are served schemes:
+	// each class's first in-program occurrence pays cfg.Analyze, later
+	// identically-registered members rebase it (CloneForProgram).
+	if infos == nil {
+		infos = pl.buildInfos(prog)
+	}
+	pl.infos = infos
+	res.Infos = infos
 	if err := pl.finish(pl.buildSched(cg, plans).run()); err != nil {
 		return nil, nil, err
 	}
@@ -399,6 +418,10 @@ func infer(prog *asm.Program, lat *lattice.Lattice, sums summaries.Table, opts O
 	}
 	if pl.dedup != nil {
 		res.BodyDedupHits, res.BodyDedupMisses = pl.dedup.hits.Load(), pl.dedup.misses.Load()
+		res.BodyDedupCrossHits = pl.dedup.crossHits.Load()
+		// Publish only now, after every phase succeeded: entries must
+		// never expose results of a faulted or cancelled run.
+		pl.dedup.publish(pl, prog)
 	}
 	if inc != nil {
 		for _, p := range pl.order {
@@ -518,6 +541,43 @@ func (pl *pipeline) initIndex(cg *cfg.CallGraph) {
 	pl.obs = make([][]actualObs, n)
 }
 
+// buildInfos runs the per-procedure CFG analyses for prog — the work
+// cfg.AnalyzeProgram does — but serves body-dedup members their class
+// anchor's analyses by rebasing (cfg.ProcInfo.CloneForProgram) when the
+// member's register assignment is identical, then completes the
+// interprocedural HasOut fixpoint over the mixed set. Each class's
+// first in-program occurrence always pays the real cfg.Analyze (every
+// procedure needs a ProcInfo regardless of how its schemes are
+// served); the fan-out is deterministic per procedure, so worker count
+// never reaches output.
+func (pl *pipeline) buildInfos(prog *asm.Program) map[string]*cfg.ProcInfo {
+	var cloneFrom map[string]string
+	if pl.dedup != nil {
+		cloneFrom = pl.dedup.cloneFrom
+	}
+	fresh := make([]*asm.Proc, 0, len(prog.Procs))
+	for _, p := range prog.Procs {
+		if _, ok := cloneFrom[p.Name]; !ok {
+			fresh = append(fresh, p)
+		}
+	}
+	analyzed := make([]*cfg.ProcInfo, len(fresh))
+	conc.ForEach(pl.workers, len(fresh), func(i int) {
+		analyzed[i] = cfg.Analyze(prog, fresh[i])
+	})
+	infos := make(map[string]*cfg.ProcInfo, len(prog.Procs))
+	for i, p := range fresh {
+		infos[p.Name] = analyzed[i]
+	}
+	for _, p := range prog.Procs {
+		if a, ok := cloneFrom[p.Name]; ok {
+			infos[p.Name] = infos[a].CloneForProgram(prog, p)
+		}
+	}
+	cfg.FinishHasOut(infos)
+	return infos
+}
+
 // fail records a task fault (first one wins) and cancels the run
 // context so every pool drains at its next task boundary.
 func (pl *pipeline) fail(phase string, scc int, proc string, value any, stack []byte) {
@@ -597,15 +657,19 @@ func (pl *pipeline) publishSCC(scc []string, out *sccResult) {
 	}
 }
 
-// runMemberF1 serves a dedup member's F.1 by translating its
-// representative's published scheme; when the rename surgery cannot
-// classify a variable it falls back to the full path (the leftover F.2
-// gate on the representative then only delays, never blocks).
+// runMemberF1 serves a dedup member's F.1 by translating its source's
+// scheme — the stored body entry's for cross-program serves, the
+// in-program representative's published one otherwise; when the rename
+// surgery cannot classify a variable it falls back to the full path
+// (any leftover F.2 gate on a representative then only delays, never
+// blocks).
 func (pl *pipeline) runMemberF1(p string, plan *memberPlan) {
 	i := pl.procIdx[p]
 	var sc *constraints.Scheme
 	ok := false
-	if rep := pl.schemeOf(plan.rep); rep != nil {
+	if plan.entry != nil {
+		sc, ok = plan.ren.TranslateScheme(plan.entry.scheme)
+	} else if rep := pl.schemeOf(plan.rep); rep != nil {
 		sc, ok = plan.ren.TranslateScheme(rep)
 	}
 	if !ok {
@@ -615,7 +679,11 @@ func (pl *pipeline) runMemberF1(p string, plan *memberPlan) {
 	}
 	pl.schemes[i] = sc
 	pl.memberOf[i] = plan
-	pl.dedup.hits.Add(1)
+	if plan.entry != nil {
+		pl.dedup.crossHits.Add(1)
+	} else {
+		pl.dedup.hits.Add(1)
+	}
 }
 
 // sccResult is the output of scheme inference for one SCC.

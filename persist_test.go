@@ -68,9 +68,14 @@ func TestCachePersistFreshProcess(t *testing.T) {
 	if saved.Output != loaded.Output {
 		t.Error("fresh-process warm output differs from cold output byte-for-byte")
 	}
-	if loaded.Stats.SchemeHits == 0 || loaded.Stats.ShapeHits == 0 || loaded.Stats.BodyDedupHits == 0 {
-		t.Errorf("warm fresh process must hit every memo layer: scheme=%d shape=%d body=%d",
-			loaded.Stats.SchemeHits, loaded.Stats.ShapeHits, loaded.Stats.BodyDedupHits)
+	// A fully warm run serves every duplicate body from the persisted
+	// body-class table, so its serves land in BodyDedupCrossHits rather
+	// than the in-program BodyDedupHits counter.
+	if loaded.Stats.SchemeHits == 0 || loaded.Stats.ShapeHits == 0 ||
+		loaded.Stats.BodyDedupHits+loaded.Stats.BodyDedupCrossHits == 0 {
+		t.Errorf("warm fresh process must hit every memo layer: scheme=%d shape=%d body=%d cross=%d",
+			loaded.Stats.SchemeHits, loaded.Stats.ShapeHits,
+			loaded.Stats.BodyDedupHits, loaded.Stats.BodyDedupCrossHits)
 	}
 	// The persisted entries must genuinely serve: the warm process may
 	// only miss where results are uncacheable, never more than cold.
@@ -79,6 +84,135 @@ func TestCachePersistFreshProcess(t *testing.T) {
 	}
 	if loaded.Stats.ShapeMisses > saved.Stats.ShapeMisses {
 		t.Errorf("warm shape misses %d exceed cold %d", loaded.Stats.ShapeMisses, saved.Stats.ShapeMisses)
+	}
+}
+
+// TestBodyClassPersistFreshProcess is the acceptance golden for the
+// engine's persistent body-class layer: a cache saved after analyzing
+// program A, loaded in a genuinely fresh process, serves whole
+// procedures of program B — A's twin under a systematic rename, the
+// shared-library case — without the front end running, byte-identical
+// to a cold run of B. The test re-executes its own binary in three
+// roles.
+func TestBodyClassPersistFreshProcess(t *testing.T) {
+	progA := func() *Program {
+		return MustParseAsm(corpus.GenerateWithPrefix("bodyclass", "", 31, 2500).Source)
+	}
+	progB := func() *Program {
+		return MustParseAsm(corpus.GenerateWithPrefix("bodyclass", "v2_", 31, 2500).Source)
+	}
+	dir := os.Getenv("RETYPD_PERSIST_DIR")
+	switch os.Getenv("RETYPD_PERSIST_ROLE") {
+	case "bodysave":
+		eng := NewEngine(nil)
+		eng.Infer(progA(), nil)
+		if err := eng.SaveCache(filepath.Join(dir, "retypd.cache")); err != nil {
+			t.Fatal(err)
+		}
+		return
+	case "bodywarm":
+		eng, err := LoadCache(filepath.Join(dir, "retypd.cache"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeReport(t, filepath.Join(dir, "warm.json"), eng.Infer(progB(), nil))
+		return
+	case "bodycold":
+		writeReport(t, filepath.Join(dir, "cold.json"), Infer(progB(), nil))
+		return
+	case "":
+	default:
+		return // a role belonging to another subprocess test
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot locate test binary: %v", err)
+	}
+	dir = t.TempDir()
+	run := func(role string) {
+		cmd := exec.Command(exe, "-test.run", "^TestBodyClassPersistFreshProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), "RETYPD_PERSIST_ROLE="+role, "RETYPD_PERSIST_DIR="+dir)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s child failed: %v\n%s", role, err, out)
+		}
+		if !strings.Contains(string(out), "PASS") {
+			t.Fatalf("%s child did not pass:\n%s", role, out)
+		}
+	}
+	run("bodysave")
+	run("bodywarm")
+	run("bodycold")
+
+	var warm, cold persistReport
+	readReport(t, filepath.Join(dir, "warm.json"), &warm)
+	readReport(t, filepath.Join(dir, "cold.json"), &cold)
+	if warm.Output != cold.Output {
+		t.Error("cross-program warm output differs from cold output byte-for-byte")
+	}
+	if warm.Stats.BodyDedupCrossHits == 0 {
+		t.Errorf("renamed twin program served no cross-program body classes: %+v", warm.Stats)
+	}
+}
+
+// TestSessionPersistFreshProcess is the acceptance golden for session
+// persistence at the public API: a session saved by one process and
+// loaded by a second, genuinely fresh process replays an unchanged
+// program entirely, byte-identical to a cold run.
+func TestSessionPersistFreshProcess(t *testing.T) {
+	prog := func() *Program {
+		return MustParseAsm(corpus.Generate("sessproc", 43, 2500).Source)
+	}
+	dir := os.Getenv("RETYPD_PERSIST_DIR")
+	switch os.Getenv("RETYPD_PERSIST_ROLE") {
+	case "sesssave":
+		eng := NewEngine(nil)
+		writeReport(t, filepath.Join(dir, "cold.json"), eng.Infer(prog(), nil))
+		if err := eng.SaveSession(filepath.Join(dir, "retypd.session")); err != nil {
+			t.Fatal(err)
+		}
+		return
+	case "sessload":
+		eng, err := LoadSession(filepath.Join(dir, "retypd.session"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeReport(t, filepath.Join(dir, "warm.json"), eng.Reanalyze(prog()))
+		return
+	case "":
+	default:
+		return // a role belonging to another subprocess test
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot locate test binary: %v", err)
+	}
+	dir = t.TempDir()
+	run := func(role string) {
+		cmd := exec.Command(exe, "-test.run", "^TestSessionPersistFreshProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), "RETYPD_PERSIST_ROLE="+role, "RETYPD_PERSIST_DIR="+dir)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s child failed: %v\n%s", role, err, out)
+		}
+		if !strings.Contains(string(out), "PASS") {
+			t.Fatalf("%s child did not pass:\n%s", role, out)
+		}
+	}
+	run("sesssave")
+	run("sessload")
+
+	var cold, warm persistReport
+	readReport(t, filepath.Join(dir, "cold.json"), &cold)
+	readReport(t, filepath.Join(dir, "warm.json"), &warm)
+	if warm.Output != cold.Output {
+		t.Error("fresh-process session replay differs from cold output byte-for-byte")
+	}
+	if warm.Stats.RecomputedProcs != 0 || warm.Stats.ReplayedProcs == 0 {
+		t.Errorf("fresh-process replay of unchanged program: replayed=%d recomputed=%d",
+			warm.Stats.ReplayedProcs, warm.Stats.RecomputedProcs)
 	}
 }
 

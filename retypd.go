@@ -395,6 +395,13 @@ type CacheStats struct {
 	// BodyDedupMisses counts fingerprinted procedures that ran the
 	// full path.
 	BodyDedupHits, BodyDedupMisses uint64
+	// BodyDedupCrossHits counts procedures served from the engine's
+	// persistent body-class table — results published by an earlier run
+	// of the same engine (or carried in by LoadCache), possibly over a
+	// different program. In-program duplicates of such a procedure are
+	// also served from the table, so a fully warm run reports all its
+	// serves here and none in BodyDedupHits.
+	BodyDedupCrossHits uint64
 	// ReplayedProcs and RecomputedProcs report incremental re-analysis
 	// (Engine.Reanalyze): procedures replayed verbatim from the
 	// previous session versus procedures recomputed because their body
@@ -407,14 +414,15 @@ type CacheStats struct {
 // body-dedup memo layers for this Infer call.
 func (r *Result) CacheStats() CacheStats {
 	return CacheStats{
-		SchemeHits:      r.inner.SchemeCacheHits,
-		SchemeMisses:    r.inner.SchemeCacheMisses,
-		ShapeHits:       r.inner.ShapeCacheHits,
-		ShapeMisses:     r.inner.ShapeCacheMisses,
-		BodyDedupHits:   r.inner.BodyDedupHits,
-		BodyDedupMisses: r.inner.BodyDedupMisses,
-		ReplayedProcs:   r.inner.ReplayedProcs,
-		RecomputedProcs: r.inner.RecomputedProcs,
+		SchemeHits:         r.inner.SchemeCacheHits,
+		SchemeMisses:       r.inner.SchemeCacheMisses,
+		ShapeHits:          r.inner.ShapeCacheHits,
+		ShapeMisses:        r.inner.ShapeCacheMisses,
+		BodyDedupHits:      r.inner.BodyDedupHits,
+		BodyDedupMisses:    r.inner.BodyDedupMisses,
+		BodyDedupCrossHits: r.inner.BodyDedupCrossHits,
+		ReplayedProcs:      r.inner.ReplayedProcs,
+		RecomputedProcs:    r.inner.RecomputedProcs,
 	}
 }
 

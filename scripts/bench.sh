@@ -27,10 +27,11 @@ if ! go run ./cmd/benchgen -o "$corpus_dir" -scale 300 >/dev/null; then
   exit 1
 fi
 
-# -exp all runs both timing experiments (the fig11 size-scaling sweep
-# and the parallel worker sweep); -timings collects every point into
-# one JSON array.
-echo "== measuring (size scaling + parallel worker sweep) =="
+# -exp all runs every timing experiment (the fig11 size-scaling sweep,
+# the parallel worker sweep, the warm-start persistence points, and the
+# fleet-serving points); -timings collects every point into one JSON
+# array.
+echo "== measuring (size scaling + parallel sweep + warm start + fleet) =="
 if ! go run ./cmd/retypd-eval -exp all -quick -parsize 4000 -timings "$out" >/dev/null; then
   echo "bench: FAIL — cmd/retypd-eval exited nonzero" >&2
   exit 1

@@ -5,13 +5,13 @@
 # one whole-program inference over the 4000-instruction corpus) with
 # -benchmem and compares its B/op against a threshold derived from the
 # checked-in perf snapshot: 1.5× the largest cold-path AllocBytes
-# measurement in BENCH_6.json (the same 4000-instruction, workers=1
-# inference as recorded by scripts/bench.sh; BENCH_6 re-baselined the
-# gate when the readiness scheduler and decorator pooling landed — the
-# warm-start and incremental points in the snapshot allocate far less
-# and are excluded from the maximum by construction, since the gate
-# takes the largest value). A regression back toward the pre-interning
-# allocation volume
+# measurement in BENCH_7.json (the same 4000-instruction, workers=1
+# inference as recorded by scripts/bench.sh; BENCH_7 re-baselined the
+# gate when the persistent body-class layer and the constraint-set
+# hash dedup landed — the warm-start, incremental and fleet-warm
+# points in the snapshot allocate far less and are excluded from the
+# maximum by construction, since the gate takes the largest value). A
+# regression back toward the pre-interning allocation volume
 # (~8× today's) fails the gate; the 1.5× margin absorbs hardware and
 # Go-version noise.
 #
@@ -19,7 +19,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-base="${1-BENCH_6.json}"
+base="${1-BENCH_7.json}"
 if [ ! -f "$base" ]; then
   echo "check_alloc: baseline $base missing" >&2
   exit 1
